@@ -1,0 +1,73 @@
+"""Ablation: the inlet/outlet edge-conductance factor.
+
+The paper only says the port conductance is "smaller" than a cell-to-cell
+conductance; we default to 0.5 and expose the knob.  This ablation sweeps it
+and reports how the baseline evaluation responds -- the factor shifts the
+absolute pressure scale but must not change who wins or the shape of the
+gradient curve.  Benchmarks a flow-field construction.
+"""
+
+from repro.analysis import format_table
+from repro.cooling import CoolingSystem, evaluate_problem1
+from repro.flow import FlowField
+from repro.iccad2015 import load_case
+
+from conftest import GRID, emit
+
+FACTORS = (0.25, 0.5, 1.0, 2.0)
+
+
+def test_ablation_edge_factor(benchmark):
+    case = load_case(1, grid_size=GRID)
+    straight = case.baseline_network()
+    tree = case.tree_plan().build()
+
+    rows = []
+    winners = []
+    for factor in FACTORS:
+        evaluations = {}
+        for name, network in (("straight", straight), ("tree", tree)):
+            system = CoolingSystem.for_network(
+                case.base_stack(),
+                network,
+                case.coolant,
+                model="2rm",
+                edge_factor=factor,
+            )
+            evaluations[name] = evaluate_problem1(
+                system, case.delta_t_star, case.t_max_star
+            )
+        s = evaluations["straight"]
+        t = evaluations["tree"]
+        winners.append(
+            "straight" if s.score <= t.score else "tree"
+        )
+        rows.append(
+            [
+                f"{factor:.2f}",
+                f"{s.p_sys / 1e3:.2f}" if s.feasible else "N/A",
+                f"{s.w_pump * 1e3:.3f}" if s.feasible else "N/A",
+                f"{t.p_sys / 1e3:.2f}" if t.feasible else "N/A",
+                f"{t.w_pump * 1e3:.3f}" if t.feasible else "N/A",
+            ]
+        )
+    table = format_table(
+        [
+            "edge factor",
+            "straight P_sys (kPa)",
+            "straight W (mW)",
+            "tree P_sys (kPa)",
+            "tree W (mW)",
+        ],
+        rows,
+        title="Ablation: inlet/outlet conductance factor (Problem 1 "
+        "evaluation, uniform-init tree vs straight)",
+    )
+    emit("ablation_edge_factor", table + f"\nwinner per factor: {winners}")
+
+    # The knob must not flip the comparison across the sweep.
+    assert len(set(winners)) == 1
+
+    benchmark(
+        FlowField, straight, case.channel_height, case.coolant, 0.5
+    )

@@ -1,0 +1,96 @@
+"""Ablation: Problem 2's grouped evaluation (Section 5, adaptation 2).
+
+Grouping re-uses the optimal pressure found by the group leader for the next
+few SA iterations, trading slight pessimism for a large simulation saving.
+This ablation measures both sides on real candidate sequences: the per-
+candidate score error of the cheap path, and the simulation count of a short
+SA run with group sizes 1 (always full) and 5 (the default).  Benchmarks the
+cheap-path evaluation.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cooling import CoolingSystem, evaluate_problem2
+from repro.iccad2015 import load_case
+from repro.optimize.moves import perturb_tree_params
+from repro.optimize.runner import PROBLEM_THERMAL_GRADIENT, _CandidateEvaluator
+from repro.optimize.stages import METRIC_MIN_GRADIENT_CAPPED, StageConfig
+
+from conftest import GRID, emit
+
+
+def test_ablation_grouped_evaluation(benchmark):
+    case = load_case(1, grid_size=GRID)
+    plan = case.tree_plan()
+    rng = np.random.default_rng(11)
+    candidates = [plan.params()]
+    for _ in range(9):
+        candidates.append(
+            plan.clamp_params(perturb_tree_params(candidates[-1], 4, rng))
+        )
+
+    # Score accuracy: cheap grouped path vs full evaluation per candidate.
+    w_star = case.w_pump_star()
+    errors = []
+    leader_pressure = None
+    for params in candidates:
+        system = CoolingSystem.for_network(
+            case.base_stack(),
+            plan.with_params(params).build(),
+            case.coolant,
+            model="2rm",
+        )
+        full = evaluate_problem2(system, case.t_max_star, w_star)
+        if leader_pressure is None:
+            leader_pressure = full.p_sys
+            continue
+        p_used = min(leader_pressure, system.p_sys_for_power(w_star))
+        cheap = system.evaluate(p_used).delta_t
+        if full.feasible:
+            errors.append(cheap - full.score)
+
+    # Simulation cost: short SA-like scans with group sizes 1 and 5.
+    counts = {}
+    for group_size in (1, 5):
+        stage = StageConfig(
+            "abl", 10, 1, 4, METRIC_MIN_GRADIENT_CAPPED, "2rm",
+            group_size=group_size,
+        )
+        evaluator = _CandidateEvaluator(
+            case, plan, stage, PROBLEM_THERMAL_GRADIENT
+        )
+        for params in candidates:
+            evaluator(params)
+        counts[group_size] = evaluator.simulations
+
+    rows = [
+        ["mean pessimism of cheap path (K)", f"{np.mean(errors):+.4f}"],
+        ["max pessimism of cheap path (K)", f"{np.max(errors):+.4f}"],
+        ["simulations, group size 1 (always full)", f"{counts[1]}"],
+        ["simulations, group size 5 (paper-style)", f"{counts[5]}"],
+        ["simulation saving", f"{100 * (1 - counts[5] / counts[1]):.0f}%"],
+    ]
+    table = format_table(
+        ["quantity", "value"],
+        rows,
+        title="Ablation: grouped Problem-2 evaluation -- pessimism vs "
+        "simulation saving (10 neighboring candidates)",
+    )
+    emit("ablation_grouped_eval", table)
+
+    # The cheap path may only be pessimistic (never reports a better DeltaT
+    # than achievable), and grouping must save a large share of simulations.
+    assert min(errors) >= -1e-6
+    assert counts[5] < counts[1]
+
+    system = CoolingSystem.for_network(
+        case.base_stack(), plan.build(), case.coolant, model="2rm"
+    )
+    p_used = min(leader_pressure, system.p_sys_for_power(w_star))
+
+    def cheap_eval():
+        system.clear_cache()
+        return system.evaluate(p_used).delta_t
+
+    benchmark(cheap_eval)

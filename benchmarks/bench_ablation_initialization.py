@@ -1,0 +1,84 @@
+"""Ablation: uniform vs power-aware tree initialization.
+
+The paper initializes all trees uniformly before the SA search.  The
+power-aware alternative (an extension) seeds each tree's branch positions
+from its band's power density -- Section 3's compensation idea in closed
+form.  This ablation compares the two seeds both *before* any search (raw
+seed quality under the stage-1 fixed-pressure gradient metric) and *after*
+a short Problem 1 flow.  Benchmarks one seeded-plan build.
+"""
+
+from repro.analysis import format_table
+from repro.cooling import CoolingSystem
+from repro.iccad2015 import load_case
+from repro.networks import power_aware_initialization
+from repro.optimize import optimize_problem1
+
+from conftest import GRID, emit
+
+
+def test_ablation_initialization(benchmark):
+    case = load_case(1, grid_size=GRID)
+    plan_uniform = case.tree_plan()
+    total_power = sum(case.power_maps)
+    plan_seeded = power_aware_initialization(plan_uniform, total_power)
+
+    # Raw seed quality: gradient at a fixed probe pressure.
+    def gradient(plan):
+        system = CoolingSystem.for_network(
+            case.base_stack(), plan.build(), case.coolant, model="2rm"
+        )
+        return system.delta_t(5e3)
+
+    seed_rows = [
+        ["uniform", f"{gradient(plan_uniform):.3f}"],
+        ["power-aware", f"{gradient(plan_seeded):.3f}"],
+    ]
+
+    # Post-search quality with the same short budget.
+    results = {}
+    for name, init in (("uniform", "uniform"), ("power-aware", "power_aware")):
+        results[name] = optimize_problem1(
+            case, quick=True, directions=(0,), seed=5, initialization=init
+        )
+    search_rows = []
+    for name, result in results.items():
+        ev = result.evaluation
+        search_rows.append(
+            [
+                name,
+                f"{ev.w_pump * 1e3:.3f}" if ev.feasible else "N/A",
+                f"{result.total_simulations}",
+            ]
+        )
+
+    table = (
+        format_table(
+            ["initialization", "seed DeltaT @5 kPa (K)"],
+            seed_rows,
+            title="Ablation: tree initialization (case 1, "
+            f"grid {GRID}x{GRID})",
+        )
+        + "\n\n"
+        + format_table(
+            ["initialization", "post-SA W_pump (mW)", "simulations"],
+            search_rows,
+        )
+    )
+    emit("ablation_initialization", table)
+
+    # The seeded start must not be meaningfully worse than uniform, either
+    # raw or after the search.
+    assert gradient(plan_seeded) <= gradient(plan_uniform) * 1.10
+    if (
+        results["uniform"].evaluation.feasible
+        and results["power-aware"].evaluation.feasible
+    ):
+        assert (
+            results["power-aware"].evaluation.w_pump
+            <= 2.0 * results["uniform"].evaluation.w_pump
+        )
+
+    benchmark(
+        lambda: power_aware_initialization(plan_uniform, total_power).build()
+    )

@@ -1,0 +1,76 @@
+"""Ablation: the staged SA schedule vs a single flat stage (Table 1).
+
+The paper stages its search "rougher and much quicker" first so more rounds
+can explore the space.  This ablation gives a flat single-stage SA the same
+total simulation budget order and compares final pumping power: the staged
+schedule should match or beat the flat one.  Benchmarks one SA stage.
+"""
+
+from repro.iccad2015 import load_case
+from repro.optimize import optimize_problem1
+from repro.optimize.stages import (
+    METRIC_LOWEST_FEASIBLE_POWER,
+    StageConfig,
+    problem1_stages,
+)
+from repro.analysis import format_table
+
+from conftest import GRID, QUICK, emit
+
+
+def test_ablation_staged_vs_flat(benchmark):
+    case = load_case(1, grid_size=GRID)
+    staged = problem1_stages(quick=QUICK)
+    flat_iterations = sum(s.iterations * s.rounds for s in staged) // 2
+    flat = [
+        StageConfig(
+            "flat",
+            flat_iterations,
+            1,
+            4,
+            METRIC_LOWEST_FEASIBLE_POWER,
+            "2rm",
+        )
+    ]
+
+    result_staged = optimize_problem1(
+        case, stages=staged, directions=(0,), seed=3
+    )
+    result_flat = optimize_problem1(case, stages=flat, directions=(0,), seed=3)
+
+    rows = []
+    for name, result in (("staged (Table 1)", result_staged), ("flat", result_flat)):
+        ev = result.evaluation
+        rows.append(
+            [
+                name,
+                f"{ev.w_pump * 1e3:.3f}" if ev.feasible else "N/A",
+                f"{ev.delta_t:.2f}" if ev.feasible else "N/A",
+                f"{result.total_simulations}",
+            ]
+        )
+    table = format_table(
+        ["schedule", "W_pump (mW)", "DeltaT (K)", "simulations"],
+        rows,
+        title="Ablation: staged SA schedule vs flat single stage (Problem 1, "
+        "case 1)",
+    )
+    emit("ablation_stages", table)
+
+    assert result_staged.evaluation.feasible
+    if result_flat.evaluation.feasible:
+        assert (
+            result_staged.evaluation.w_pump
+            <= 1.5 * result_flat.evaluation.w_pump
+        )
+
+    single_stage = [
+        StageConfig("bench", 4, 1, 4, METRIC_LOWEST_FEASIBLE_POWER, "2rm")
+    ]
+    benchmark.pedantic(
+        optimize_problem1,
+        args=(case,),
+        kwargs={"stages": single_stage, "directions": (0,), "seed": 1},
+        rounds=1,
+        iterations=1,
+    )

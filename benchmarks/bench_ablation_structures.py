@@ -1,0 +1,88 @@
+"""Ablation: the tree-like structure vs other network families (Section 4.3).
+
+The paper picked the hierarchical tree structure after manual exploration:
+simple (two parameters per tree) and effective for both objectives.  This
+ablation evaluates each structural family -- straight, serpentine, ladder,
+variable-pitch, uniform tree, SA-tuned tree -- under the Problem 1 metric on
+one case.  Benchmarks one structural evaluation.
+"""
+
+from repro.analysis import format_table
+from repro.cooling import CoolingSystem, evaluate_problem1
+from repro.errors import ReproError
+from repro.iccad2015 import load_case
+from repro.networks import (
+    ladder_network,
+    serpentine_network,
+    variable_pitch_network,
+)
+from repro.optimize import optimize_problem1
+
+from conftest import GRID, QUICK, emit
+
+
+def test_ablation_structures(benchmark):
+    case = load_case(1, grid_size=GRID)
+    n = case.nrows
+
+    def tuned_tree():
+        return optimize_problem1(
+            case, quick=QUICK, directions=(0, 1), seed=0
+        ).network
+
+    families = [
+        ("straight p2", lambda: case.baseline_network(pitch=2)),
+        ("straight p4", lambda: case.baseline_network(pitch=4)),
+        ("serpentine p4", lambda: serpentine_network(n, n, 0, 4)),
+        ("ladder p2", lambda: ladder_network(n, n, 0, 2)),
+        ("variable pitch", lambda: variable_pitch_network(n, n, 0, 0.5)),
+        ("tree (uniform init)", lambda: case.tree_plan().build()),
+        ("tree (SA-tuned)", tuned_tree),
+    ]
+
+    rows = []
+    scores = {}
+    for name, builder in families:
+        try:
+            network = builder()
+            system = CoolingSystem.for_network(
+                case.base_stack(), network, case.coolant, model="4rm"
+            )
+            ev = evaluate_problem1(system, case.delta_t_star, case.t_max_star)
+        except ReproError:
+            ev = None
+        if ev is not None and ev.feasible:
+            scores[name] = ev.w_pump
+            rows.append(
+                [
+                    name,
+                    f"{ev.p_sys / 1e3:.2f}",
+                    f"{ev.w_pump * 1e3:.3f}",
+                    f"{ev.delta_t:.2f}",
+                ]
+            )
+        else:
+            rows.append([name, "N/A", "N/A", "N/A"])
+    table = format_table(
+        ["structure", "P_sys (kPa)", "W_pump (mW)", "DeltaT (K)"],
+        rows,
+        title="Ablation: network structures under the Problem 1 metric "
+        f"(case 1, grid {GRID}x{GRID})",
+    )
+    emit("ablation_structures", table)
+
+    # The SA-tuned tree must be the best (or tied-best) feasible family.
+    assert "tree (SA-tuned)" in scores
+    best = min(scores.values())
+    assert scores["tree (SA-tuned)"] <= 1.05 * best
+
+    network = case.baseline_network()
+    system = CoolingSystem.for_network(
+        case.base_stack(), network, case.coolant, model="2rm"
+    )
+
+    def evaluate():
+        system.clear_cache()
+        return evaluate_problem1(system, case.delta_t_star, case.t_max_star)
+
+    benchmark(evaluate)

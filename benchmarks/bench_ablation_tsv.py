@@ -1,0 +1,65 @@
+"""Ablation: TSV-aware vertical conduction (the paper's future-work hook).
+
+Channel layers are shared by TSVs and microchannels; the paper's future work
+proposes co-optimizing them.  This ablation quantifies the thermal effect of
+modeling the copper TSVs explicitly (vs treating reserved cells as silicon)
+on both simulators.  Benchmarks the TSV-aware 4RM solve.
+"""
+
+from repro.analysis import format_table
+from repro.iccad2015 import load_case
+from repro.materials import COPPER
+from repro.thermal import RC2Simulator, RC4Simulator
+
+from conftest import GRID, emit
+
+
+def test_ablation_tsv_modeling(benchmark):
+    case = load_case(1, grid_size=GRID)
+    stack = case.base_stack()
+    p_sys = 1e4
+
+    rows = []
+    drops = {}
+    for model_name, factory in (
+        ("4RM", lambda tsv: RC4Simulator(stack, case.coolant, tsv_material=tsv)),
+        (
+            "2RM (400um)",
+            lambda tsv: RC2Simulator(
+                stack, case.coolant, tile_size=4, tsv_material=tsv
+            ),
+        ),
+    ):
+        plain = factory(None).solve(p_sys)
+        tsv = factory(COPPER).solve(p_sys)
+        drops[model_name] = plain.t_max - tsv.t_max
+        rows.append(
+            [
+                model_name,
+                f"{plain.t_max:.3f}",
+                f"{tsv.t_max:.3f}",
+                f"{plain.t_max - tsv.t_max:+.3f}",
+                f"{plain.delta_t - tsv.delta_t:+.3f}",
+            ]
+        )
+    table = format_table(
+        [
+            "model",
+            "T_max plain (K)",
+            "T_max w/ Cu TSVs (K)",
+            "T_max drop (K)",
+            "DeltaT drop (K)",
+        ],
+        rows,
+        title="Ablation: modeling copper TSVs in channel layers "
+        f"(case 1, grid {GRID}x{GRID}, P_sys = 10 kPa)",
+    )
+    emit("ablation_tsv", table)
+
+    # Copper TSVs cool the stack in both models; the effect is a small
+    # correction, not a game changer -- coolant still removes the heat.
+    assert all(d > 0 for d in drops.values())
+    assert all(d < 5.0 for d in drops.values())
+
+    simulator = RC4Simulator(stack, case.coolant, tsv_material=COPPER)
+    benchmark(simulator.solve, p_sys)

@@ -1,0 +1,79 @@
+"""Extension bench: run-time flow-rate control under dynamic power.
+
+Not a paper figure -- the paper's stated future work ("combining cooling
+networks with run-time thermal management ... adjustable flow rates"),
+implemented and measured: a PI pressure controller tracking a peak-
+temperature setpoint under a 2x DVFS power square wave, versus constant
+worst-case pumping and no reaction.  Benchmarks one controlled period.
+"""
+
+from repro.analysis import format_table
+from repro.iccad2015 import load_case
+from repro.thermal import PIController, RC2Simulator, run_controlled
+
+from conftest import GRID, emit
+
+
+def test_ext_runtime_control(benchmark):
+    case = load_case(1, grid_size=GRID)
+    stack = case.stack_with_network(case.baseline_network())
+    steady = RC2Simulator(stack, case.coolant, tile_size=4)
+
+    def boost(t: float) -> float:
+        return 2.0 if (t % 2.0) > 1.0 else 1.0
+
+    setpoint = steady.solve(2e4).t_max + 4.0
+    controller = PIController(
+        setpoint=setpoint, kp=60.0, ki=30.0, p_min=2e3, p_max=1e5, period=0.1
+    )
+    controlled = run_controlled(
+        steady, controller, duration=8.0, control_period=0.1, dt=0.02,
+        p_initial=2e3, power_profile=boost,
+    )
+    p_worst = max(controlled.pressures)
+    constant = run_controlled(
+        steady, lambda t, p: p_worst, duration=8.0, control_period=0.1,
+        dt=0.02, p_initial=p_worst, power_profile=boost,
+    )
+    passive = run_controlled(
+        steady, lambda t, p: 2e3, duration=8.0, control_period=0.1,
+        dt=0.02, p_initial=2e3, power_profile=boost,
+    )
+
+    def late_peak(trace):
+        return max(
+            t for time, t in zip(trace.times, trace.t_max) if time > 4.0
+        )
+
+    rows = [
+        [
+            name,
+            f"{trace.mean_pumping_power * 1e3:.3f}",
+            f"{late_peak(trace):.2f}",
+        ]
+        for name, trace in (
+            ("PI control", controlled),
+            ("constant worst-case", constant),
+            ("no reaction", passive),
+        )
+    ]
+    table = format_table(
+        ["policy", "mean W_pump (mW)", "settled peak T_max (K)"],
+        rows,
+        title=(
+            f"Extension: runtime flow control under 2x DVFS bursts "
+            f"(case 1, grid {GRID}x{GRID}, setpoint {setpoint:.1f} K)"
+        ),
+    )
+    emit("ext_runtime_control", table)
+
+    assert controlled.mean_pumping_power < constant.mean_pumping_power
+    assert late_peak(controlled) < late_peak(passive)
+
+    def one_period():
+        return run_controlled(
+            steady, lambda t, p: 1e4, duration=0.1, control_period=0.1,
+            dt=0.02, p_initial=1e4,
+        )
+
+    benchmark(one_period)

@@ -1,0 +1,60 @@
+"""Extension bench: physical-parameter sensitivity of the cooling system.
+
+Not a paper figure -- an extension quantifying how the headline metrics
+respond to the designer's physical knobs, as elasticities (% metric change
+per % parameter change).  The interesting regime dependence: past the
+turning point the Nusselt (film) coefficient dominates `T_max`; in a
+flow-starved system the hydraulic knob (channel height) takes over.
+Benchmarks one sweep point.
+"""
+
+from repro.analysis import elasticities, format_table, sensitivity_sweep
+from repro.iccad2015 import load_case
+
+from conftest import GRID, emit
+
+
+def test_ext_sensitivity(benchmark):
+    case = load_case(1, grid_size=GRID)
+    stack = case.base_stack()
+    network = case.baseline_network()
+
+    blocks = []
+    slopes_by_regime = {}
+    for label, p_sys in (("flow-rich (10 kPa)", 1e4), ("flow-starved (0.4 kPa)", 4e2)):
+        records = sensitivity_sweep(
+            stack, network, case.coolant, p_sys, scales=(0.8, 1.0, 1.25)
+        )
+        slopes_t = elasticities(records, metric="t_max")
+        slopes_d = elasticities(records, metric="delta_t")
+        slopes_by_regime[label] = slopes_t
+        rows = [
+            [param, f"{slopes_t.get(param, float('nan')):+.3f}",
+             f"{slopes_d.get(param, float('nan')):+.3f}"]
+            for param in sorted(slopes_t)
+        ]
+        blocks.append(
+            format_table(
+                ["parameter", "d(T_max rise)/d(param)", "d(DeltaT)/d(param)"],
+                rows,
+                title=f"Elasticities at {label}",
+            )
+        )
+    emit("ext_sensitivity", "\n\n".join(blocks))
+
+    rich = slopes_by_regime["flow-rich (10 kPa)"]
+    starved = slopes_by_regime["flow-starved (0.4 kPa)"]
+    assert abs(rich["nusselt"]) > abs(rich["channel_height"])
+    assert abs(starved["channel_height"]) > abs(starved["nusselt"])
+
+    def sweep_point():
+        return sensitivity_sweep(
+            stack,
+            network,
+            case.coolant,
+            1e4,
+            parameters=("nusselt",),
+            scales=(1.0,),
+        )
+
+    benchmark(sweep_point)

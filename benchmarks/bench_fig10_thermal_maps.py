@@ -1,0 +1,61 @@
+"""Fig. 10: case-1 bottom-source-layer temperature maps, P1 vs P2 designs.
+
+Optimizes case 1 under both problem formulations and contrasts the resulting
+temperature maps: the Problem 1 map is hotter overall (it buys the lowest
+pumping power) with the full allowed spread; the Problem 2 map is flatter at
+higher pumping power.  Benchmarks the 4RM map extraction solve.
+"""
+
+from repro.analysis import map_statistics, render_field, source_layer_map
+from repro.cooling import CoolingSystem
+from repro.iccad2015 import load_case
+from repro.optimize import optimize_problem1, optimize_problem2
+
+from conftest import DIRECTIONS, QUICK, TABLE_GRID, emit
+
+
+def test_fig10_thermal_maps(benchmark):
+    case = load_case(1, grid_size=TABLE_GRID)
+    p1 = optimize_problem1(case, quick=QUICK, directions=DIRECTIONS, seed=0)
+    p2 = optimize_problem2(case, quick=QUICK, directions=DIRECTIONS, seed=0)
+
+    maps = {}
+    stats = {}
+    systems = {}
+    for label, result in (("P1", p1), ("P2", p2)):
+        system = CoolingSystem.for_network(
+            case.base_stack(), result.network, case.coolant, model="4rm"
+        )
+        systems[label] = (system, result.evaluation.p_sys)
+        field = source_layer_map(system.evaluate(result.evaluation.p_sys))
+        maps[label] = field
+        stats[label] = map_statistics(field)
+
+    lo = min(stats["P1"].t_min, stats["P2"].t_min)
+    hi = max(stats["P1"].t_max, stats["P2"].t_max)
+    sections = [
+        "Fig. 10: bottom source layer of case 1 "
+        f"(grid {TABLE_GRID}x{TABLE_GRID}; shared scale [{lo:.1f}, {hi:.1f}] K)",
+    ]
+    for label, result in (("P1", p1), ("P2", p2)):
+        ev = result.evaluation
+        sections.append(
+            f"\n(a) {label}: P_sys={ev.p_sys / 1e3:.2f} kPa  "
+            f"W_pump={ev.w_pump * 1e3:.2f} mW  DeltaT={ev.delta_t:.2f} K\n"
+            f"    {stats[label]}\n"
+            + render_field(maps[label], max_width=64, t_min=lo, t_max=hi)
+        )
+    emit("fig10_thermal_maps", "\n".join(sections))
+
+    # The paper's contrast: P1 hotter + cheaper, P2 flatter + costlier.
+    assert stats["P1"].t_mean > stats["P2"].t_mean
+    assert p1.evaluation.w_pump < p2.evaluation.w_pump
+    assert p2.evaluation.delta_t < p1.evaluation.delta_t
+
+    system, p_sys = systems["P1"]
+
+    def solve_map():
+        system.clear_cache()
+        return source_layer_map(system.evaluate(p_sys))
+
+    benchmark(solve_map)

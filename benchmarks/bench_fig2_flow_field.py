@@ -1,0 +1,54 @@
+"""Fig. 2(c): pressure and flow-rate distribution of a cooling network.
+
+Solves the laminar flow network of a tree-like design and reports the
+pressure/flow field statistics (the paper visualizes arrows and shading; we
+report the distributions plus a rendered network).  Benchmarks the pressure
+solve, the kernel every thermal simulation depends on.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, render_network
+from repro.flow import FlowField
+from repro.iccad2015 import load_case
+
+from conftest import GRID, emit
+
+
+def test_fig2_flow_field(benchmark):
+    case = load_case(1, grid_size=GRID)
+    grid = case.tree_plan().build()
+    field = FlowField(grid, case.channel_height, case.coolant)
+    solution = field.at_pressure(10e3)
+
+    speeds = np.abs(solution.edge_flows)
+    rows = [
+        ["liquid cells", f"{solution.n_cells}"],
+        ["system flow rate", f"{solution.q_sys * 1e9:.2f} uL/s"],
+        ["system resistance", f"{solution.r_sys:.3e} Pa s/m^3"],
+        ["pumping power @10 kPa", f"{solution.w_pump * 1e3:.3f} mW"],
+        ["cell pressure range", f"[{solution.pressures.min():.0f}, "
+                                f"{solution.pressures.max():.0f}] Pa"],
+        ["max |edge flow|", f"{speeds.max() * 1e9:.3f} uL/s"],
+        ["median |edge flow|", f"{np.median(speeds) * 1e9:.3f} uL/s"],
+        ["volume conservation residual",
+         f"{np.abs(solution.conservation_residual()).max():.2e} m^3/s"],
+    ]
+    table = format_table(
+        ["quantity", "value"],
+        rows,
+        title="Fig. 2(c): flow field of a tree-like network at P_sys = 10 kPa",
+    )
+    if GRID <= 61:
+        table += "\n\n" + render_network(grid, max_width=150)
+    emit("fig2_flow_field", table)
+
+    # Trunk segments must carry more flow than leaf segments (conservation).
+    assert speeds.max() > 3 * np.median(speeds)
+
+    def solve():
+        return FlowField(
+            grid, case.channel_height, case.coolant
+        ).at_pressure(10e3)
+
+    benchmark(solve)

@@ -1,0 +1,76 @@
+"""Fig. 6: the shape of DeltaT = f(P_sys) -- uni-modal or decreasing.
+
+Sweeps the gradient curve of several networks and classifies each curve:
+Section 4.1 argues f is either uni-modal (cells with later turning points end
+up cooler, so the gradient eventually rises again) or monotone decreasing.
+Algorithm 3's correctness rests on this dichotomy.  Benchmarks a full
+ten-point gradient sweep.
+"""
+
+import numpy as np
+
+from repro.analysis import classify_gradient_curve, format_table, pressure_sweep
+from repro.cooling import CoolingSystem
+from repro.iccad2015 import load_case
+from repro.networks import serpentine_network
+
+from conftest import GRID, emit
+
+
+def _sweep(case, network):
+    system = CoolingSystem.for_network(
+        case.base_stack(), network, case.coolant, model="2rm"
+    )
+    return pressure_sweep(system, np.geomspace(5e2, 1.6e5, 10))
+
+
+def test_fig6_gradient_curve_shapes(benchmark):
+    case = load_case(1, grid_size=GRID)
+    networks = [
+        ("straight", case.baseline_network()),
+        ("tree", case.tree_plan().build()),
+        ("serpentine", serpentine_network(case.nrows, case.ncols, 0, 4)),
+    ]
+    rows = []
+    shapes = {}
+    series_lines = []
+    for name, network in networks:
+        sweep = _sweep(case, network)
+        shape = sweep.gradient_shape()
+        shapes[name] = shape
+        rows.append(
+            [
+                name,
+                shape,
+                f"{sweep.delta_t.max():.2f}",
+                f"{sweep.delta_t.min():.2f}",
+                f"{sweep.delta_t[-1]:.2f}",
+                "yes" if sweep.peak_is_monotone(rtol=1e-4) else "no",
+            ]
+        )
+        series = "  ".join(
+            f"{p / 1e3:.1f}:{dt:.2f}"
+            for p, dt in zip(sweep.pressures, sweep.delta_t)
+        )
+        series_lines.append(f"{name:>10}  {series}")
+    table = format_table(
+        ["network", "f shape", "max dT (K)", "min dT (K)", "dT @160 kPa (K)",
+         "h monotone"],
+        rows,
+        title="Fig. 6: gradient-curve shapes (kPa:K series below)",
+    )
+    emit("fig6_gradient_curves", table + "\n\n" + "\n".join(series_lines))
+
+    # Section 4.1's dichotomy: every curve is uni-modal or decreasing, and
+    # the peak-temperature curve is always monotone.
+    assert set(shapes.values()) <= {"unimodal", "decreasing"}
+
+    system = CoolingSystem.for_network(
+        case.base_stack(), networks[0][1], case.coolant, model="2rm"
+    )
+
+    def gradient_sweep():
+        system.clear_cache()
+        return pressure_sweep(system, np.geomspace(5e2, 1.6e5, 10))
+
+    benchmark(gradient_sweep)

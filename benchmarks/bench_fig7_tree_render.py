@@ -1,0 +1,31 @@
+"""Fig. 7: a tree-like cooling network on 23 x 51 basic cells.
+
+Rebuilds the figure's instance -- trees of four leaves whose trunks enter on
+the west side and whose leaves exit east -- and renders it.  Benchmarks
+network construction (the move-evaluation hot path of the SA search).
+"""
+
+from repro.analysis import render_network
+from repro.geometry import check_design_rules
+from repro.networks import plan_tree_bands
+
+from conftest import emit
+
+
+def test_fig7_tree_network(benchmark):
+    plan = plan_tree_bands(23, 51)
+    grid = plan.build()
+    check_design_rules(grid).raise_if_failed()
+
+    art = render_network(grid, max_width=150)
+    header = (
+        f"Fig. 7: tree-like cooling network on 23x51 basic cells\n"
+        f"{plan.n_trees} trees, {grid.liquid_count} liquid cells, "
+        f"{len(grid.inlets())} inlet / {len(grid.outlets())} outlet surfaces\n"
+    )
+    emit("fig7_tree_render", header + art)
+
+    # The figure's structure: fewer roots than leaves, both sides ported.
+    assert len(grid.inlets()) < len(grid.outlets())
+
+    benchmark(plan.build)

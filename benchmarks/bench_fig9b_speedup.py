@@ -1,0 +1,74 @@
+"""Fig. 9(b): 2RM speed-up over 4RM vs thermal-cell size.
+
+Times steady solves of both models across thermal-cell sizes.  The paper's
+findings to reproduce: speed-up grows with cell size (more than m^2 while
+the linear solve dominates) and saturates once fixed overhead takes over.
+Benchmark groups time the 4RM reference and the paper's 400 um 2RM setting
+head to head.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.iccad2015 import load_case
+from repro.thermal import RC2Simulator, RC4Simulator
+
+from conftest import GRID, emit
+
+TILE_SIZES = (2, 4, 6, 10, 16)
+
+
+def _stack():
+    case = load_case(1, grid_size=GRID)
+    return case, case.base_stack()
+
+
+def test_fig9b_speedup_curve(benchmark):
+    case, stack = _stack()
+    cell_um = case.cell_width * 1e6
+    sim4 = RC4Simulator(stack, case.coolant)
+    start = time.perf_counter()
+    sim4.solve(1e4)
+    t4 = time.perf_counter() - start
+
+    rows = []
+    speedups = {}
+    for tile in TILE_SIZES:
+        sim2 = RC2Simulator(stack, case.coolant, tile_size=tile)
+        start = time.perf_counter()
+        sim2.solve(1e4)
+        t2 = time.perf_counter() - start
+        speedups[tile] = t4 / t2
+        rows.append(
+            [
+                f"{tile * cell_um:.0f} um",
+                f"{sim2.n_nodes}",
+                f"{t2 * 1e3:.2f} ms",
+                f"{t4 / t2:.1f}x",
+            ]
+        )
+    table = format_table(
+        ["thermal cell", "2RM nodes", "2RM solve", "speed-up vs 4RM"],
+        rows,
+        title=(
+            f"Fig. 9(b): 2RM speed-up over 4RM "
+            f"({sim4.n_nodes} nodes, {t4 * 1e3:.1f} ms per solve)"
+        ),
+    )
+    emit("fig9b_speedup", table)
+
+    # Speed-up grows with thermal-cell size (allowing timer noise).
+    assert speedups[TILE_SIZES[-1]] > speedups[TILE_SIZES[0]]
+    # The paper's 400 um setting: an order of magnitude or more.
+    assert speedups[4] > 5
+
+    sim2 = RC2Simulator(stack, case.coolant, tile_size=4)
+    benchmark(sim2.solve, 1e4)
+
+
+def test_fig9b_reference_4rm(benchmark):
+    case, stack = _stack()
+    sim4 = RC4Simulator(stack, case.coolant)
+    benchmark(sim4.solve, 1e4)

@@ -1,0 +1,49 @@
+"""Table 2: ICCAD 2015 benchmark statistics.
+
+Regenerates the paper's benchmark summary table from the case definitions
+and times case instantiation (stack + synthetic floorplans).
+"""
+
+from repro.analysis import format_table
+from repro.iccad2015 import CASE_NUMBERS, load_case
+
+from conftest import GRID, emit
+
+
+def test_table2_statistics(benchmark):
+    cases = [load_case(n, grid_size=GRID) for n in CASE_NUMBERS]
+    rows = []
+    for case in cases:
+        extras = []
+        if case.restricted:
+            extras.append("no channel in a restricted area")
+        if case.matched_ports:
+            extras.append("matched inlets/outlets across layers")
+        rows.append(
+            [
+                case.number,
+                case.n_dies,
+                f"{case.channel_height * 1e6:.0f}",
+                f"{case.die_power:.3f}",
+                f"{case.delta_t_star:.0f}",
+                f"{case.t_max_star:.2f}",
+                "; ".join(extras) or "-",
+            ]
+        )
+    table = format_table(
+        [
+            "#",
+            "Die Num",
+            "h_c (um)",
+            "Die Power (W)",
+            "DeltaT* (K)",
+            "T_max* (K)",
+            "Other Constraint",
+        ],
+        rows,
+        title=f"Table 2: benchmark statistics (grid {GRID}x{GRID}, "
+        "power scaled with die area)",
+    )
+    emit("table2_cases", table)
+
+    benchmark(load_case, 4, grid_size=GRID)

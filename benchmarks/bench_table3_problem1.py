@@ -1,0 +1,66 @@
+"""Table 3: pumping power minimization (Problem 1) across all five cases.
+
+For each case: the best straight-channel baseline, the manual comparator
+(contest-winner stand-in) and the staged-SA tree design, each scored by the
+lowest feasible pumping power under DeltaT* and T_max*.  The paper's shape to
+reproduce: the tree-like networks meet the same constraints at substantially
+lower pumping power, and case 5 has no feasible straight baseline.
+
+The benchmark fixture times one complete Algorithm-2 network evaluation (the
+inner loop the whole SA flow is built from).
+"""
+
+from repro.cooling import CoolingSystem, evaluate_problem1
+from repro.iccad2015 import load_case
+
+from conftest import DIRECTIONS, QUICK, TABLE_GRID, emit
+from harness import format_results, run_problem
+
+
+def test_table3_problem1(benchmark):
+    outcomes = run_problem(
+        "problem1", TABLE_GRID, QUICK, DIRECTIONS, seed=0
+    )
+    text = format_results(
+        outcomes,
+        objective="w_pump",
+        title=(
+            f"Table 3: pumping power minimization "
+            f"(grid {TABLE_GRID}x{TABLE_GRID}, quick={QUICK}, directions={DIRECTIONS})"
+        ),
+    )
+    emit("table3_problem1", text)
+
+    # Paper shape: cases 1-4 solvable by the SA flow; the straight baseline
+    # fails on case 5 (high, highly varied power + tight T_max*).
+    by_case = {o.case_number: o for o in outcomes}
+    feasible_ours = [
+        n for n in (1, 2, 3, 4) if by_case[n].ours and by_case[n].ours.feasible
+    ]
+    assert len(feasible_ours) >= 3
+    assert by_case[5].baseline is None or not by_case[5].baseline.feasible
+    # The tree design beats the straight baseline on most feasible cases.
+    wins = sum(
+        1
+        for n in feasible_ours
+        if by_case[n].baseline
+        and by_case[n].baseline.feasible
+        and by_case[n].ours.w_pump < by_case[n].baseline.w_pump
+    )
+    comparable = sum(
+        1
+        for n in feasible_ours
+        if by_case[n].baseline and by_case[n].baseline.feasible
+    )
+    assert wins >= comparable / 2
+
+    case = load_case(1, grid_size=TABLE_GRID)
+    system = CoolingSystem.for_network(
+        case.base_stack(), case.baseline_network(), case.coolant, model="2rm"
+    )
+
+    def evaluate():
+        system.clear_cache()
+        return evaluate_problem1(system, case.delta_t_star, case.t_max_star)
+
+    benchmark(evaluate)

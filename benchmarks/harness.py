@@ -1,0 +1,154 @@
+"""Shared machinery for the Table 3 / Table 4 benches.
+
+Runs, for every benchmark case: the straight-channel baseline (best of the
+global directions), the manual-design comparator (stand-in for the contest
+winner; see DESIGN.md), and the staged-SA tree-like design flow.  Formats the
+paper's row layout and improvement percentages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import format_table, result_row
+from repro.analysis.tables import improvement_percent
+from repro.errors import ReproError
+from repro.iccad2015 import CASE_NUMBERS, load_case
+from repro.optimize import (
+    best_manual_design,
+    best_straight_baseline,
+    optimize_problem1,
+    optimize_problem2,
+)
+
+
+@dataclass
+class CaseOutcome:
+    """Results of one case: baseline / manual / ours evaluations."""
+
+    case_number: int
+    baseline: Optional[object]
+    manual: Optional[object]
+    ours: Optional[object]
+    ours_network: Optional[object]
+    seconds: float
+
+
+def run_problem(
+    problem: str,
+    grid_size: int,
+    quick: bool,
+    directions,
+    cases=CASE_NUMBERS,
+    include_manual: bool = True,
+    seed: int = 0,
+) -> List[CaseOutcome]:
+    """Run one problem's full comparison across benchmark cases."""
+    outcomes = []
+    for number in cases:
+        case = load_case(number, grid_size=grid_size)
+        start = time.time()
+        baseline = _try(lambda: best_straight_baseline(case, problem, model="4rm"))
+        manual = (
+            _try(lambda: best_manual_design(case, problem, model="4rm"))
+            if include_manual
+            else None
+        )
+        if problem == "problem1":
+            ours = _try(
+                lambda: optimize_problem1(
+                    case, quick=quick, directions=directions, seed=seed
+                )
+            )
+        else:
+            ours = _try(
+                lambda: optimize_problem2(
+                    case, quick=quick, directions=directions, seed=seed
+                )
+            )
+        outcomes.append(
+            CaseOutcome(
+                case_number=number,
+                baseline=baseline.evaluation if baseline else None,
+                manual=manual.evaluation if manual else None,
+                ours=ours.evaluation if ours else None,
+                ours_network=ours.network if ours else None,
+                seconds=time.time() - start,
+            )
+        )
+    return outcomes
+
+
+def format_results(
+    outcomes: List[CaseOutcome],
+    objective: str,
+    title: str,
+    include_manual: bool = True,
+) -> str:
+    """Render Table 3/4-style blocks plus the improvement summary."""
+    metrics = ["P_sys (kPa)", "T_max (K)", "DeltaT (K)", "W_pump (mW)"]
+    blocks = [("Baseline (straight)", "baseline")]
+    if include_manual:
+        blocks.append(("Manual (comparator)", "manual"))
+    blocks.append(("Ours (tree-like SA)", "ours"))
+
+    rows = []
+    for block_name, attr in blocks:
+        for metric in metrics:
+            row = [block_name if metric == metrics[0] else "", metric]
+            for outcome in outcomes:
+                evaluation = getattr(outcome, attr)
+                cells = result_row(
+                    evaluation
+                    if evaluation is not None and evaluation.feasible
+                    else None
+                )
+                row.append(cells[metric])
+            rows.append(row)
+    headers = ["design", "metric"] + [f"case {o.case_number}" for o in outcomes]
+    table = format_table(headers, rows, title=title)
+
+    summary = []
+    for outcome in outcomes:
+        if (
+            outcome.baseline is not None
+            and outcome.ours is not None
+            and outcome.baseline.feasible
+            and outcome.ours.feasible
+        ):
+            if objective == "w_pump":
+                gain = improvement_percent(
+                    outcome.baseline.w_pump, outcome.ours.w_pump
+                )
+                summary.append(
+                    f"case {outcome.case_number}: {gain:.1f}% pumping power "
+                    f"saving vs baseline ({outcome.seconds:.0f} s)"
+                )
+            else:
+                gain = improvement_percent(
+                    outcome.baseline.delta_t, outcome.ours.delta_t
+                )
+                summary.append(
+                    f"case {outcome.case_number}: {gain:.1f}% thermal gradient "
+                    f"reduction vs baseline ({outcome.seconds:.0f} s)"
+                )
+        else:
+            feasible = (
+                "ours feasible"
+                if outcome.ours is not None and outcome.ours.feasible
+                else "ours infeasible"
+            )
+            summary.append(
+                f"case {outcome.case_number}: baseline infeasible (N/A), "
+                f"{feasible} ({outcome.seconds:.0f} s)"
+            )
+    return table + "\n\n" + "\n".join(summary)
+
+
+def _try(fn):
+    try:
+        return fn()
+    except ReproError:
+        return None

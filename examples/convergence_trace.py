@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Watch the staged SA search converge, stage by stage.
+
+Runs Problem 1 on a small case and prints a sparkline of the best-so-far
+cost for every SA round of every stage -- the rough/quick early stages fan
+out in many rounds, the accurate late stages polish the winner.
+
+Run:  python examples/convergence_trace.py
+"""
+
+import math
+
+from repro.analysis.render import sparkline
+from repro.iccad2015 import load_case
+from repro.optimize import optimize_problem1
+
+
+def main() -> None:
+    case = load_case(1, grid_size=31)
+    result = optimize_problem1(case, quick=True, directions=(0,), seed=0)
+
+    print(f"{case}\nProblem 1 staged SA convergence "
+          f"({result.total_simulations} simulations total)\n")
+    for report in result.stage_reports:
+        print(f"{report.stage}  (selected cost "
+              f"{_fmt(report.selected_cost)}, "
+              f"{report.simulations} simulations)")
+        for i, history in enumerate(report.histories):
+            best = history.best_costs[-1] if history.best_costs else math.inf
+            print(
+                f"  round {i}: {sparkline(history.best_costs, width=48):<48} "
+                f"best {_fmt(best)}  "
+                f"acc {history.acceptance_rate:.0%}"
+            )
+        print()
+
+    ev = result.evaluation
+    print(
+        f"final 4RM evaluation: P_sys={ev.p_sys / 1e3:.2f} kPa  "
+        f"W_pump={ev.w_pump * 1e3:.3f} mW  T_max={ev.t_max:.2f} K  "
+        f"DeltaT={ev.delta_t:.2f} K"
+    )
+
+
+def _fmt(cost: float) -> str:
+    if math.isinf(cost):
+        return "inf"
+    if cost < 1e-1:
+        return f"{cost * 1e3:.3f} mW"
+    return f"{cost:.2f} K"
+
+
+if __name__ == "__main__":
+    main()

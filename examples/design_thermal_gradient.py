@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Problem 2 end to end: minimize thermal gradient under a power budget.
+
+Reproduces one row of Table 4 at reduced scale: straight baseline vs the
+staged-SA tree network, both capped at ``W_pump* = 0.1%`` of the die power,
+and shows the temperature-map contrast of Fig. 10 (P2 maps are flatter; P1
+maps are hotter but cheaper to pump).
+
+Run:  python examples/design_thermal_gradient.py [case_number] [grid_size]
+"""
+
+import sys
+import time
+
+from repro.analysis import (
+    format_table,
+    map_statistics,
+    render_field,
+    result_row,
+    source_layer_map,
+)
+from repro.analysis.tables import improvement_percent
+from repro.cooling import CoolingSystem
+from repro.iccad2015 import load_case
+from repro.optimize import best_straight_baseline, optimize_problem2
+
+
+def main() -> None:
+    case_number = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    grid_size = int(sys.argv[2]) if len(sys.argv) > 2 else 31
+    case = load_case(case_number, grid_size=grid_size)
+    w_star = case.w_pump_star()
+    print(f"{case}")
+    print(
+        f"Problem 2: min DeltaT  s.t. W_pump <= {w_star * 1e3:.2f} mW, "
+        f"T_max <= {case.t_max_star} K\n"
+    )
+
+    start = time.time()
+    baseline = best_straight_baseline(case, "problem2", model="4rm")
+    print(f"baseline: {baseline.name} ({time.time() - start:.1f} s)")
+
+    start = time.time()
+    ours = optimize_problem2(case, quick=True, directions=(0, 1), seed=0)
+    print(
+        f"ours: staged SA finished in {time.time() - start:.1f} s "
+        f"({ours.total_simulations} simulations)\n"
+    )
+
+    rows = []
+    for name, evaluation in (
+        ("Baseline (straight)", baseline.evaluation),
+        ("Ours (tree-like SA)", ours.evaluation),
+    ):
+        row = result_row(evaluation if evaluation.feasible else None)
+        rows.append([name] + list(row.values()))
+    headers = ["design", "P_sys (kPa)", "T_max (K)", "DeltaT (K)", "W_pump (mW)"]
+    print(format_table(headers, rows, title=f"Case {case.number} (Table 4 row)"))
+
+    if baseline.feasible and ours.evaluation.feasible:
+        gain = improvement_percent(
+            baseline.evaluation.delta_t, ours.evaluation.delta_t
+        )
+        print(f"\nThermal gradient reduction vs baseline: {gain:.1f}%")
+
+    # Fig. 10: the bottom source layer's temperature map.
+    system = CoolingSystem.for_network(
+        case.base_stack(), ours.network, case.coolant, model="4rm"
+    )
+    result = system.evaluate(ours.evaluation.p_sys)
+    field = source_layer_map(result)
+    print("\nBottom source layer, optimized design "
+          f"({map_statistics(field)}):")
+    print(render_field(field, max_width=64))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fig. 9 in miniature: 2RM accuracy and speed-up across thermal-cell sizes.
+
+Sweeps the fast 2RM model over thermal-cell sizes and network styles against
+the 4RM reference, printing the two curves of Fig. 9: average relative error
+by cell size and style (a), and solve-time speed-up by cell size (b).
+
+Run:  python examples/model_comparison.py [grid_size]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.analysis import compare_models, format_table
+from repro.analysis.model_compare import aggregate_by
+from repro.iccad2015 import load_case
+from repro.networks import plan_tree_bands, serpentine_network, straight_network
+
+
+def main() -> None:
+    grid_size = int(sys.argv[1]) if len(sys.argv) > 1 else 41
+    case = load_case(1, grid_size=grid_size)
+    cell_um = case.cell_width * 1e6
+    networks = [
+        ("straight", "straight", case.baseline_network()),
+        ("tree", "tree", case.tree_plan().build()),
+        (
+            "serpentine",
+            "manual",
+            serpentine_network(case.nrows, case.ncols, pitch=4),
+        ),
+    ]
+    tile_sizes = [2, 4, 6, 10]
+    pressures = [5e3, 2e4]
+
+    records = []
+    for name, style, network in networks:
+        stack = case.stack_with_network(network)
+        records.extend(
+            compare_models(
+                stack,
+                case.coolant,
+                tile_sizes,
+                pressures,
+                network_name=name,
+                style=style,
+            )
+        )
+
+    # Fig. 9(a): error by thermal-cell size, split by network style.
+    by_style = defaultdict(list)
+    for record in records:
+        by_style[(record.style, record.tile_size)].append(record)
+    styles = sorted({r.style for r in records})
+    rows = []
+    for tile in tile_sizes:
+        row = [f"{tile * cell_um:.0f} um"]
+        for style in styles:
+            members = by_style[(style, tile)]
+            err = sum(m.error_abs for m in members) / len(members)
+            row.append(f"{err:.3%}")
+        rows.append(row)
+    print(
+        format_table(
+            ["thermal cell"] + styles,
+            rows,
+            title="Fig. 9(a): mean relative error of source-layer nodes vs 4RM",
+        )
+    )
+
+    # Fig. 9(b): speed-up by thermal-cell size.
+    by_tile = aggregate_by(records, "tile_size")
+    rows = [
+        [
+            f"{tile * cell_um:.0f} um",
+            f"{by_tile[tile]['speedup']:.1f}x",
+            f"{by_tile[tile]['time_4rm'] * 1e3:.1f} ms",
+            f"{by_tile[tile]['time_2rm'] * 1e3:.1f} ms",
+        ]
+        for tile in tile_sizes
+    ]
+    print()
+    print(
+        format_table(
+            ["thermal cell", "speed-up", "4RM solve", "2RM solve"],
+            rows,
+            title="Fig. 9(b): 2RM speed-up over 4RM",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a liquid-cooled 3D IC with both thermal models.
+
+Builds ICCAD 2015 benchmark case 1 at half scale, installs a straight-channel
+cooling network, and runs the fast 2RM simulator and the 4RM reference model
+at one operating point.  Prints the paper's three headline metrics (peak
+temperature, thermal gradient, pumping power) plus the model agreement.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import RC2Simulator, RC4Simulator
+from repro.analysis import render_network, source_layer_map
+from repro.iccad2015 import load_case
+
+
+def main() -> None:
+    # Benchmark case 1: two dies, 200 um channels, DeltaT* = 15 K.
+    case = load_case(1, scale=0.5)
+    print(f"Loaded {case}")
+    print(
+        f"Constraints: DeltaT* = {case.delta_t_star} K, "
+        f"T_max* = {case.t_max_star} K\n"
+    )
+
+    # A straight-channel network: the baseline nearly all prior work assumes.
+    network = case.baseline_network(direction=0, pitch=2)
+    print("Straight-channel cooling network (west inlets, east outlets):")
+    print(render_network(network, max_width=120))
+
+    stack = case.stack_with_network(network)
+    p_sys = 15e3  # 15 kPa across inlets/outlets
+
+    # Fast porous-medium model (2RM) with the paper's 400 um thermal cells.
+    fast = RC2Simulator(stack, case.coolant, tile_size=4)
+    result_fast = fast.solve(p_sys)
+    print(f"2RM  ({fast.n_nodes:5d} nodes): {result_fast.summary()}")
+
+    # Reference 4RM model: one node per basic cell per layer.
+    reference = RC4Simulator(stack, case.coolant)
+    result_ref = reference.solve(p_sys)
+    print(f"4RM  ({reference.n_nodes:5d} nodes): {result_ref.summary()}")
+
+    # Agreement on the bottom source layer (the paper's Fig. 9 metric).
+    t2 = source_layer_map(result_fast)
+    t4 = source_layer_map(result_ref)
+    error = np.abs(t2 - t4) / t4
+    print(f"\nMean relative error (2RM vs 4RM): {error.mean():.3%}")
+    print(f"Energy balance error (4RM): {result_ref.energy_balance_error():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The W_pump vs DeltaT trade-off frontier of competing networks.
+
+The paper's closing remark: "the problem formulation can be chosen
+according to preference between W_pump and DeltaT."  This example makes
+that choice visible: sweep the operating pressure of a straight-channel
+network and a tree-like network, extract each Pareto front, and print them
+side by side -- wherever the tree's front lies below the straight one, the
+flexible topology wins at *every* preference.
+
+Run:  python examples/tradeoff_frontier.py [grid_size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis import format_table, pareto_front, tradeoff_curve
+from repro.cooling import CoolingSystem
+from repro.iccad2015 import load_case
+
+
+def main() -> None:
+    grid_size = int(sys.argv[1]) if len(sys.argv) > 1 else 31
+    case = load_case(1, grid_size=grid_size)
+    pressures = np.geomspace(8e2, 6e4, 12)
+
+    fronts = {}
+    for name, network in (
+        ("straight", case.baseline_network()),
+        ("tree", case.tree_plan().build()),
+    ):
+        system = CoolingSystem.for_network(
+            case.base_stack(), network, case.coolant, model="2rm"
+        )
+        curve = tradeoff_curve(system, pressures, t_max_star=case.t_max_star)
+        fronts[name] = pareto_front(curve)
+
+    rows = []
+    for name, front in fronts.items():
+        for pt in front:
+            rows.append(
+                [
+                    name,
+                    f"{pt.p_sys / 1e3:.2f}",
+                    f"{pt.w_pump * 1e3:.3f}",
+                    f"{pt.delta_t:.2f}",
+                    f"{pt.t_max:.1f}",
+                ]
+            )
+    print(f"{case}\n")
+    print(
+        format_table(
+            ["network", "P_sys (kPa)", "W_pump (mW)", "DeltaT (K)", "T_max (K)"],
+            rows,
+            title="Pareto-efficient operating points (pressure sweep)",
+        )
+    )
+
+    # Where does each network win?
+    print("\nPreference guide:")
+    for budget_mw in (0.05, 0.5, 5.0):
+        best = {}
+        for name, front in fronts.items():
+            feasible = [pt for pt in front if pt.w_pump * 1e3 <= budget_mw]
+            if feasible:
+                best[name] = min(pt.delta_t for pt in feasible)
+        if best:
+            winner = min(best, key=best.get)
+            summary = ", ".join(
+                f"{name}: {dt:.2f} K" for name, dt in sorted(best.items())
+            )
+            print(f"  budget {budget_mw:5.2f} mW -> {summary}   "
+                  f"[{winner} wins]")
+
+
+if __name__ == "__main__":
+    main()

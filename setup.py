@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can be
+installed in environments without the ``wheel`` package (legacy editable
+installs via ``pip install -e . --no-build-isolation`` or
+``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,96 @@
+"""repro: liquid cooling network design for 3D ICs.
+
+A full reproduction of Chen et al., "Minimizing Thermal Gradient and Pumping
+Power in 3D IC Liquid Cooling Network Design" (DAC 2017): thermal modeling of
+arbitrary-topology microchannel cooling networks (fast 2RM and reference 4RM
+simulators), the hierarchical tree-like network structure, and the staged
+simulated-annealing design flows for pumping-power minimization (Problem 1,
+the ICCAD 2015 Contest formulation) and thermal-gradient minimization
+(Problem 2).
+
+Quickstart::
+
+    from repro import iccad2015, RC2Simulator
+
+    case = iccad2015.load_case(1, scale=0.5)
+    stack = case.stack_with_network(case.baseline_network())
+    sim = RC2Simulator(stack, case.coolant, tile_size=4)
+    result = sim.solve(p_sys=20e3)
+    print(result.summary())
+"""
+
+from . import analysis, constants, cooling, iccad2015, materials, networks, optimize, verify
+from .errors import (
+    BenchmarkError,
+    DesignRuleError,
+    FlowError,
+    GeometryError,
+    InfeasibleError,
+    ReproError,
+    SearchError,
+    ThermalError,
+)
+from .flow import FlowField, FlowSolution, solve_flow
+from .geometry import (
+    ChannelGrid,
+    ChannelLayer,
+    Port,
+    PortKind,
+    Rect,
+    Side,
+    SolidLayer,
+    SourceLayer,
+    Stack,
+    build_contest_stack,
+    check_design_rules,
+)
+from .materials import WATER, Coolant, Solid
+from .thermal import (
+    RC2Simulator,
+    RC4Simulator,
+    ThermalResult,
+    TransientSimulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkError",
+    "ChannelGrid",
+    "ChannelLayer",
+    "Coolant",
+    "DesignRuleError",
+    "FlowError",
+    "FlowField",
+    "FlowSolution",
+    "GeometryError",
+    "InfeasibleError",
+    "Port",
+    "PortKind",
+    "RC2Simulator",
+    "RC4Simulator",
+    "Rect",
+    "ReproError",
+    "SearchError",
+    "Side",
+    "Solid",
+    "SolidLayer",
+    "SourceLayer",
+    "Stack",
+    "ThermalError",
+    "ThermalResult",
+    "TransientSimulator",
+    "WATER",
+    "analysis",
+    "build_contest_stack",
+    "check_design_rules",
+    "constants",
+    "cooling",
+    "iccad2015",
+    "materials",
+    "networks",
+    "optimize",
+    "solve_flow",
+    "verify",
+    "__version__",
+]

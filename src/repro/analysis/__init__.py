@@ -1,0 +1,49 @@
+"""Analysis and reporting utilities for the paper's figures and tables.
+
+* :mod:`~repro.analysis.curves` -- pressure sweeps of ``T``, ``DeltaT`` and
+  ``T_max`` (Figs. 5 and 6): turning points and curve-shape classification.
+* :mod:`~repro.analysis.maps` -- temperature-map extraction and statistics
+  (Fig. 10).
+* :mod:`~repro.analysis.render` -- ASCII rendering of networks and fields
+  (Figs. 2 and 7).
+* :mod:`~repro.analysis.model_compare` -- the 2RM vs 4RM accuracy/runtime
+  sweep (Fig. 9).
+* :mod:`~repro.analysis.tables` -- text formatting of Tables 2-4 rows.
+"""
+
+from .curves import (
+    PressureSweep,
+    classify_gradient_curve,
+    pressure_sweep,
+    turning_point,
+)
+from .maps import gradient_decomposition, map_statistics, source_layer_map
+from .model_compare import ModelComparison, compare_models
+from .render import render_field, render_network, sparkline
+from .sensitivity import SensitivityRecord, elasticities, sensitivity_sweep
+from .tables import format_table, result_row
+from .tradeoff import TradeoffPoint, front_dominates, pareto_front, tradeoff_curve
+
+__all__ = [
+    "ModelComparison",
+    "PressureSweep",
+    "classify_gradient_curve",
+    "compare_models",
+    "format_table",
+    "gradient_decomposition",
+    "map_statistics",
+    "pressure_sweep",
+    "SensitivityRecord",
+    "elasticities",
+    "render_field",
+    "render_network",
+    "sensitivity_sweep",
+    "sparkline",
+    "result_row",
+    "source_layer_map",
+    "TradeoffPoint",
+    "front_dominates",
+    "pareto_front",
+    "tradeoff_curve",
+    "turning_point",
+]

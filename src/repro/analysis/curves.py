@@ -1,0 +1,132 @@
+"""Pressure-response curves (Section 4.1, Figs. 5 and 6).
+
+As the system pressure drop grows, every node temperature decreases
+monotonically toward an asymptote; the knee of that curve is the node's
+*turning point*, reached earlier in upstream regions.  The derived curves are
+``h(P_sys) = T_max`` (monotone decreasing) and ``f(P_sys) = DeltaT`` (either
+uni-modal or monotone decreasing) -- the structure Algorithms 2/3 exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cooling.system import CoolingSystem
+from ..errors import SearchError
+
+#: Curve shape labels.
+SHAPE_UNIMODAL = "unimodal"
+SHAPE_DECREASING = "decreasing"
+
+
+@dataclass
+class PressureSweep:
+    """Metrics sampled over a pressure sweep.
+
+    Attributes:
+        pressures: Sampled ``P_sys`` values, Pa (ascending).
+        t_max: Peak temperature per sample, K.
+        delta_t: Thermal gradient per sample, K.
+        w_pump: Pumping power per sample, W.
+        node_curves: Optional per-probe temperature traces, keyed by label.
+    """
+
+    pressures: np.ndarray
+    t_max: np.ndarray
+    delta_t: np.ndarray
+    w_pump: np.ndarray
+    node_curves: dict
+
+    def gradient_shape(self, rtol: float = 1e-3) -> str:
+        """Classify ``f`` as uni-modal or monotone decreasing."""
+        return classify_gradient_curve(self.pressures, self.delta_t, rtol)
+
+    def peak_is_monotone(self, rtol: float = 1e-6) -> bool:
+        """Whether ``h`` decreases monotonically over the sweep."""
+        h = self.t_max
+        return bool(np.all(np.diff(h) <= rtol * np.abs(h[:-1])))
+
+
+def pressure_sweep(
+    system: CoolingSystem,
+    pressures: Sequence[float],
+    probe_cells: Optional[Sequence[Tuple[str, int, int, int]]] = None,
+) -> PressureSweep:
+    """Sweep one cooling system across pressures.
+
+    Args:
+        system: The cooling system to probe.
+        pressures: Pressure drops to sample, Pa; sorted ascending internally.
+        probe_cells: Optional ``(label, layer_index, row, col)`` probes whose
+            temperature traces are recorded (the Fig. 5 per-cell curves).
+
+    Returns:
+        A :class:`PressureSweep`.
+    """
+    ps = np.sort(np.asarray(list(pressures), dtype=float))
+    if ps.size < 2:
+        raise SearchError("a sweep needs at least two pressures")
+    if (ps <= 0).any():
+        raise SearchError("sweep pressures must be positive")
+    t_max = np.empty(ps.size)
+    delta_t = np.empty(ps.size)
+    w_pump = np.empty(ps.size)
+    node_curves: dict = {
+        label: np.empty(ps.size) for label, _, _, _ in (probe_cells or [])
+    }
+    for i, p in enumerate(ps):
+        result = system.evaluate(p)
+        t_max[i] = result.t_max
+        delta_t[i] = result.delta_t
+        w_pump[i] = system.w_pump(p)
+        for label, layer, row, col in probe_cells or []:
+            node_curves[label][i] = result.layer_fields[layer][row, col]
+    return PressureSweep(
+        pressures=ps,
+        t_max=t_max,
+        delta_t=delta_t,
+        w_pump=w_pump,
+        node_curves=node_curves,
+    )
+
+
+def classify_gradient_curve(
+    pressures: np.ndarray, delta_t: np.ndarray, rtol: float = 1e-3
+) -> str:
+    """Label a sampled ``f(P_sys)`` curve (Fig. 6's two possible shapes)."""
+    dt = np.asarray(delta_t, dtype=float)
+    if dt.size < 2:
+        raise SearchError("need at least two samples to classify a curve")
+    diffs = np.diff(dt)
+    scale = max(float(np.max(dt) - np.min(dt)), 1e-12)
+    rising = diffs > rtol * scale
+    if not rising.any():
+        return SHAPE_DECREASING
+    return SHAPE_UNIMODAL
+
+
+def turning_point(
+    pressures: np.ndarray, temperatures: np.ndarray, knee_fraction: float = 0.95
+) -> float:
+    """The pressure where a node's cooling is ``knee_fraction`` complete.
+
+    Temperatures decrease from ``T(p_min)`` toward an asymptote approximated
+    by ``T(p_max)``; the turning point is the smallest sampled pressure whose
+    temperature has covered ``knee_fraction`` of that total drop.  Upstream
+    cells turn earlier than downstream cells (Fig. 5).
+    """
+    ps = np.asarray(pressures, dtype=float)
+    ts = np.asarray(temperatures, dtype=float)
+    if ps.size != ts.size or ps.size < 3:
+        raise SearchError("need matching arrays of at least three samples")
+    if not 0.0 < knee_fraction < 1.0:
+        raise SearchError(f"knee fraction must be in (0, 1), got {knee_fraction}")
+    drop_total = ts[0] - ts[-1]
+    if drop_total <= 0:
+        return float(ps[0])
+    target = ts[0] - knee_fraction * drop_total
+    below = np.nonzero(ts <= target)[0]
+    return float(ps[below[0]]) if below.size else float(ps[-1])

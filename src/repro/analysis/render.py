@@ -1,0 +1,128 @@
+"""ASCII rendering of networks and temperature fields.
+
+Terminal-friendly stand-ins for the paper's figures: Fig. 2/7-style network
+plots (channels, TSVs, ports) and Fig. 10-style shaded temperature maps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..geometry.grid import ChannelGrid, PortKind, Side
+from .maps import downsample
+
+#: Shades from cold to hot for field rendering.
+_SHADES = " .:-=+*#%@"
+
+
+def render_network(grid: ChannelGrid, max_width: int = 120) -> str:
+    """Character-art view of a cooling network.
+
+    ``=`` liquid, ``.`` solid, ``o`` TSV; ``>``/``<``/``v``/``^`` mark inlet
+    surfaces and ``I``/``O`` prefix rows/columns... ports are drawn in a
+    one-cell margin around the pattern: ``>`` inlet flow entering, ``x``
+    outlet flow leaving.
+    """
+    if grid.ncols + 2 > max_width:
+        raise GeometryError(
+            f"grid with {grid.ncols} columns does not fit in {max_width} chars; "
+            "downsample or raise max_width"
+        )
+    inlet_cells = set()
+    outlet_cells = set()
+    for port in grid.ports:
+        target = inlet_cells if port.kind is PortKind.INLET else outlet_cells
+        target.add((port.side, port.index))
+
+    def margin_char(side: Side, index: int) -> str:
+        if (side, index) in inlet_cells:
+            return ">"
+        if (side, index) in outlet_cells:
+            return "x"
+        return " "
+
+    lines = []
+    top = " " + "".join(
+        margin_char(Side.NORTH, c) for c in range(grid.ncols)
+    )
+    lines.append(top)
+    for r in range(grid.nrows):
+        row_chars = [margin_char(Side.WEST, r)]
+        for c in range(grid.ncols):
+            if grid.liquid[r, c]:
+                row_chars.append("=")
+            elif grid.tsv_mask[r, c]:
+                row_chars.append("o")
+            else:
+                row_chars.append(".")
+        row_chars.append(margin_char(Side.EAST, r))
+        lines.append("".join(row_chars))
+    bottom = " " + "".join(
+        margin_char(Side.SOUTH, c) for c in range(grid.ncols)
+    )
+    lines.append(bottom)
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line text sparkline of a numeric series (SA convergence traces).
+
+    Infinite entries render as ``!`` (infeasible region); the series is
+    resampled to at most ``width`` characters.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if len(series) > width:
+        step = len(series) / width
+        series = [series[int(i * step)] for i in range(width)]
+    finite = [v for v in series if np.isfinite(v)]
+    if not finite:
+        return "!" * len(series)
+    lo, hi = min(finite), max(finite)
+    span = max(hi - lo, 1e-12)
+    ramp = "▁▂▃▄▅▆▇█"
+    chars = []
+    for v in series:
+        if not np.isfinite(v):
+            chars.append("!")
+            continue
+        level = int((v - lo) / span * (len(ramp) - 1))
+        chars.append(ramp[min(max(level, 0), len(ramp) - 1)])
+    return "".join(chars)
+
+
+def render_field(
+    field: np.ndarray,
+    max_width: int = 80,
+    t_min: Optional[float] = None,
+    t_max: Optional[float] = None,
+) -> str:
+    """Shaded character map of a temperature field.
+
+    Cold cells render light, hot cells dense; NaN renders as space.  The
+    field is block-averaged down to at most ``max_width`` columns.
+    """
+    arr = np.asarray(field, dtype=float)
+    factor = max(1, int(np.ceil(arr.shape[1] / max_width)))
+    if factor > 1:
+        arr = downsample(arr, factor)
+    lo = float(np.nanmin(arr)) if t_min is None else t_min
+    hi = float(np.nanmax(arr)) if t_max is None else t_max
+    span = max(hi - lo, 1e-12)
+    lines = []
+    for row in arr:
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append(" ")
+                continue
+            level = int((value - lo) / span * (len(_SHADES) - 1))
+            level = min(max(level, 0), len(_SHADES) - 1)
+            chars.append(_SHADES[level])
+        lines.append("".join(chars))
+    legend = f"[{lo:.2f} K {_SHADES[0]!r} .. {_SHADES[-1]!r} {hi:.2f} K]"
+    return "\n".join(lines + [legend])

@@ -1,0 +1,193 @@
+"""Parameter sensitivity analysis of a cooling system.
+
+Quantifies how the paper's headline metrics respond to the physical knobs a
+designer controls (channel height, coolant, Nusselt correlation, inlet
+temperature, edge conductance): one-at-a-time sweeps around a baseline
+operating point, reported as elasticities (percent change of metric per
+percent change of parameter) so different knobs are comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..constants import EDGE_CONDUCTANCE_FACTOR, INLET_TEMPERATURE, NUSSELT_NUMBER
+from ..errors import ThermalError
+from ..geometry.grid import ChannelGrid
+from ..geometry.stack import Stack
+from ..materials import Coolant
+from ..thermal.rc2 import RC2Simulator
+
+#: Knobs supported by :func:`sensitivity_sweep`.
+PARAMETERS = (
+    "channel_height",
+    "nusselt",
+    "edge_factor",
+    "viscosity",
+    "coolant_heat_capacity",
+)
+
+
+@dataclass
+class SensitivityRecord:
+    """Metric response to one parameter perturbation.
+
+    Attributes:
+        parameter: Which knob was moved.
+        scale: Multiplier applied to the baseline value.
+        t_max / delta_t / w_pump / q_sys: Metrics at the perturbed point.
+    """
+
+    parameter: str
+    scale: float
+    t_max: float
+    delta_t: float
+    w_pump: float
+    q_sys: float
+
+
+def sensitivity_sweep(
+    base_stack: Stack,
+    network: ChannelGrid,
+    coolant: Coolant,
+    p_sys: float,
+    parameters: Sequence[str] = PARAMETERS,
+    scales: Sequence[float] = (0.8, 1.0, 1.25),
+    tile_size: int = 4,
+    inlet_temperature: float = INLET_TEMPERATURE,
+) -> List[SensitivityRecord]:
+    """One-at-a-time sweep of physical parameters at a fixed pressure.
+
+    Args:
+        base_stack: Stack whose channel layers will carry ``network``.
+        network: The cooling network to install.
+        coolant: Baseline working fluid.
+        p_sys: Operating pressure drop, Pa.
+        parameters: Subset of :data:`PARAMETERS` to sweep.
+        scales: Multipliers applied to each parameter (1.0 = baseline).
+        tile_size: 2RM thermal-cell size used for the sweep.
+
+    Returns:
+        One record per (parameter, scale) pair, baseline included per
+        parameter (scale 1.0).
+    """
+    unknown = set(parameters) - set(PARAMETERS)
+    if unknown:
+        raise ThermalError(
+            f"unknown sensitivity parameters {sorted(unknown)}; "
+            f"supported: {PARAMETERS}"
+        )
+    records: List[SensitivityRecord] = []
+    for parameter in parameters:
+        for scale in scales:
+            simulator = _build(
+                base_stack,
+                network,
+                coolant,
+                parameter,
+                scale,
+                tile_size,
+                inlet_temperature,
+            )
+            result = simulator.solve(p_sys)
+            records.append(
+                SensitivityRecord(
+                    parameter=parameter,
+                    scale=float(scale),
+                    t_max=result.t_max,
+                    delta_t=result.delta_t,
+                    w_pump=result.w_pump,
+                    q_sys=result.q_sys,
+                )
+            )
+    return records
+
+
+def elasticities(
+    records: Sequence[SensitivityRecord],
+    metric: str = "t_max",
+    reference_temperature: float = INLET_TEMPERATURE,
+) -> Dict[str, float]:
+    """Percent metric change per percent parameter change, per parameter.
+
+    Temperature metrics are measured as rises above the reference (an
+    elasticity on absolute kelvin would be meaninglessly small).  Computed
+    as the slope of a log-log least-squares fit over the sweep points.
+    """
+    by_parameter: Dict[str, List[SensitivityRecord]] = {}
+    for record in records:
+        by_parameter.setdefault(record.parameter, []).append(record)
+    out: Dict[str, float] = {}
+    for parameter, group in by_parameter.items():
+        xs, ys = [], []
+        for record in sorted(group, key=lambda r: r.scale):
+            value = getattr(record, metric)
+            if metric in ("t_max",):
+                value = value - reference_temperature
+            elif metric == "delta_t":
+                pass  # already a difference
+            if value <= 0 or record.scale <= 0:
+                continue
+            xs.append(np.log(record.scale))
+            ys.append(np.log(value))
+        if len(xs) >= 2:
+            slope = float(np.polyfit(xs, ys, 1)[0])
+            out[parameter] = slope
+    return out
+
+
+def _build(
+    base_stack: Stack,
+    network: ChannelGrid,
+    coolant: Coolant,
+    parameter: str,
+    scale: float,
+    tile_size: int,
+    inlet_temperature: float,
+) -> RC2Simulator:
+    nusselt = NUSSELT_NUMBER
+    edge_factor = EDGE_CONDUCTANCE_FACTOR
+    stack = base_stack
+    fluid = coolant
+    if parameter == "channel_height":
+        layers = list(base_stack.layers)
+        new_layers = []
+        for layer in layers:
+            if hasattr(layer, "channel_height"):
+                new_layers.append(
+                    type(layer)(
+                        layer.name,
+                        layer.grid,
+                        layer.channel_height * scale,
+                        layer.wall_material,
+                    )
+                )
+            else:
+                new_layers.append(layer)
+        stack = Stack(
+            new_layers, base_stack.nrows, base_stack.ncols, base_stack.cell_width
+        )
+    elif parameter == "nusselt":
+        nusselt = NUSSELT_NUMBER * scale
+    elif parameter == "edge_factor":
+        edge_factor = EDGE_CONDUCTANCE_FACTOR * scale
+    elif parameter == "viscosity":
+        fluid = replace(coolant, dynamic_viscosity=coolant.dynamic_viscosity * scale)
+    elif parameter == "coolant_heat_capacity":
+        fluid = replace(
+            coolant,
+            volumetric_heat_capacity=coolant.volumetric_heat_capacity * scale,
+        )
+    n_channels = len(stack.channel_layer_indices())
+    stack = stack.with_channel_grids([network.copy() for _ in range(n_channels)])
+    return RC2Simulator(
+        stack,
+        fluid,
+        tile_size=tile_size,
+        edge_factor=edge_factor,
+        nusselt=nusselt,
+        inlet_temperature=inlet_temperature,
+    )

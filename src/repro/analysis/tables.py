@@ -1,0 +1,70 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The benches print Tables 2-4 in the paper's row layout (``P_sys`` in kPa,
+``T_max`` and ``DeltaT`` in K, ``W_pump`` in mW) so paper-vs-measured
+comparisons read side by side.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..cooling.evaluation import EvaluationResult
+
+
+def result_row(evaluation: Optional[EvaluationResult]) -> dict:
+    """One Table 3/4 row from an evaluation (``None``/infeasible -> N/A)."""
+    if evaluation is None or not evaluation.feasible:
+        return {
+            "P_sys (kPa)": "N/A",
+            "T_max (K)": "N/A",
+            "DeltaT (K)": "N/A",
+            "W_pump (mW)": "N/A",
+        }
+    return {
+        "P_sys (kPa)": f"{evaluation.p_sys / 1e3:.2f}",
+        "T_max (K)": f"{evaluation.t_max:.1f}",
+        "DeltaT (K)": f"{evaluation.delta_t:.2f}",
+        "W_pump (mW)": f"{evaluation.w_pump * 1e3:.3f}",
+    }
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def improvement_percent(baseline: float, ours: float) -> float:
+    """Relative improvement of ``ours`` over ``baseline`` in percent."""
+    if not (math.isfinite(baseline) and math.isfinite(ours)) or baseline == 0:
+        return float("nan")
+    return 100.0 * (baseline - ours) / baseline
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "N/A"
+        if math.isinf(value):
+            return "inf"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,92 @@
+"""Pumping-power vs thermal-gradient trade-off curves.
+
+The paper closes on a choice: "the problem formulation can be chosen
+according to preference between W_pump and DeltaT" (Fig. 10).  For one
+network, sweeping the pressure traces that trade-off directly; comparing
+fronts of different networks shows *dominance* -- a network whose front lies
+below another's is better at every operating preference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..cooling.system import CoolingSystem
+from ..errors import SearchError
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One operating point on a network's trade-off curve."""
+
+    p_sys: float
+    w_pump: float
+    delta_t: float
+    t_max: float
+
+    def dominates(self, other: "TradeoffPoint", tol: float = 0.0) -> bool:
+        """Weakly better on both objectives, strictly better on one."""
+        better_w = self.w_pump <= other.w_pump + tol
+        better_dt = self.delta_t <= other.delta_t + tol
+        strictly = (
+            self.w_pump < other.w_pump - tol
+            or self.delta_t < other.delta_t - tol
+        )
+        return better_w and better_dt and strictly
+
+
+def tradeoff_curve(
+    system: CoolingSystem,
+    pressures: Sequence[float],
+    t_max_star: float = float("inf"),
+) -> List[TradeoffPoint]:
+    """Sample a network's (W_pump, DeltaT) trade-off over a pressure sweep.
+
+    Operating points violating ``t_max_star`` are dropped (they are not
+    admissible choices).
+    """
+    if len(pressures) < 2:
+        raise SearchError("a trade-off curve needs at least two pressures")
+    points = []
+    for p in sorted(float(p) for p in pressures):
+        if p <= 0:
+            raise SearchError(f"pressures must be positive, got {p}")
+        result = system.evaluate(p)
+        if result.t_max > t_max_star:
+            continue
+        points.append(
+            TradeoffPoint(
+                p_sys=p,
+                w_pump=system.w_pump(p),
+                delta_t=result.delta_t,
+                t_max=result.t_max,
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[TradeoffPoint]) -> List[TradeoffPoint]:
+    """The non-dominated subset, sorted by increasing pumping power."""
+    front = []
+    for candidate in points:
+        if not any(
+            other.dominates(candidate) for other in points if other != candidate
+        ):
+            front.append(candidate)
+    front.sort(key=lambda pt: pt.w_pump)
+    return front
+
+
+def front_dominates(
+    front_a: Sequence[TradeoffPoint],
+    front_b: Sequence[TradeoffPoint],
+    tol: float = 1e-12,
+) -> bool:
+    """Whether every point of ``front_b`` is dominated by some point of
+    ``front_a`` (network A is at least as good at every preference)."""
+    if not front_a or not front_b:
+        raise SearchError("fronts must be non-empty")
+    return all(
+        any(a.dominates(b, tol) for a in front_a) for b in front_b
+    )

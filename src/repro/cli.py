@@ -1,0 +1,234 @@
+"""Command-line interface for the liquid-cooling design flows.
+
+Subcommands mirror the library's main entry points::
+
+    repro simulate  --case 1 --grid 51 --network tree --pressure 15e3
+    repro optimize  --case 1 --problem 1 --quick --out design.txt
+    repro evaluate  --case 1 --network-file design.txt --problem 1
+    repro compare   --case 1 --grid 41 --tiles 2 4 8
+    repro render    --network-file design.txt
+
+(also available as ``python -m repro ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    compare_models,
+    format_table,
+    render_field,
+    render_network,
+    source_layer_map,
+)
+from .analysis.model_compare import aggregate_by
+from .cooling import CoolingSystem, evaluate_problem1, evaluate_problem2
+from .errors import ReproError
+from .iccad2015 import load_case, read_network, write_network
+from .networks import serpentine_network
+from .optimize import optimize_problem1, optimize_problem2
+from .thermal import RC2Simulator, RC4Simulator
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    try:
+        args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Liquid cooling network design for 3D ICs (DAC 2017 "
+        "reproduction)",
+    )
+    parser.set_defaults(command=None)
+    sub = parser.add_subparsers(dest="command")
+
+    def add_case_args(p):
+        p.add_argument("--case", type=int, default=1, help="benchmark case 1-5")
+        p.add_argument(
+            "--grid", type=int, default=51, help="grid size in basic cells"
+        )
+
+    p = sub.add_parser("simulate", help="steady thermal simulation")
+    add_case_args(p)
+    p.add_argument(
+        "--network",
+        choices=("straight", "tree", "serpentine"),
+        default="straight",
+    )
+    p.add_argument("--network-file", help="load the network from a file instead")
+    p.add_argument("--pressure", type=float, default=15e3, help="P_sys in Pa")
+    p.add_argument("--model", choices=("2rm", "4rm"), default="2rm")
+    p.add_argument("--tile-size", type=int, default=4)
+    p.add_argument("--map", action="store_true", help="print the source map")
+    p.set_defaults(handler=_cmd_simulate)
+
+    p = sub.add_parser("optimize", help="run a design flow (Problem 1 or 2)")
+    add_case_args(p)
+    p.add_argument("--problem", type=int, choices=(1, 2), default=1)
+    p.add_argument("--quick", action="store_true", help="reduced SA schedule")
+    p.add_argument(
+        "--directions", type=int, nargs="+", default=[0, 1],
+        help="global flow directions to try (0-7)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--init",
+        choices=("uniform", "power_aware"),
+        default="uniform",
+        help="tree-parameter initialization",
+    )
+    p.add_argument("--out", help="write the winning network to this file")
+    p.set_defaults(handler=_cmd_optimize)
+
+    p = sub.add_parser("evaluate", help="evaluate a network file")
+    add_case_args(p)
+    p.add_argument("--network-file", required=True)
+    p.add_argument("--problem", type=int, choices=(1, 2), default=1)
+    p.add_argument("--model", choices=("2rm", "4rm"), default="4rm")
+    p.set_defaults(handler=_cmd_evaluate)
+
+    p = sub.add_parser("compare", help="2RM vs 4RM accuracy/speed sweep")
+    add_case_args(p)
+    p.add_argument("--tiles", type=int, nargs="+", default=[2, 4, 8])
+    p.add_argument(
+        "--pressures", type=float, nargs="+", default=[5e3, 2e4]
+    )
+    p.set_defaults(handler=_cmd_compare)
+
+    p = sub.add_parser("render", help="ASCII-render a network file")
+    p.add_argument("--network-file", required=True)
+    p.add_argument("--max-width", type=int, default=150)
+    p.set_defaults(handler=_cmd_render)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+
+def _load_network(args, case):
+    if getattr(args, "network_file", None):
+        return read_network(args.network_file)
+    kind = getattr(args, "network", "straight")
+    if kind == "straight":
+        return case.baseline_network()
+    if kind == "tree":
+        return case.tree_plan().build()
+    return serpentine_network(case.nrows, case.ncols, 0, 4, case.cell_width)
+
+
+def _cmd_simulate(args) -> None:
+    case = load_case(args.case, grid_size=args.grid)
+    stack = case.stack_with_network(_load_network(args, case))
+    if args.model == "2rm":
+        simulator = RC2Simulator(stack, case.coolant, tile_size=args.tile_size)
+    else:
+        simulator = RC4Simulator(stack, case.coolant)
+    result = simulator.solve(args.pressure)
+    print(f"{case}")
+    print(f"{simulator.model_name} ({simulator.n_nodes} nodes): "
+          f"{result.summary()}")
+    print(f"energy balance error: {result.energy_balance_error():.2e}")
+    if args.map:
+        print(render_field(source_layer_map(result), max_width=80))
+
+
+def _cmd_optimize(args) -> None:
+    case = load_case(args.case, grid_size=args.grid)
+    optimizer = optimize_problem1 if args.problem == 1 else optimize_problem2
+    result = optimizer(
+        case,
+        quick=args.quick,
+        directions=tuple(args.directions),
+        seed=args.seed,
+        n_workers=args.workers,
+        initialization=args.init,
+    )
+    ev = result.evaluation
+    status = "feasible" if ev.feasible else "INFEASIBLE"
+    print(f"{case}  problem {args.problem}  [{status}]")
+    print(
+        f"P_sys={ev.p_sys / 1e3:.2f} kPa  W_pump={ev.w_pump * 1e3:.3f} mW  "
+        f"T_max={ev.t_max:.2f} K  DeltaT={ev.delta_t:.2f} K  "
+        f"({result.total_simulations} simulations, direction "
+        f"{result.direction})"
+    )
+    if args.out:
+        write_network(result.network, args.out)
+        print(f"network written to {args.out}")
+
+
+def _cmd_evaluate(args) -> None:
+    case = load_case(args.case, grid_size=args.grid)
+    network = read_network(args.network_file)
+    system = CoolingSystem.for_network(
+        case.base_stack(), network, case.coolant, model=args.model
+    )
+    if args.problem == 1:
+        ev = evaluate_problem1(system, case.delta_t_star, case.t_max_star)
+    else:
+        ev = evaluate_problem2(system, case.t_max_star, case.w_pump_star())
+    status = "feasible" if ev.feasible else "INFEASIBLE"
+    print(
+        f"[{status}] P_sys={ev.p_sys / 1e3:.2f} kPa  "
+        f"W_pump={ev.w_pump * 1e3:.3f} mW  T_max={ev.t_max:.2f} K  "
+        f"DeltaT={ev.delta_t:.2f} K  ({ev.simulations} simulations)"
+    )
+
+
+def _cmd_compare(args) -> None:
+    case = load_case(args.case, grid_size=args.grid)
+    stack = case.base_stack()
+    records = compare_models(
+        stack, case.coolant, args.tiles, args.pressures, style="straight"
+    )
+    by_tile = aggregate_by(records, "tile_size")
+    cell_um = case.cell_width * 1e6
+    rows = [
+        [
+            f"{tile * cell_um:.0f} um",
+            f"{stats['error_abs']:.3%}",
+            f"{stats['error_rise']:.2%}",
+            f"{stats['speedup']:.1f}x",
+        ]
+        for tile, stats in by_tile.items()
+    ]
+    print(
+        format_table(
+            ["thermal cell", "error (vs T)", "error (vs rise)", "speed-up"],
+            rows,
+            title=f"2RM vs 4RM on case {case.number} ({case.nrows}x"
+            f"{case.ncols})",
+        )
+    )
+
+
+def _cmd_render(args) -> None:
+    network = read_network(args.network_file)
+    print(render_network(network, max_width=args.max_width))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

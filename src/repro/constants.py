@@ -1,0 +1,82 @@
+"""Physical constants and default model parameters.
+
+All quantities are in SI units (m, kg, s, K, W, Pa) unless the name says
+otherwise.  The values mirror the ICCAD 2015 contest / 3D-ICE conventions the
+paper builds on: water coolant injected at 300 K into 100 um wide channels.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Geometry defaults (ICCAD 2015 contest benchmarks, Section 6 of the paper)
+# ---------------------------------------------------------------------------
+
+#: Width of a basic cell / microchannel, in meters (100 um).
+CELL_WIDTH = 100e-6
+
+#: Die edge length of the contest benchmarks, in meters (10.1 mm).
+CONTEST_DIE_SIZE = 10.1e-3
+
+#: Number of basic cells per side in the contest benchmarks (101 x 101).
+CONTEST_GRID_SIZE = 101
+
+#: Default channel heights used by the contest cases, in meters.
+CHANNEL_HEIGHT_200UM = 200e-6
+CHANNEL_HEIGHT_400UM = 400e-6
+
+#: Default silicon bulk thickness per die, in meters.
+DIE_BULK_THICKNESS = 50e-6
+
+#: Default active (source) layer thickness, in meters.
+SOURCE_LAYER_THICKNESS = 2e-6
+
+# ---------------------------------------------------------------------------
+# Coolant operating point
+# ---------------------------------------------------------------------------
+
+#: Coolant temperature at every inlet, in kelvin (Section 6: 300 K).
+INLET_TEMPERATURE = 300.0
+
+#: Ambient temperature used by convective top boundaries, in kelvin.
+AMBIENT_TEMPERATURE = 300.0
+
+# ---------------------------------------------------------------------------
+# Laminar forced convection
+# ---------------------------------------------------------------------------
+
+#: Nusselt number for fully developed laminar flow in a rectangular duct with
+#: four heated walls (Shah & London, 1978).  The exact value depends on the
+#: aspect ratio; 4.86 corresponds to the aspect ratios of the contest channels
+#: and is the constant 3D-ICE adopts.
+NUSSELT_NUMBER = 4.86
+
+#: Poiseuille shape constant in ``g = D_h^2 A_c / (C l mu)`` (Eq. 1).
+POISEUILLE_CONSTANT = 32.0
+
+#: Default scaling applied to the inlet/outlet edge conductance relative to a
+#: full cell-to-cell conductance.  The paper only states the edge conductance
+#: is "smaller"; 0.5 models the half-length path with an entrance-loss
+#: penalty and is ablated in ``benchmarks/bench_ablation_edge_factor.py``.
+EDGE_CONDUCTANCE_FACTOR = 0.5
+
+# ---------------------------------------------------------------------------
+# Numerical tolerances
+# ---------------------------------------------------------------------------
+
+#: Relative tolerance for volume / energy conservation checks.
+CONSERVATION_RTOL = 1e-8
+
+#: Default convergence tolerance of the pressure searches (Algorithm 3).
+PRESSURE_SEARCH_RTOL = 1e-3
+
+#: Initial pressure probed by Algorithm 3, in pascal.
+PRESSURE_INIT = 10e3
+
+#: Initial step ratio of Algorithm 3 (``r_init``).
+PRESSURE_INIT_STEP_RATIO = 0.25
+
+#: Hard bounds on the system pressure drop considered physical, in pascal.
+#: Integrated micropumps deliver on the order of tens of kPa (the paper's
+#: operating points are 5-46 kPa); 200 kPa is a generous packaging limit.
+PRESSURE_MIN = 1.0
+PRESSURE_MAX = 2e5

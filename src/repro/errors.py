@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid stack or grid geometry (bad dimensions, overlapping layers...)."""
+
+
+class DesignRuleError(ReproError):
+    """A cooling network violates one of the design rules of Section 3."""
+
+    def __init__(self, message: str, violations: list | None = None):
+        super().__init__(message)
+        #: Individual violation descriptions, one string each.
+        self.violations: list = list(violations) if violations else []
+
+
+class FlowError(ReproError):
+    """The flow network is ill-posed (no inlet, no outlet, disconnected...)."""
+
+
+class ThermalError(ReproError):
+    """The thermal system cannot be assembled or solved."""
+
+
+class SearchError(ReproError):
+    """A pressure search or optimization loop failed to make progress."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible operating point exists for the given constraints."""
+
+    def __init__(self, message: str, best_value: float | None = None):
+        super().__init__(message)
+        #: Best (infeasible) value encountered, useful for diagnostics.
+        self.best_value = best_value
+
+
+class BenchmarkError(ReproError):
+    """A benchmark case definition or file is invalid."""

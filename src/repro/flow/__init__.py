@@ -1,0 +1,32 @@
+"""Laminar flow network solver for microchannel cooling networks.
+
+Implements Section 2.1 of the paper: fully developed laminar flow between
+neighboring liquid cells obeys ``Q_ij = g_fluid (P_i - P_j)`` (Eq. 1) with the
+Hagen-Poiseuille conductance, volume conservation holds at every liquid cell
+(Eq. 2), and the resulting linear system ``G P = Q_in`` (Eq. 3) is solved for
+all cell pressures.  Local flow rates, the system flow rate ``Q_sys``, the
+system fluid resistance ``R_sys`` and the pumping power
+``W_pump = P_sys^2 / R_sys`` follow.
+"""
+
+from .conductance import (
+    cell_conductance,
+    channel_cross_section,
+    edge_conductance,
+    hydraulic_diameter,
+)
+from .network import FlowField, FlowSolution, solve_flow
+from .metrics import pumping_power, system_flow_rate, system_resistance
+
+__all__ = [
+    "FlowField",
+    "FlowSolution",
+    "cell_conductance",
+    "channel_cross_section",
+    "edge_conductance",
+    "hydraulic_diameter",
+    "pumping_power",
+    "solve_flow",
+    "system_flow_rate",
+    "system_resistance",
+]

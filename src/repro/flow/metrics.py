@@ -1,0 +1,35 @@
+"""System-level hydraulic metrics (Section 3 / Eq. 10 of the paper)."""
+
+from __future__ import annotations
+
+from ..errors import FlowError
+
+
+def system_flow_rate(p_sys: float, r_sys: float) -> float:
+    """``Q_sys = P_sys / R_sys`` in m^3/s."""
+    if r_sys <= 0:
+        raise FlowError(f"system resistance must be positive, got {r_sys}")
+    return p_sys / r_sys
+
+
+def system_resistance(p_sys: float, q_sys: float) -> float:
+    """``R_sys = P_sys / Q_sys`` in Pa s / m^3."""
+    if q_sys <= 0:
+        raise FlowError(f"system flow rate must be positive, got {q_sys}")
+    return p_sys / q_sys
+
+
+def pumping_power(p_sys: float, r_sys: float) -> float:
+    """``W_pump = P_sys^2 / R_sys`` in watts (Eq. 10, efficiency dropped)."""
+    if r_sys <= 0:
+        raise FlowError(f"system resistance must be positive, got {r_sys}")
+    return p_sys * p_sys / r_sys
+
+
+def pressure_for_power(w_pump: float, r_sys: float) -> float:
+    """Invert Eq. 10: the ``P_sys`` that spends exactly ``w_pump``."""
+    if r_sys <= 0:
+        raise FlowError(f"system resistance must be positive, got {r_sys}")
+    if w_pump < 0:
+        raise FlowError(f"pumping power must be non-negative, got {w_pump}")
+    return (w_pump * r_sys) ** 0.5

@@ -1,0 +1,32 @@
+"""Geometry substrate: basic-cell grids, layer stacks, design rules.
+
+The channel layer of a liquid-cooled 3D IC is discretized into *basic cells*
+(Section 2.1 of the paper).  :class:`~repro.geometry.grid.ChannelGrid` holds
+the solid/liquid assignment, the TSV reservation mask and the inlet/outlet
+ports of one channel layer.  :class:`~repro.geometry.stack.Stack` composes
+channel layers with solid layers (bulk silicon, active source layers) into the
+full 3D stack the thermal models simulate.
+"""
+
+from .grid import CellKind, ChannelGrid, Port, PortKind, Side
+from .layers import ChannelLayer, Layer, SolidLayer, SourceLayer
+from .region import Rect
+from .stack import Stack, build_contest_stack
+from .design_rules import DesignRules, check_design_rules
+
+__all__ = [
+    "CellKind",
+    "ChannelGrid",
+    "ChannelLayer",
+    "DesignRules",
+    "Layer",
+    "Port",
+    "PortKind",
+    "Rect",
+    "Side",
+    "SolidLayer",
+    "SourceLayer",
+    "Stack",
+    "build_contest_stack",
+    "check_design_rules",
+]

@@ -1,0 +1,225 @@
+"""Design rule checking for cooling networks (Section 3 of the paper).
+
+The paper constrains legal cooling networks with three rules, plus benchmark-
+specific extras:
+
+1. TSV positions are reserved (alternating basic cells in both dimensions)
+   and can never be liquid.
+2. Inlets and outlets occur only at the edges of the channel layer.
+3. To keep packaging simple, each side carries at most one *continuous*
+   inlet and at most one continuous outlet (no interleaving of inlet and
+   outlet surfaces along a side).
+4. (case 3) Restricted areas must stay solid.
+5. (case 4) All channel layers share identical inlet/outlet positions.
+
+This module also checks well-posedness of the flow problem: every liquid cell
+must be reachable from an inlet and must reach an outlet, otherwise the
+coolant in it is stagnant and the network is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import ndimage
+
+from ..errors import DesignRuleError
+from .grid import ChannelGrid, PortKind, Side
+from .stack import Stack
+
+
+@dataclass
+class DesignRules:
+    """Configuration of which rules to enforce.
+
+    Attributes:
+        require_ports: Reject networks without at least one inlet and outlet.
+        forbid_stagnant_liquid: Reject liquid cells unreachable from ports.
+        single_span_per_side: Enforce rule 3 (one continuous inlet and one
+            continuous outlet per side, non-interleaved).
+        matched_ports_across_layers: Enforce the case-4 rule when checking a
+            stack.
+    """
+
+    require_ports: bool = True
+    forbid_stagnant_liquid: bool = True
+    single_span_per_side: bool = True
+    matched_ports_across_layers: bool = False
+
+
+@dataclass
+class RuleCheckResult:
+    """Outcome of a design-rule check."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no rule was violated."""
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.DesignRuleError` on violations."""
+        if self.violations:
+            raise DesignRuleError(
+                f"{len(self.violations)} design rule violation(s): "
+                + "; ".join(self.violations),
+                violations=self.violations,
+            )
+
+
+def check_design_rules(
+    target: "ChannelGrid | Stack",
+    rules: Optional[DesignRules] = None,
+) -> RuleCheckResult:
+    """Check a channel grid, or every channel layer of a stack.
+
+    Returns a :class:`RuleCheckResult`; call ``raise_if_failed()`` to turn
+    violations into a :class:`~repro.errors.DesignRuleError`.
+    """
+    rules = rules or DesignRules()
+    result = RuleCheckResult()
+    if isinstance(target, Stack):
+        channel_layers = target.channel_layers()
+        for layer in channel_layers:
+            _check_grid(layer.grid, rules, result, prefix=f"{layer.name}: ")
+        if rules.matched_ports_across_layers and len(channel_layers) > 1:
+            _check_matched_ports(channel_layers, result)
+    else:
+        _check_grid(target, rules, result, prefix="")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_grid(
+    grid: ChannelGrid, rules: DesignRules, result: RuleCheckResult, prefix: str
+) -> None:
+    _check_tsv(grid, result, prefix)
+    _check_restricted(grid, result, prefix)
+    _check_ports_on_liquid(grid, result, prefix)
+    if rules.require_ports:
+        _check_has_ports(grid, result, prefix)
+    if rules.single_span_per_side:
+        _check_spans(grid, result, prefix)
+    if rules.forbid_stagnant_liquid and grid.liquid_count:
+        _check_connectivity(grid, result, prefix)
+
+
+def _check_tsv(grid: ChannelGrid, result: RuleCheckResult, prefix: str) -> None:
+    bad = grid.liquid & grid.tsv_mask
+    if bad.any():
+        rows, cols = np.nonzero(bad)
+        result.violations.append(
+            f"{prefix}{len(rows)} liquid cell(s) on TSV positions, "
+            f"first at ({rows[0]}, {cols[0]})"
+        )
+
+
+def _check_restricted(grid: ChannelGrid, result: RuleCheckResult, prefix: str) -> None:
+    bad = grid.liquid & grid.restricted_mask
+    if bad.any():
+        rows, cols = np.nonzero(bad)
+        result.violations.append(
+            f"{prefix}{len(rows)} liquid cell(s) inside restricted areas, "
+            f"first at ({rows[0]}, {cols[0]})"
+        )
+
+
+def _check_ports_on_liquid(
+    grid: ChannelGrid, result: RuleCheckResult, prefix: str
+) -> None:
+    for port in grid.ports:
+        row, col = port.cell(grid.nrows, grid.ncols)
+        if not grid.liquid[row, col]:
+            result.violations.append(
+                f"{prefix}{port.kind.value} at {port.side.value}[{port.index}] "
+                f"attached to solid cell ({row}, {col})"
+            )
+
+
+def _check_has_ports(grid: ChannelGrid, result: RuleCheckResult, prefix: str) -> None:
+    if not grid.inlets():
+        result.violations.append(f"{prefix}network has no inlet")
+    if not grid.outlets():
+        result.violations.append(f"{prefix}network has no outlet")
+
+
+def _check_spans(grid: ChannelGrid, result: RuleCheckResult, prefix: str) -> None:
+    for side in Side:
+        spans = {}
+        for kind in PortKind:
+            indices = sorted(
+                p.index for p in grid.ports if p.side is side and p.kind is kind
+            )
+            if not indices:
+                continue
+            lo, hi = indices[0], indices[-1]
+            spans[kind] = (lo, hi)
+            # Inside the span every liquid boundary cell must carry a port of
+            # this kind -- a gap would mean the "continuous" opening is
+            # interrupted or interleaved with the other kind.
+            expected = []
+            for index in range(lo, hi + 1):
+                row, col = grid.boundary_cell(side, index)
+                if grid.liquid[row, col]:
+                    expected.append(index)
+            missing = sorted(set(expected) - set(indices))
+            if missing:
+                result.violations.append(
+                    f"{prefix}{kind.value} span on side {side.value} "
+                    f"[{lo}, {hi}] skips liquid boundary cells {missing[:5]}"
+                    f"{'...' if len(missing) > 5 else ''}"
+                )
+        if len(spans) == 2:
+            (ilo, ihi) = spans[PortKind.INLET]
+            (olo, ohi) = spans[PortKind.OUTLET]
+            if ilo <= ohi and olo <= ihi:
+                result.violations.append(
+                    f"{prefix}inlet span [{ilo}, {ihi}] and outlet span "
+                    f"[{olo}, {ohi}] overlap on side {side.value}"
+                )
+
+
+def _check_connectivity(grid: ChannelGrid, result: RuleCheckResult, prefix: str) -> None:
+    labels, n_components = ndimage.label(grid.liquid)
+    inlet_components = {
+        labels[r, c] for r, c in grid.port_cells(PortKind.INLET)
+    }
+    outlet_components = {
+        labels[r, c] for r, c in grid.port_cells(PortKind.OUTLET)
+    }
+    for component in range(1, n_components + 1):
+        has_in = component in inlet_components
+        has_out = component in outlet_components
+        if has_in and has_out:
+            continue
+        size = int((labels == component).sum())
+        rows, cols = np.nonzero(labels == component)
+        what = (
+            "no inlet or outlet"
+            if not (has_in or has_out)
+            else ("no outlet" if has_in else "no inlet")
+        )
+        result.violations.append(
+            f"{prefix}stagnant liquid region of {size} cell(s) at "
+            f"({rows[0]}, {cols[0]}): {what}"
+        )
+
+
+def _check_matched_ports(channel_layers: Sequence, result: RuleCheckResult) -> None:
+    reference = {(p.kind, p.side, p.index) for p in channel_layers[0].grid.ports}
+    for layer in channel_layers[1:]:
+        ports = {(p.kind, p.side, p.index) for p in layer.grid.ports}
+        if ports != reference:
+            extra = len(ports - reference)
+            missing = len(reference - ports)
+            result.violations.append(
+                f"{layer.name}: ports do not match {channel_layers[0].name} "
+                f"({extra} extra, {missing} missing)"
+            )

@@ -1,0 +1,128 @@
+"""Layer types composing a 3D IC stack.
+
+A stack is an ordered sequence (bottom to top) of layers sharing one basic-
+cell grid footprint:
+
+* :class:`SolidLayer` -- a homogeneous slab (bulk silicon, TIM, ...).
+* :class:`SourceLayer` -- a solid layer that dissipates power according to a
+  per-cell power map (the active device layer of a die).
+* :class:`ChannelLayer` -- a microchannel layer whose solid/liquid pattern is
+  a :class:`~repro.geometry.grid.ChannelGrid`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import GeometryError
+from ..materials import Solid
+from .grid import ChannelGrid
+
+
+class Layer:
+    """Base class for all stack layers.
+
+    Args:
+        name: Unique identifier inside the stack.
+        thickness: Layer thickness in meters.
+    """
+
+    def __init__(self, name: str, thickness: float):
+        if thickness <= 0:
+            raise GeometryError(
+                f"layer {name!r}: thickness must be positive, got {thickness}"
+            )
+        self.name = name
+        self.thickness = float(thickness)
+
+    @property
+    def is_channel(self) -> bool:
+        """Whether this layer is a microchannel layer."""
+        return isinstance(self, ChannelLayer)
+
+    @property
+    def is_source(self) -> bool:
+        """Whether this layer dissipates power."""
+        return isinstance(self, SourceLayer)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, t={self.thickness:g} m)"
+
+
+class SolidLayer(Layer):
+    """A homogeneous solid slab."""
+
+    def __init__(self, name: str, material: Solid, thickness: float):
+        super().__init__(name, thickness)
+        self.material = material
+
+
+class SourceLayer(SolidLayer):
+    """A solid layer with heat dissipation.
+
+    Args:
+        power_map: Array of shape (nrows, ncols) with the power dissipated in
+            each basic-cell column of this layer, in watts.  Must be
+            non-negative.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        material: Solid,
+        thickness: float,
+        power_map: np.ndarray,
+    ):
+        super().__init__(name, material, thickness)
+        power = np.asarray(power_map, dtype=float)
+        if power.ndim != 2:
+            raise GeometryError(
+                f"source layer {name!r}: power map must be 2D, got "
+                f"{power.ndim}D"
+            )
+        if (power < 0).any():
+            raise GeometryError(
+                f"source layer {name!r}: power map has negative entries"
+            )
+        self.power_map = power
+
+    @property
+    def total_power(self) -> float:
+        """Total dissipated power, in watts."""
+        return float(self.power_map.sum())
+
+
+class ChannelLayer(Layer):
+    """A microchannel layer.
+
+    The channel walls are made of ``wall_material`` (typically silicon); the
+    liquid pattern, TSV reservations and ports live in ``grid``.  The layer
+    thickness equals the channel height ``h_c``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        grid: ChannelGrid,
+        channel_height: float,
+        wall_material: Solid,
+    ):
+        super().__init__(name, channel_height)
+        self.grid = grid
+        self.wall_material = wall_material
+
+    @property
+    def channel_height(self) -> float:
+        """``h_c``: the channel layer thickness, in meters."""
+        return self.thickness
+
+    def with_grid(self, grid: ChannelGrid, name: Optional[str] = None) -> "ChannelLayer":
+        """A copy of this layer with a different channel pattern."""
+        return ChannelLayer(
+            name if name is not None else self.name,
+            grid,
+            self.channel_height,
+            self.wall_material,
+        )

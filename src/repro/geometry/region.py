@@ -1,0 +1,76 @@
+"""Axis-aligned rectangular regions on the basic-cell grid.
+
+Used for restricted areas (benchmark case 3 forbids microchannels inside a
+region) and for defining hotspots in synthesized power maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A half-open rectangle ``[row0, row1) x [col0, col1)`` of basic cells."""
+
+    row0: int
+    col0: int
+    row1: int
+    col1: int
+
+    def __post_init__(self) -> None:
+        if self.row1 <= self.row0 or self.col1 <= self.col0:
+            raise GeometryError(
+                f"empty rectangle: rows [{self.row0}, {self.row1}), "
+                f"cols [{self.col0}, {self.col1})"
+            )
+        if min(self.row0, self.col0) < 0:
+            raise GeometryError("rectangle extends to negative indices")
+
+    @property
+    def nrows(self) -> int:
+        """Height in basic cells."""
+        return self.row1 - self.row0
+
+    @property
+    def ncols(self) -> int:
+        """Width in basic cells."""
+        return self.col1 - self.col0
+
+    @property
+    def area_cells(self) -> int:
+        """Number of basic cells covered."""
+        return self.nrows * self.ncols
+
+    def contains(self, row: int, col: int) -> bool:
+        """Whether the basic cell ``(row, col)`` lies inside the rectangle."""
+        return self.row0 <= row < self.row1 and self.col0 <= col < self.col1
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether two rectangles share at least one basic cell."""
+        return (
+            self.row0 < other.row1
+            and other.row0 < self.row1
+            and self.col0 < other.col1
+            and other.col0 < self.col1
+        )
+
+    def clipped(self, nrows: int, ncols: int) -> "Rect":
+        """Return this rectangle clipped to an ``nrows x ncols`` grid."""
+        return Rect(
+            max(self.row0, 0),
+            max(self.col0, 0),
+            min(self.row1, nrows),
+            min(self.col1, ncols),
+        )
+
+    def mask(self, nrows: int, ncols: int) -> np.ndarray:
+        """Boolean mask of shape ``(nrows, ncols)``, True inside the rect."""
+        out = np.zeros((nrows, ncols), dtype=bool)
+        clip = self.clipped(nrows, ncols)
+        out[clip.row0 : clip.row1, clip.col0 : clip.col1] = True
+        return out

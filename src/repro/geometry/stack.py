@@ -1,0 +1,190 @@
+"""The 3D IC stack: an ordered pile of layers over one cell grid.
+
+:class:`Stack` validates that all layers share one footprint and provides the
+queries the flow and thermal solvers need (channel layers, source layers,
+total power).  :func:`build_contest_stack` assembles the ICCAD-2015-style
+stacks the paper's benchmarks use: per die, a source layer, bulk silicon, and
+a microchannel layer above it (interlayer cooling with a cooling layer on
+every tier).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..constants import (
+    DIE_BULK_THICKNESS,
+    SOURCE_LAYER_THICKNESS,
+)
+from ..errors import GeometryError
+from ..materials import BEOL, SILICON, Solid
+from .grid import ChannelGrid
+from .layers import ChannelLayer, Layer, SolidLayer, SourceLayer
+
+
+class Stack:
+    """An ordered (bottom to top) sequence of layers.
+
+    Args:
+        layers: Layers from bottom to top.
+        nrows: Footprint rows (basic cells).
+        ncols: Footprint columns (basic cells).
+        cell_width: Basic-cell edge length in meters.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        nrows: int,
+        ncols: int,
+        cell_width: float,
+    ):
+        if not layers:
+            raise GeometryError("a stack needs at least one layer")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise GeometryError(f"duplicate layer names in stack: {names}")
+        for layer in layers:
+            if isinstance(layer, ChannelLayer):
+                if layer.grid.shape != (nrows, ncols):
+                    raise GeometryError(
+                        f"channel layer {layer.name!r} grid {layer.grid.shape} "
+                        f"does not match stack footprint ({nrows}, {ncols})"
+                    )
+                if layer.grid.cell_width != cell_width:
+                    raise GeometryError(
+                        f"channel layer {layer.name!r} cell width "
+                        f"{layer.grid.cell_width} != stack cell width {cell_width}"
+                    )
+            if isinstance(layer, SourceLayer):
+                if layer.power_map.shape != (nrows, ncols):
+                    raise GeometryError(
+                        f"source layer {layer.name!r} power map "
+                        f"{layer.power_map.shape} does not match footprint "
+                        f"({nrows}, {ncols})"
+                    )
+        self.layers: List[Layer] = list(layers)
+        self.nrows = int(nrows)
+        self.ncols = int(ncols)
+        self.cell_width = float(cell_width)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_layers(self) -> int:
+        """Number of stack layers."""
+        return len(self.layers)
+
+    @property
+    def total_thickness(self) -> float:
+        """Stack thickness in meters."""
+        return sum(layer.thickness for layer in self.layers)
+
+    @property
+    def total_power(self) -> float:
+        """Total heat dissipated by all source layers, in watts."""
+        return sum(layer.total_power for layer in self.source_layers())
+
+    def layer_index(self, name: str) -> int:
+        """Index of the layer named ``name`` (bottom = 0)."""
+        for i, layer in enumerate(self.layers):
+            if layer.name == name:
+                return i
+        raise GeometryError(f"no layer named {name!r} in stack")
+
+    def channel_layers(self) -> List[ChannelLayer]:
+        """All channel layers, bottom to top."""
+        return [l for l in self.layers if isinstance(l, ChannelLayer)]
+
+    def source_layers(self) -> List[SourceLayer]:
+        """All source layers, bottom to top."""
+        return [l for l in self.layers if isinstance(l, SourceLayer)]
+
+    def channel_layer_indices(self) -> List[int]:
+        """Stack indices of the channel layers."""
+        return [i for i, l in enumerate(self.layers) if isinstance(l, ChannelLayer)]
+
+    def source_layer_indices(self) -> List[int]:
+        """Stack indices of the source layers."""
+        return [i for i, l in enumerate(self.layers) if isinstance(l, SourceLayer)]
+
+    def with_channel_grids(self, grids: Sequence[ChannelGrid]) -> "Stack":
+        """A copy of this stack with the channel patterns replaced.
+
+        ``grids`` must supply one grid per channel layer, bottom to top.  This
+        is the hook the topology optimizer uses: the stack geometry stays
+        fixed while candidate cooling networks are swapped in.
+        """
+        channel_indices = self.channel_layer_indices()
+        if len(grids) != len(channel_indices):
+            raise GeometryError(
+                f"stack has {len(channel_indices)} channel layers but "
+                f"{len(grids)} grids were supplied"
+            )
+        new_layers = list(self.layers)
+        for idx, grid in zip(channel_indices, grids):
+            old = new_layers[idx]
+            assert isinstance(old, ChannelLayer)
+            new_layers[idx] = old.with_grid(grid)
+        return Stack(new_layers, self.nrows, self.ncols, self.cell_width)
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(
+            f"{layer.name}({type(layer).__name__})" for layer in self.layers
+        )
+        return f"Stack({self.nrows}x{self.ncols}; bottom->top: {kinds})"
+
+
+def build_contest_stack(
+    n_dies: int,
+    channel_height: float,
+    power_maps: Sequence[np.ndarray],
+    grid_factory: Callable[[int], ChannelGrid],
+    nrows: int,
+    ncols: int,
+    cell_width: float,
+    bulk_thickness: float = DIE_BULK_THICKNESS,
+    source_thickness: float = SOURCE_LAYER_THICKNESS,
+    die_material: Solid = SILICON,
+    source_material: Solid = BEOL,
+) -> Stack:
+    """Build an interlayer-cooled stack in the ICCAD 2015 contest style.
+
+    Per die ``d`` (bottom to top) the stack gains three layers::
+
+        source_d   (active layer, dissipates power_maps[d])
+        bulk_d     (bulk silicon)
+        channel_d  (microchannel layer, pattern from grid_factory(d))
+
+    so every die has a cooling layer directly above it.
+
+    Args:
+        n_dies: Number of dies (2 or 3 in the paper's benchmarks).
+        channel_height: ``h_c`` in meters, shared by all channel layers.
+        power_maps: One (nrows, ncols) power map per die, bottom to top.
+        grid_factory: Called with the die index, must return that die's
+            channel grid.  Use ``lambda d: grid.copy()`` to replicate one
+            pattern across layers (the case-4 matched-port rule).
+        nrows / ncols / cell_width: Footprint description.
+    """
+    if n_dies < 1:
+        raise GeometryError(f"need at least one die, got {n_dies}")
+    if len(power_maps) != n_dies:
+        raise GeometryError(
+            f"{n_dies} dies need {n_dies} power maps, got {len(power_maps)}"
+        )
+    layers: List[Layer] = []
+    for die in range(n_dies):
+        layers.append(
+            SourceLayer(
+                f"source_{die}", source_material, source_thickness, power_maps[die]
+            )
+        )
+        layers.append(SolidLayer(f"bulk_{die}", die_material, bulk_thickness))
+        grid = grid_factory(die)
+        layers.append(
+            ChannelLayer(f"channel_{die}", grid, channel_height, die_material)
+        )
+    return Stack(layers, nrows, ncols, cell_width)

@@ -1,0 +1,40 @@
+"""ICCAD 2015 contest benchmark suite (Table 2 of the paper).
+
+The original contest files are no longer distributed, so the five cases are
+rebuilt from everything Table 2 publishes -- die count, channel height, total
+die power, the ``DeltaT*`` / ``T_max*`` constraints, case 3's restricted area
+and case 4's matched-port rule -- plus deterministic synthetic hotspot power
+maps scaled to the published totals (see DESIGN.md, "Substitutions").
+
+``load_case(n)`` returns a fully populated :class:`~repro.iccad2015.cases.Case`;
+``scale`` shrinks the 101 x 101 footprint for laptop-friendly sweeps.
+"""
+
+from .cases import CASE_NUMBERS, Case, load_case
+from .powermaps import Hotspot, hotspot_power_map
+from .io import (
+    load_case_bundle,
+    read_floorplan,
+    read_network,
+    read_stack_description,
+    save_case_bundle,
+    write_floorplan,
+    write_network,
+    write_stack_description,
+)
+
+__all__ = [
+    "CASE_NUMBERS",
+    "Case",
+    "Hotspot",
+    "hotspot_power_map",
+    "load_case",
+    "load_case_bundle",
+    "save_case_bundle",
+    "read_floorplan",
+    "read_network",
+    "read_stack_description",
+    "write_floorplan",
+    "write_network",
+    "write_stack_description",
+]

@@ -1,0 +1,228 @@
+"""The five benchmark cases of Table 2.
+
+| # | dies | h_c (um) | power (W) | DeltaT* (K) | T_max* (K) | extra rule        |
+|---|------|----------|-----------|-------------|------------|-------------------|
+| 1 | 2    | 200      | 42.038    | 15          | 358.15     | --                |
+| 2 | 2    | 400      | 37.038    | 10          | 358.15     | --                |
+| 3 | 2    | 400      | 43.038    | 15          | 358.15     | restricted area   |
+| 4 | 3    | 200      | 43.438    | 10          | 358.15     | matched ports     |
+| 5 | 2    | 400      | 148.174   | 10          | 338.15     | --                |
+
+The contest die is 10.1 mm x 10.1 mm on a 101 x 101 basic-cell grid with
+100 um channels and 300 K inlets.  ``load_case(n, scale=...)`` shrinks the
+cell grid (keeping the cell width) for faster experiments; power totals and
+constraints are preserved, so who-wins comparisons keep their shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import (
+    CELL_WIDTH,
+    CHANNEL_HEIGHT_200UM,
+    CHANNEL_HEIGHT_400UM,
+    CONTEST_GRID_SIZE,
+    INLET_TEMPERATURE,
+)
+from ..errors import BenchmarkError
+from ..geometry.grid import ChannelGrid
+from ..geometry.region import Rect
+from ..geometry.stack import Stack, build_contest_stack
+from ..materials import WATER, Coolant
+from ..networks.straight import straight_network
+from ..networks.tree import TreePlan, plan_tree_bands
+from .powermaps import case_power_maps
+
+#: Valid benchmark case numbers.
+CASE_NUMBERS = (1, 2, 3, 4, 5)
+
+#: Raw Table 2 rows: (dies, channel height, die power, DeltaT*, T_max*).
+_TABLE2 = {
+    1: (2, CHANNEL_HEIGHT_200UM, 42.038, 15.0, 358.15),
+    2: (2, CHANNEL_HEIGHT_400UM, 37.038, 10.0, 358.15),
+    3: (2, CHANNEL_HEIGHT_400UM, 43.038, 15.0, 358.15),
+    4: (3, CHANNEL_HEIGHT_200UM, 43.438, 10.0, 358.15),
+    5: (2, CHANNEL_HEIGHT_400UM, 148.174, 10.0, 338.15),
+}
+
+#: Case 3's forbidden region in fractional die coordinates
+#: (row0, col0, row1, col1).
+_RESTRICTED_FRAC = (0.30, 0.45, 0.50, 0.70)
+
+
+@dataclass
+class Case:
+    """One fully instantiated benchmark case.
+
+    Attributes:
+        number: Case id (1-5).
+        n_dies: Stack die count.
+        channel_height: ``h_c`` in meters.
+        die_power: Total dissipation across all dies, W.
+        delta_t_star: Gradient constraint ``DeltaT*``, K.
+        t_max_star: Peak constraint ``T_max*``, K.
+        nrows / ncols / cell_width: Footprint.
+        restricted: Forbidden rectangles (case 3).
+        matched_ports: Whether all channel layers must share port positions
+            (case 4); this implementation replicates one network across all
+            layers for every case, which satisfies the rule by construction.
+        power_maps: Per-die power maps, bottom to top.
+        coolant: Working fluid (water at 300 K inlets).
+    """
+
+    number: int
+    n_dies: int
+    channel_height: float
+    die_power: float
+    delta_t_star: float
+    t_max_star: float
+    nrows: int
+    ncols: int
+    cell_width: float
+    restricted: Tuple[Rect, ...]
+    matched_ports: bool
+    power_maps: List[np.ndarray]
+    #: Unscaled contest die power (W); equals ``die_power`` at scale 1.
+    full_die_power: float = 0.0
+    coolant: Coolant = WATER
+    inlet_temperature: float = INLET_TEMPERATURE
+
+    # ------------------------------------------------------------------
+
+    def w_pump_star(
+        self, fraction: float = 0.001, of_full_power: bool = True
+    ) -> float:
+        """Problem 2's pumping-power cap: 0.1% of die power by default.
+
+        At reduced grid scales the cap is taken relative to the *full-size*
+        contest power by default: pumping power does not shrink with die
+        area the way heat does, so scaling the cap with the die would make
+        Problem 2 disproportionately tight on small grids.
+        """
+        base = self.full_die_power if of_full_power else self.die_power
+        return fraction * base
+
+    def base_stack(self) -> Stack:
+        """The stack with a default straight network installed."""
+        return self.stack_with_network(self.baseline_network())
+
+    def stack_with_network(
+        self, network: "ChannelGrid | Sequence[ChannelGrid]"
+    ) -> Stack:
+        """Build the case's stack with ``network`` in every channel layer."""
+        if isinstance(network, ChannelGrid):
+            grids = [network.copy() for _ in range(self.n_dies)]
+        else:
+            grids = list(network)
+            if len(grids) != self.n_dies:
+                raise BenchmarkError(
+                    f"case {self.number} has {self.n_dies} channel layers, "
+                    f"got {len(grids)} networks"
+                )
+        return build_contest_stack(
+            self.n_dies,
+            self.channel_height,
+            self.power_maps,
+            lambda die: grids[die],
+            self.nrows,
+            self.ncols,
+            self.cell_width,
+        )
+
+    def baseline_network(self, direction: int = 0, pitch: int = 2) -> ChannelGrid:
+        """A straight-channel network respecting the case's restrictions."""
+        return straight_network(
+            self.nrows,
+            self.ncols,
+            direction=direction,
+            pitch=pitch,
+            cell_width=self.cell_width,
+            restricted=self.restricted,
+        )
+
+    def tree_plan(
+        self, direction: int = 0, leaves_per_tree: int = 4
+    ) -> TreePlan:
+        """The parameterized tree-network family for this case."""
+        return plan_tree_bands(
+            self.nrows,
+            self.ncols,
+            leaves_per_tree=leaves_per_tree,
+            direction=direction,
+            cell_width=self.cell_width,
+            restricted=self.restricted,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Case({self.number}: {self.n_dies} dies, "
+            f"h_c={self.channel_height * 1e6:.0f} um, "
+            f"P={self.die_power:.3f} W, grid {self.nrows}x{self.ncols})"
+        )
+
+
+def load_case(
+    number: int,
+    scale: float = 1.0,
+    grid_size: Optional[int] = None,
+    scale_power: bool = True,
+) -> Case:
+    """Instantiate one benchmark case.
+
+    Args:
+        number: Case id, 1-5.
+        scale: Shrinks the contest's 101-cell grid; e.g. ``scale=0.5`` gives
+            a 51 x 51 footprint.
+        grid_size: Explicit odd grid size; overrides ``scale``.
+        scale_power: Scale the die power with the die area (default) so the
+            power *density* -- what sets temperatures -- matches the contest.
+            The temperature constraints then keep their meaning at any scale,
+            and optimization trade-offs keep the paper's shape at lower cost.
+
+    Returns:
+        A fully populated :class:`Case`.
+    """
+    if number not in _TABLE2:
+        raise BenchmarkError(f"unknown case {number}; known: {CASE_NUMBERS}")
+    if grid_size is None:
+        if scale <= 0:
+            raise BenchmarkError(f"scale must be positive, got {scale}")
+        grid_size = int(round(CONTEST_GRID_SIZE * scale))
+    if grid_size < 9:
+        raise BenchmarkError(f"grid size {grid_size} too small (need >= 9)")
+    if grid_size % 2 == 0:
+        grid_size += 1  # keep the contest's odd size (TSV pattern symmetry)
+
+    dies, h_c, power, dt_star, tmax_star = _TABLE2[number]
+    full_power = power
+    if scale_power:
+        power *= (grid_size / CONTEST_GRID_SIZE) ** 2
+    restricted: Tuple[Rect, ...] = ()
+    if number == 3:
+        r0, c0, r1, c1 = _RESTRICTED_FRAC
+        rect = Rect(
+            int(r0 * grid_size),
+            int(c0 * grid_size),
+            max(int(r1 * grid_size), int(r0 * grid_size) + 1),
+            max(int(c1 * grid_size), int(c0 * grid_size) + 1),
+        )
+        restricted = (rect,)
+    return Case(
+        number=number,
+        n_dies=dies,
+        channel_height=h_c,
+        die_power=power,
+        delta_t_star=dt_star,
+        t_max_star=tmax_star,
+        nrows=grid_size,
+        ncols=grid_size,
+        cell_width=CELL_WIDTH,
+        restricted=restricted,
+        matched_ports=(number == 4),
+        power_maps=case_power_maps(number, grid_size, grid_size, power),
+        full_die_power=full_power,
+    )

@@ -1,0 +1,189 @@
+"""Synthetic non-uniform power maps for the benchmark cases.
+
+The contest floorplans are not redistributable; these maps preserve what the
+optimization actually reacts to -- total power, hotspot placement and
+contrast.  Each map is a uniform background plus Gaussian hotspots, scaled
+exactly to the published per-die total.  Everything is deterministic: the
+same case always yields the same map at any grid scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import BenchmarkError
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One Gaussian hotspot in fractional die coordinates.
+
+    Attributes:
+        row_frac / col_frac: Center position as a fraction of the die edge,
+            in [0, 1].
+        sigma_frac: Gaussian sigma as a fraction of the die edge.
+        weight: Relative share of the non-background power.
+    """
+
+    row_frac: float
+    col_frac: float
+    sigma_frac: float
+    weight: float
+
+    def __post_init__(self) -> None:
+        for name in ("row_frac", "col_frac"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise BenchmarkError(f"{name} must be in [0, 1], got {value}")
+        if self.sigma_frac <= 0:
+            raise BenchmarkError(f"sigma_frac must be positive, got {self.sigma_frac}")
+        if self.weight <= 0:
+            raise BenchmarkError(f"weight must be positive, got {self.weight}")
+
+
+def hotspot_power_map(
+    nrows: int,
+    ncols: int,
+    total_power: float,
+    hotspots: Sequence[Hotspot],
+    background_fraction: float = 0.35,
+) -> np.ndarray:
+    """Build a per-cell power map summing exactly to ``total_power`` watts.
+
+    Args:
+        nrows / ncols: Grid size in basic cells.
+        total_power: Total dissipated power of the die, W.
+        hotspots: Gaussian hotspots; their weights are normalized.
+        background_fraction: Share of total power spread uniformly (models
+            the always-on background logic).
+    """
+    if total_power < 0:
+        raise BenchmarkError(f"total power must be >= 0, got {total_power}")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise BenchmarkError(
+            f"background fraction must be in [0, 1], got {background_fraction}"
+        )
+    if not hotspots and background_fraction < 1.0:
+        raise BenchmarkError("need at least one hotspot unless all background")
+    rows = (np.arange(nrows) + 0.5) / nrows
+    cols = (np.arange(ncols) + 0.5) / ncols
+    rr, cc = np.meshgrid(rows, cols, indexing="ij")
+    density = np.zeros((nrows, ncols))
+    total_weight = sum(h.weight for h in hotspots) or 1.0
+    for spot in hotspots:
+        blob = np.exp(
+            -(
+                (rr - spot.row_frac) ** 2 + (cc - spot.col_frac) ** 2
+            )
+            / (2.0 * spot.sigma_frac**2)
+        )
+        blob_sum = blob.sum()
+        if blob_sum > 0:
+            density += (spot.weight / total_weight) * blob / blob_sum
+    hotspot_power = total_power * (1.0 - background_fraction)
+    background_power = total_power * background_fraction
+    out = hotspot_power * density + background_power / (nrows * ncols)
+    # Exact renormalization guards against clipped hotspot tails.
+    current = out.sum()
+    if current > 0:
+        out *= total_power / current
+    return out
+
+
+#: Per-case hotspot layouts, keyed by case number; one list per die, bottom
+#: to top.  Layouts are invented but deterministic; their contrast levels
+#: follow the paper's hints (case 5 is "high and highly varied").
+CASE_HOTSPOTS = {
+    1: [
+        [
+            Hotspot(0.30, 0.65, 0.085, 2.0),
+            Hotspot(0.70, 0.30, 0.105, 1.0),
+        ],
+        [
+            Hotspot(0.50, 0.50, 0.115, 1.0),
+            Hotspot(0.20, 0.20, 0.085, 0.8),
+        ],
+    ],
+    2: [
+        [
+            Hotspot(0.25, 0.25, 0.09, 1.0),
+            Hotspot(0.75, 0.75, 0.09, 1.0),
+        ],
+        [
+            Hotspot(0.50, 0.70, 0.10, 1.2),
+        ],
+    ],
+    3: [
+        [
+            Hotspot(0.20, 0.75, 0.08, 1.5),
+            Hotspot(0.75, 0.20, 0.10, 1.0),
+        ],
+        [
+            Hotspot(0.80, 0.80, 0.09, 1.0),
+            Hotspot(0.15, 0.50, 0.08, 0.7),
+        ],
+    ],
+    4: [
+        [
+            Hotspot(0.40, 0.60, 0.09, 1.2),
+            Hotspot(0.70, 0.25, 0.08, 0.8),
+        ],
+        [
+            Hotspot(0.30, 0.30, 0.10, 1.0),
+        ],
+        [
+            Hotspot(0.60, 0.70, 0.10, 1.0),
+        ],
+    ],
+    5: [
+        [
+            Hotspot(0.30, 0.70, 0.16, 3.0),
+            Hotspot(0.65, 0.25, 0.15, 2.0),
+            Hotspot(0.80, 0.80, 0.17, 1.0),
+        ],
+        [
+            Hotspot(0.45, 0.45, 0.16, 3.0),
+            Hotspot(0.20, 0.20, 0.17, 1.5),
+        ],
+    ],
+}
+
+#: Power split across dies (bottom to top); bottom dies run hotter.
+CASE_DIE_SPLIT = {
+    1: (0.55, 0.45),
+    2: (0.55, 0.45),
+    3: (0.55, 0.45),
+    4: (0.40, 0.35, 0.25),
+    5: (0.60, 0.40),
+}
+
+#: Background (uniform) share of each case's power; case 5 concentrates
+#: nearly everything in hotspots.
+CASE_BACKGROUND = {1: 0.41, 2: 0.40, 3: 0.40, 4: 0.40, 5: 0.45}
+
+
+def case_power_maps(
+    case_number: int, nrows: int, ncols: int, total_power: float
+) -> list:
+    """The per-die power maps of one benchmark case at a given grid size."""
+    if case_number not in CASE_HOTSPOTS:
+        raise BenchmarkError(
+            f"unknown case {case_number}; known: {sorted(CASE_HOTSPOTS)}"
+        )
+    split = CASE_DIE_SPLIT[case_number]
+    background = CASE_BACKGROUND[case_number]
+    maps = []
+    for die_fraction, hotspots in zip(split, CASE_HOTSPOTS[case_number]):
+        maps.append(
+            hotspot_power_map(
+                nrows,
+                ncols,
+                total_power * die_fraction,
+                hotspots,
+                background_fraction=background,
+            )
+        )
+    return maps

@@ -1,0 +1,149 @@
+"""Material property library.
+
+Two small frozen dataclasses describe everything the thermal and flow models
+need: :class:`Solid` (thermal conductivity, volumetric heat capacity) and
+:class:`Coolant` (adds dynamic viscosity for the Hagen-Poiseuille flow model).
+
+The module ships the materials the paper's benchmarks use -- silicon dies,
+SiO2 / BEOL interconnect stacks, copper TSVs, and water coolant -- with
+property values matching 3D-ICE and standard heat-transfer references
+(Bergman et al., "Fundamentals of Heat and Mass Transfer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import GeometryError
+
+
+@dataclass(frozen=True)
+class Solid:
+    """A solid material in the thermal stack.
+
+    Attributes:
+        name: Human readable identifier.
+        thermal_conductivity: ``k`` in W/(m K).
+        volumetric_heat_capacity: ``rho * c_p`` in J/(m^3 K); used only by the
+            transient extension.
+    """
+
+    name: str
+    thermal_conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.thermal_conductivity <= 0:
+            raise GeometryError(
+                f"material {self.name!r}: thermal conductivity must be "
+                f"positive, got {self.thermal_conductivity}"
+            )
+        if self.volumetric_heat_capacity <= 0:
+            raise GeometryError(
+                f"material {self.name!r}: volumetric heat capacity must be "
+                f"positive, got {self.volumetric_heat_capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class Coolant:
+    """A single-phase liquid coolant.
+
+    Attributes:
+        name: Human readable identifier.
+        thermal_conductivity: ``k_liquid`` in W/(m K) (Eq. 5).
+        volumetric_heat_capacity: ``C_v = rho * c_p`` in J/(m^3 K) (Eq. 6).
+        dynamic_viscosity: ``mu`` in Pa s (Eq. 1).
+    """
+
+    name: str
+    thermal_conductivity: float
+    volumetric_heat_capacity: float
+    dynamic_viscosity: float
+
+    def __post_init__(self) -> None:
+        for field in (
+            "thermal_conductivity",
+            "volumetric_heat_capacity",
+            "dynamic_viscosity",
+        ):
+            value = getattr(self, field)
+            if value <= 0:
+                raise GeometryError(
+                    f"coolant {self.name!r}: {field} must be positive, "
+                    f"got {value}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Stock materials
+# ---------------------------------------------------------------------------
+
+#: Bulk silicon at ~330 K.
+SILICON = Solid(
+    name="silicon",
+    thermal_conductivity=130.0,
+    volumetric_heat_capacity=1.628e6,
+)
+
+#: Back-end-of-line stack (SiO2 dielectric dominated), used for source layers.
+BEOL = Solid(
+    name="beol",
+    thermal_conductivity=2.25,
+    volumetric_heat_capacity=2.175e6,
+)
+
+#: Copper, for TSV-aware variants.
+COPPER = Solid(
+    name="copper",
+    thermal_conductivity=400.0,
+    volumetric_heat_capacity=3.42e6,
+)
+
+#: Silicon dioxide (channel walls / passivation).
+SILICON_DIOXIDE = Solid(
+    name="sio2",
+    thermal_conductivity=1.4,
+    volumetric_heat_capacity=1.65e6,
+)
+
+#: Thermal interface material.
+TIM = Solid(
+    name="tim",
+    thermal_conductivity=4.0,
+    volumetric_heat_capacity=2.0e6,
+)
+
+#: Liquid water at ~310 K, the contest coolant.
+WATER = Coolant(
+    name="water",
+    thermal_conductivity=0.6,
+    volumetric_heat_capacity=4.172e6,
+    dynamic_viscosity=6.53e-4,
+)
+
+#: All stock solids by name, for file I/O round trips.
+SOLIDS = {m.name: m for m in (SILICON, BEOL, COPPER, SILICON_DIOXIDE, TIM)}
+
+#: All stock coolants by name.
+COOLANTS = {WATER.name: WATER}
+
+
+def solid_by_name(name: str) -> Solid:
+    """Look up a stock solid material, raising ``GeometryError`` if unknown."""
+    try:
+        return SOLIDS[name]
+    except KeyError:
+        raise GeometryError(
+            f"unknown solid material {name!r}; known: {sorted(SOLIDS)}"
+        ) from None
+
+
+def coolant_by_name(name: str) -> Coolant:
+    """Look up a stock coolant, raising ``GeometryError`` if unknown."""
+    try:
+        return COOLANTS[name]
+    except KeyError:
+        raise GeometryError(
+            f"unknown coolant {name!r}; known: {sorted(COOLANTS)}"
+        ) from None

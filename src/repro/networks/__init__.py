@@ -1,0 +1,57 @@
+"""Cooling network generators.
+
+* :mod:`~repro.networks.straight` -- regular straight microchannels, the
+  baseline nearly all prior work assumes (Fig. 1(b)).
+* :mod:`~repro.networks.serpentine` -- serpentine and manual exploration
+  styles, standing in for the hand-crafted designs of the paper's early
+  exploration and the ICCAD contest winner.
+* :mod:`~repro.networks.tree` -- the paper's hierarchical tree-like
+  structure (Fig. 7): coolant flows from tree roots to leaves, each tree
+  configured by the positions of its first and second branches.
+* :mod:`~repro.networks.library` -- a named sample set covering all styles,
+  used by the Fig. 9 accuracy/speed sweeps.
+"""
+
+from .base import (
+    GLOBAL_DIRECTIONS,
+    apply_direction,
+    carve_path,
+    carve_ring_around,
+    channel_tracks,
+    empty_grid,
+)
+from .straight import straight_network
+from .serpentine import (
+    coiled_network,
+    ladder_network,
+    serpentine_network,
+    variable_pitch_network,
+)
+from .tree import (
+    TreePlan,
+    TreeSpec,
+    plan_tree_bands,
+    power_aware_initialization,
+    tree_network,
+)
+from .library import sample_networks
+
+__all__ = [
+    "GLOBAL_DIRECTIONS",
+    "TreePlan",
+    "TreeSpec",
+    "apply_direction",
+    "carve_path",
+    "carve_ring_around",
+    "channel_tracks",
+    "coiled_network",
+    "empty_grid",
+    "ladder_network",
+    "plan_tree_bands",
+    "power_aware_initialization",
+    "sample_networks",
+    "serpentine_network",
+    "straight_network",
+    "tree_network",
+    "variable_pitch_network",
+]

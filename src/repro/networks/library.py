@@ -1,0 +1,95 @@
+"""A named sample set of cooling networks covering all styles.
+
+The Fig. 9 accuracy/speed sweep evaluates the 2RM model over "40 network
+samples covering straight-channel networks, the proposed tree-like networks,
+and many styles of manual designs".  :func:`sample_networks` reproduces that
+mix deterministically for any grid size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..constants import CELL_WIDTH
+from ..geometry.grid import ChannelGrid
+from .serpentine import (
+    coiled_network,
+    ladder_network,
+    serpentine_network,
+    variable_pitch_network,
+)
+from .straight import straight_network
+from .tree import plan_tree_bands
+
+#: Style labels used to group Fig. 9(a) error curves.
+STYLE_STRAIGHT = "straight"
+STYLE_TREE = "tree"
+STYLE_MANUAL = "manual"
+
+
+def sample_networks(
+    nrows: int,
+    ncols: int,
+    cell_width: float = CELL_WIDTH,
+    n_tree_variants: int = 8,
+    seed: int = 2015,
+) -> List[Tuple[str, str, ChannelGrid]]:
+    """Build the deterministic sample set for model-comparison sweeps.
+
+    Returns:
+        A list of ``(name, style, grid)`` tuples: straight channels in
+        several directions and pitches, tree-like networks with varied branch
+        parameters, and manual designs (serpentines, ladders, coils,
+        variable pitch).
+    """
+    rng = np.random.default_rng(seed)
+    samples: List[Tuple[str, str, ChannelGrid]] = []
+
+    for direction in range(4):
+        samples.append(
+            (
+                f"straight_d{direction}",
+                STYLE_STRAIGHT,
+                straight_network(nrows, ncols, direction, cell_width=cell_width),
+            )
+        )
+    for pitch in (4, 6):
+        samples.append(
+            (
+                f"straight_p{pitch}",
+                STYLE_STRAIGHT,
+                straight_network(nrows, ncols, 0, pitch=pitch, cell_width=cell_width),
+            )
+        )
+
+    base_plan = plan_tree_bands(nrows, ncols, cell_width=cell_width)
+    last_even = (ncols - 1) - (ncols - 1) % 2
+    for variant in range(n_tree_variants):
+        params = base_plan.params().astype(float)
+        jitter = rng.integers(-ncols // 4, ncols // 4 + 1, size=params.shape)
+        params = base_plan.clamp_params(params + 2 * (jitter // 2))
+        direction = int(rng.integers(0, 4))
+        plan = base_plan.with_params(params).with_direction(direction)
+        samples.append((f"tree_v{variant}", STYLE_TREE, plan.build()))
+
+    manual_builders = [
+        ("serpentine_p2", lambda: serpentine_network(nrows, ncols, 0, 2, cell_width)),
+        ("serpentine_p4", lambda: serpentine_network(nrows, ncols, 0, 4, cell_width)),
+        ("serpentine_d1", lambda: serpentine_network(nrows, ncols, 1, 4, cell_width)),
+        ("ladder_p2", lambda: ladder_network(nrows, ncols, 0, 2, cell_width)),
+        ("ladder_p4", lambda: ladder_network(nrows, ncols, 0, 4, cell_width)),
+        ("coiled_p4", lambda: coiled_network(nrows, ncols, 0, 4, cell_width)),
+        (
+            "varpitch_half",
+            lambda: variable_pitch_network(nrows, ncols, 0, 0.5, cell_width),
+        ),
+        (
+            "varpitch_third",
+            lambda: variable_pitch_network(nrows, ncols, 0, 0.34, cell_width),
+        ),
+    ]
+    for name, builder in manual_builders:
+        samples.append((name, STYLE_MANUAL, builder()))
+    return samples

@@ -1,0 +1,175 @@
+"""Serpentine, ladder and variable-pitch manual design styles.
+
+These stand in for the "many styles of manual designs generated during our
+early exploration" the paper uses in the Fig. 9 sweep and for the
+contest-winner comparison row of Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..constants import CELL_WIDTH
+from ..errors import GeometryError
+from ..geometry.grid import ChannelGrid, PortKind, Side
+from ..geometry.region import Rect
+from .base import (
+    apply_direction,
+    carve_ring_around,
+    channel_tracks,
+    empty_grid,
+    row_is_clear,
+)
+
+
+def serpentine_network(
+    nrows: int,
+    ncols: int,
+    direction: int = 0,
+    pitch: int = 2,
+    cell_width: float = CELL_WIDTH,
+) -> ChannelGrid:
+    """One long channel snaking over the chip.
+
+    The channel enters on the west side of the first track, runs east, drops
+    to the next track through a vertical connector at the east edge, runs
+    back west, and so on.  It exits at whichever side the final track ends
+    on.  Serpentines maximize channel length (large fluid resistance) and are
+    a classic manual style.
+    """
+    if pitch < 2 or pitch % 2 != 0:
+        raise GeometryError(f"pitch must be even and >= 2, got {pitch}")
+    grid = empty_grid(nrows, ncols, cell_width)
+    rows = channel_tracks(nrows)[:: pitch // 2]
+    east_col = _even_boundary_col(ncols, Side.EAST)
+    west_col = 0
+    for i, row in enumerate(rows):
+        grid.carve_horizontal(row, 0, ncols - 1)
+        if i + 1 < len(rows):
+            connector = east_col if i % 2 == 0 else west_col
+            grid.carve_vertical(connector, row, rows[i + 1])
+    grid.add_port(PortKind.INLET, Side.WEST, rows[0])
+    exit_side = Side.EAST if (len(rows) - 1) % 2 == 0 else Side.WEST
+    grid.add_port(PortKind.OUTLET, exit_side, rows[-1])
+    return apply_direction(grid, direction)
+
+
+def ladder_network(
+    nrows: int,
+    ncols: int,
+    direction: int = 0,
+    pitch: int = 2,
+    cell_width: float = CELL_WIDTH,
+) -> ChannelGrid:
+    """Straight channels plus full-height distribution manifolds.
+
+    Vertical manifolds near the west and east edges tie all channels
+    together, evening out per-channel flow when channel patterns vary.
+    """
+    if pitch < 2 or pitch % 2 != 0:
+        raise GeometryError(f"pitch must be even and >= 2, got {pitch}")
+    grid = empty_grid(nrows, ncols, cell_width)
+    rows = channel_tracks(nrows)[:: pitch // 2]
+    for row in rows:
+        grid.carve_horizontal(row, 0, ncols - 1)
+    grid.carve_vertical(0, rows[0], rows[-1])
+    grid.carve_vertical(_even_boundary_col(ncols, Side.EAST), rows[0], rows[-1])
+    grid.add_port_span(PortKind.INLET, Side.WEST, 0, nrows)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, 0, nrows)
+    return apply_direction(grid, direction)
+
+
+def variable_pitch_network(
+    nrows: int,
+    ncols: int,
+    direction: int = 0,
+    dense_fraction: float = 0.5,
+    cell_width: float = CELL_WIDTH,
+) -> ChannelGrid:
+    """Straight channels with a denser center band.
+
+    The middle ``dense_fraction`` of the chip gets pitch-2 channels and the
+    outer bands pitch-4, concentrating cooling where hotspots usually sit --
+    one of the compensation ideas (factor 3 of Section 3) in manual form.
+    """
+    if not 0.0 < dense_fraction <= 1.0:
+        raise GeometryError(
+            f"dense_fraction must be in (0, 1], got {dense_fraction}"
+        )
+    grid = empty_grid(nrows, ncols, cell_width)
+    tracks = channel_tracks(nrows)
+    band = int(len(tracks) * dense_fraction / 2)
+    center = len(tracks) // 2
+    for i, row in enumerate(tracks):
+        dense = abs(i - center) <= band
+        if dense or i % 2 == 0:
+            grid.carve_horizontal(row, 0, ncols - 1)
+    grid.add_port_span(PortKind.INLET, Side.WEST, 0, nrows)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, 0, nrows)
+    return apply_direction(grid, direction)
+
+
+def coiled_network(
+    nrows: int,
+    ncols: int,
+    direction: int = 0,
+    pitch: int = 4,
+    cell_width: float = CELL_WIDTH,
+) -> ChannelGrid:
+    """Paired serpentines ("coils") meeting in the middle.
+
+    The upper coil enters at the top-west corner and serpentines downward;
+    the lower coil enters at the bottom-west corner and serpentines upward.
+    Both exit on adjacent middle rows of the east side, joined into one
+    continuous outlet opening.  Interior runs stay off the boundaries so the
+    one-continuous-opening rule holds on every side.
+    """
+    if pitch < 2 or pitch % 2 != 0:
+        raise GeometryError(f"pitch must be even and >= 2, got {pitch}")
+    if nrows < 8 or ncols < 8:
+        raise GeometryError(
+            f"coiled network needs at least an 8x8 grid, got {nrows}x{ncols}"
+        )
+    grid = empty_grid(nrows, ncols, cell_width)
+    tracks = channel_tracks(nrows)
+    mid = len(tracks) // 2
+    upper = tracks[:mid][:: pitch // 2]
+    lower = tracks[mid:][:: pitch // 2][::-1]
+    west_col = 2
+    east_col = _even_boundary_col(ncols, Side.EAST) - 2
+    exit_rows = []
+    for half in (upper, lower):
+        if not half:
+            continue
+        for i, row in enumerate(half):
+            first = i == 0
+            last = i == len(half) - 1
+            # Interior runs stay between the connector columns; the entry run
+            # reaches the west edge, the exit run reaches the east edge.
+            col0 = 0 if first else west_col
+            col1 = ncols - 1 if last else east_col
+            grid.carve_horizontal(row, col0, col1)
+            if not last:
+                connector = east_col if i % 2 == 0 else west_col
+                grid.carve_vertical(connector, row, half[i + 1])
+        exit_rows.append(half[-1])
+    grid.add_port(PortKind.INLET, Side.WEST, upper[0])
+    if lower:
+        grid.add_port(PortKind.INLET, Side.WEST, lower[0])
+    # Join the two exits into one continuous outlet opening.
+    lo, hi = min(exit_rows), max(exit_rows)
+    grid.carve_vertical(ncols - 1 if (ncols - 1) % 2 == 0 else ncols - 2, lo, hi)
+    if (ncols - 1) % 2 != 0:
+        # The boundary column hosts TSVs on odd rows; expose only even rows.
+        for row in range(lo, hi + 1, 2):
+            grid.set_liquid(row, ncols - 1)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, lo, hi + 1)
+    return apply_direction(grid, direction)
+
+
+def _even_boundary_col(ncols: int, side: Side) -> int:
+    """The even column nearest a vertical boundary (TSV-free connector)."""
+    if side is Side.WEST:
+        return 0
+    last = ncols - 1
+    return last if last % 2 == 0 else last - 1

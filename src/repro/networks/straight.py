@@ -1,0 +1,81 @@
+"""Regular straight microchannels -- the baseline of nearly all prior work.
+
+The canonical design runs full-width channels west to east on every ``pitch``-th
+track (even rows keep clear of the TSV reservation), with one continuous inlet
+on the west side and one continuous outlet on the east side.  Restricted areas
+interrupt the affected channels and a liquid ring reconnects them around the
+obstacle, matching the paper's handling of benchmark case 3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..constants import CELL_WIDTH
+from ..errors import GeometryError
+from ..geometry.grid import ChannelGrid, PortKind, Side
+from ..geometry.region import Rect
+from .base import (
+    apply_direction,
+    canonical_dims,
+    canonical_rects,
+    carve_ring_around,
+    channel_tracks,
+    empty_grid,
+)
+
+
+def straight_network(
+    nrows: int,
+    ncols: int,
+    direction: int = 0,
+    pitch: int = 2,
+    cell_width: float = CELL_WIDTH,
+    restricted: Sequence[Rect] = (),
+) -> ChannelGrid:
+    """Build a straight-channel network.
+
+    Args:
+        nrows / ncols: Grid size in basic cells.
+        direction: Global flow direction index (0 = west to east; see
+            :data:`~repro.networks.base.GLOBAL_DIRECTIONS`).
+        pitch: Track spacing in rows; must be even and >= 2 so channels stay
+            off the TSV rows.
+        cell_width: Basic-cell edge length in meters.
+        restricted: Forbidden rectangles; interrupted channels are re-joined
+            by a ring around each rectangle.
+
+    Returns:
+        A :class:`~repro.geometry.grid.ChannelGrid` with ports attached.
+    """
+    if pitch < 2 or pitch % 2 != 0:
+        raise GeometryError(f"pitch must be even and >= 2, got {pitch}")
+    # Carve in the canonical west-to-east frame; restricted areas are given
+    # in the final frame and must be pre-imaged through the direction map.
+    c_rows, c_cols = canonical_dims(nrows, ncols, direction)
+    c_restricted = canonical_rects(restricted, nrows, ncols, direction)
+    grid = empty_grid(c_rows, c_cols, cell_width, c_restricted)
+    rows = channel_tracks(c_rows)[:: pitch // 2]
+    for row in rows:
+        _carve_row_skipping_restricted(grid, row)
+    for rect in c_restricted:
+        carve_ring_around(grid, rect)
+    grid.add_port_span(PortKind.INLET, Side.WEST, 0, c_rows)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, 0, c_rows)
+    return apply_direction(grid, direction)
+
+
+def _carve_row_skipping_restricted(grid: ChannelGrid, row: int) -> None:
+    """Carve a full-width channel, leaving restricted cells solid."""
+    free = ~(grid.restricted_mask[row] | grid.tsv_mask[row])
+    cols = np.nonzero(free)[0]
+    if cols.size == 0:
+        return
+    # Carve each maximal free run.
+    breaks = np.nonzero(np.diff(cols) > 1)[0]
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [cols.size - 1]))
+    for s, e in zip(starts, ends):
+        grid.carve_horizontal(row, int(cols[s]), int(cols[e]))

@@ -1,0 +1,392 @@
+"""Hierarchical tree-like cooling networks (Section 4.3, Fig. 7).
+
+The chip's channel tracks are partitioned into horizontal *bands*; each band
+hosts one "tree" through which coolant flows from a single root at the inlet
+side to several leaf channels at the outlet side.  A tree splits twice: the
+trunk fans out into ``arity1`` children at column ``b1`` and every child fans
+out again at column ``b2``, giving ``arity1 * arity2`` leaves.  The two branch
+positions per tree are exactly the parameters the paper's simulated annealing
+searches; the split arities are the "branch types" assigned manually to fit
+the chip size (Fig. 8(b)).
+
+The structure compensates the two unavoidable gradient factors of Section 3:
+wall surface area grows from root to leaves (evening out the upstream/
+downstream difference), and per-tree fluid resistance can differ between
+bands (evening out non-uniform die power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..constants import CELL_WIDTH
+from ..errors import DesignRuleError, GeometryError
+from ..geometry.grid import ChannelGrid, PortKind, Side
+from ..geometry.region import Rect
+from .base import (
+    apply_direction,
+    canonical_dims,
+    canonical_rects,
+    carve_path,
+    channel_tracks,
+    empty_grid,
+    row_is_clear,
+)
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """One tree of the hierarchical structure.
+
+    Attributes:
+        tracks: Even row indices of the leaf channels, ascending; its length
+            must equal ``arity1 * arity2``.
+        arity1: Fan-out of the first branch (1, 2 or 3).
+        arity2: Fan-out of the second branch (1, 2 or 3).
+        b1: Column of the first branch point (snapped even).
+        b2: Column of the second branch point (snapped even, >= b1).
+    """
+
+    tracks: Tuple[int, ...]
+    arity1: int
+    arity2: int
+    b1: int
+    b2: int
+
+    def __post_init__(self) -> None:
+        if self.arity1 < 1 or self.arity2 < 1:
+            raise GeometryError(
+                f"branch arities must be >= 1, got ({self.arity1}, {self.arity2})"
+            )
+        if len(self.tracks) != self.arity1 * self.arity2:
+            raise GeometryError(
+                f"tree with arities ({self.arity1}, {self.arity2}) needs "
+                f"{self.arity1 * self.arity2} leaf tracks, got {len(self.tracks)}"
+            )
+        if any(t % 2 != 0 for t in self.tracks):
+            raise GeometryError(f"leaf tracks must be even rows, got {self.tracks}")
+        if list(self.tracks) != sorted(self.tracks):
+            raise GeometryError(f"leaf tracks must be ascending, got {self.tracks}")
+        if self.b1 % 2 != 0 or self.b2 % 2 != 0:
+            raise GeometryError(
+                f"branch columns must be even, got ({self.b1}, {self.b2})"
+            )
+        if not 0 <= self.b1 <= self.b2:
+            raise GeometryError(
+                f"need 0 <= b1 <= b2, got ({self.b1}, {self.b2})"
+            )
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf channel count (= arity1 * arity2)."""
+        return len(self.tracks)
+
+    @property
+    def trunk_row(self) -> int:
+        """Row of the root channel (the band's middle track)."""
+        return self.tracks[(len(self.tracks) - 1) // 2]
+
+    def child_groups(self) -> List[Tuple[int, ...]]:
+        """Partition the leaf tracks into ``arity1`` contiguous groups."""
+        groups = []
+        for i in range(self.arity1):
+            groups.append(self.tracks[i * self.arity2 : (i + 1) * self.arity2])
+        return groups
+
+    def with_branches(self, b1: int, b2: int) -> "TreeSpec":
+        """A copy with different branch columns."""
+        return replace(self, b1=b1, b2=b2)
+
+
+def carve_tree(grid: ChannelGrid, spec: TreeSpec) -> None:
+    """Carve one tree onto the grid (west-to-east canonical orientation).
+
+    Straight segments that hit a restricted area are rerouted with a BFS
+    detour on the track graph.
+    """
+    ncols = grid.ncols
+    b1 = min(spec.b1, ncols - 1)
+    b2 = min(spec.b2, ncols - 1)
+    trunk = spec.trunk_row
+    groups = spec.child_groups()
+    child_rows = [g[(len(g) - 1) // 2] for g in groups]
+    # Branch junctions must sit on carvable columns; restricted areas push
+    # them to the nearest legal even column.
+    band_lo = min(spec.tracks)
+    band_hi = max(spec.tracks)
+    if spec.arity1 > 1:
+        b1 = _fit_branch_col(grid, b1, band_lo, band_hi)
+    if spec.arity2 > 1:
+        b2 = _fit_branch_col(grid, b2, band_lo, band_hi)
+    b1, b2 = min(b1, b2), max(b1, b2)
+    _carve_h(grid, trunk, 0, b1)
+    if spec.arity1 > 1:
+        lo = min(child_rows + [trunk])
+        hi = max(child_rows + [trunk])
+        _carve_v(grid, b1, lo, hi)
+    for child_row, group in zip(child_rows, groups):
+        if spec.arity2 > 1:
+            _carve_h(grid, child_row, b1, b2)
+            lo = min(group + (child_row,))
+            hi = max(group + (child_row,))
+            _carve_v(grid, b2, lo, hi)
+            for leaf in group:
+                _carve_h(grid, leaf, b2, ncols - 1)
+        else:
+            _carve_h(grid, child_row, b1, ncols - 1)
+
+
+def tree_network(
+    nrows: int,
+    ncols: int,
+    specs: Sequence[TreeSpec],
+    direction: int = 0,
+    cell_width: float = CELL_WIDTH,
+    restricted: Sequence[Rect] = (),
+) -> ChannelGrid:
+    """Build a complete tree-like cooling network from per-band specs.
+
+    Specs describe trees in the canonical west-to-east frame; ``restricted``
+    rectangles are given in the final frame and pre-imaged internally.
+    """
+    c_rows, c_cols = canonical_dims(nrows, ncols, direction)
+    c_restricted = canonical_rects(restricted, nrows, ncols, direction)
+    grid = empty_grid(c_rows, c_cols, cell_width, c_restricted)
+    used: set = set()
+    for spec in specs:
+        overlap = used.intersection(spec.tracks)
+        if overlap:
+            raise GeometryError(
+                f"leaf tracks {sorted(overlap)} assigned to multiple trees"
+            )
+        used.update(spec.tracks)
+        carve_tree(grid, spec)
+    grid.add_port_span(PortKind.INLET, Side.WEST, 0, c_rows)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, 0, c_rows)
+    return apply_direction(grid, direction)
+
+
+@dataclass
+class TreePlan:
+    """A parameterized family of tree networks over one chip footprint.
+
+    The plan fixes the band structure (which tracks belong to which tree and
+    the branch arities); the free parameters are the ``(b1, b2)`` columns of
+    every tree, which the optimizer mutates.
+    """
+
+    nrows: int
+    ncols: int
+    specs: List[TreeSpec]
+    direction: int = 0
+    cell_width: float = CELL_WIDTH
+    restricted: Tuple[Rect, ...] = ()
+
+    @property
+    def n_trees(self) -> int:
+        """Number of tree bands in the plan."""
+        return len(self.specs)
+
+    def params(self) -> np.ndarray:
+        """Current branch parameters, shape (n_trees, 2)."""
+        return np.array([[s.b1, s.b2] for s in self.specs], dtype=int)
+
+    def clamp_params(self, params: np.ndarray) -> np.ndarray:
+        """Snap parameters to even columns inside the chip, keep b1 <= b2."""
+        params = np.asarray(params, dtype=float)
+        snapped = 2 * np.round(params / 2.0)
+        last_even = (self.ncols - 1) - (self.ncols - 1) % 2
+        snapped = np.clip(snapped, 0, last_even).astype(int)
+        b1 = np.minimum(snapped[:, 0], snapped[:, 1])
+        b2 = np.maximum(snapped[:, 0], snapped[:, 1])
+        return np.stack([b1, b2], axis=1)
+
+    def with_params(self, params: np.ndarray) -> "TreePlan":
+        """A copy with new (clamped) branch-position parameters."""
+        params = self.clamp_params(params)
+        if params.shape != (self.n_trees, 2):
+            raise GeometryError(
+                f"parameter array must be ({self.n_trees}, 2), got {params.shape}"
+            )
+        specs = [
+            spec.with_branches(int(row[0]), int(row[1]))
+            for spec, row in zip(self.specs, params)
+        ]
+        return replace(self, specs=specs)
+
+    def with_direction(self, direction: int) -> "TreePlan":
+        """A copy targeting a different global flow direction."""
+        return replace(self, direction=direction)
+
+    def build(self) -> ChannelGrid:
+        """Materialize the current configuration as a channel grid."""
+        return tree_network(
+            self.nrows,
+            self.ncols,
+            self.specs,
+            direction=self.direction,
+            cell_width=self.cell_width,
+            restricted=self.restricted,
+        )
+
+
+def plan_tree_bands(
+    nrows: int,
+    ncols: int,
+    leaves_per_tree: int = 4,
+    direction: int = 0,
+    cell_width: float = CELL_WIDTH,
+    restricted: Sequence[Rect] = (),
+) -> TreePlan:
+    """Partition the chip into tree bands and initialize branch positions.
+
+    Most bands get the standard binary-binary tree (``leaves_per_tree``
+    leaves); the leftover tracks at the bottom are covered with a smaller
+    tree whose branch type is chosen to fit (the manual assignment of
+    Fig. 8(b)).  Branch positions start uniform at one third and two thirds
+    of the chip width, the paper's pre-search initialization.
+    """
+    if leaves_per_tree not in (2, 3, 4, 6, 9):
+        raise GeometryError(
+            f"leaves_per_tree must be one of 2, 3, 4, 6, 9; got {leaves_per_tree}"
+        )
+    c_rows, c_cols = canonical_dims(nrows, ncols, direction)
+    tracks = channel_tracks(c_rows)
+    b1_init = _snap_even(c_cols // 3)
+    b2_init = _snap_even(2 * c_cols // 3)
+    specs: List[TreeSpec] = []
+    index = 0
+    while len(tracks) - index >= leaves_per_tree:
+        band = tuple(tracks[index : index + leaves_per_tree])
+        arity1, arity2 = _ARITIES[leaves_per_tree]
+        specs.append(TreeSpec(band, arity1, arity2, b1_init, b2_init))
+        index += leaves_per_tree
+    while index < len(tracks):
+        remainder = len(tracks) - index
+        size = max(s for s in (4, 3, 2, 1) if s <= remainder)
+        band = tuple(tracks[index : index + size])
+        arity1, arity2 = _ARITIES[size]
+        specs.append(TreeSpec(band, arity1, arity2, b1_init, b2_init))
+        index += size
+    return TreePlan(
+        nrows=nrows,
+        ncols=ncols,
+        specs=specs,
+        direction=direction,
+        cell_width=cell_width,
+        restricted=tuple(restricted),
+    )
+
+
+#: Branch-type assignment per band size (the three usable branch shapes:
+#: 1-to-2, 1-to-3 and pass-through).
+_ARITIES = {
+    1: (1, 1),
+    2: (2, 1),
+    3: (3, 1),
+    4: (2, 2),
+    6: (2, 3),
+    9: (3, 3),
+}
+
+
+def _snap_even(col: int) -> int:
+    return col - col % 2
+
+
+def _fit_branch_col(grid: ChannelGrid, col: int, row_lo: int, row_hi: int) -> int:
+    """The even column nearest ``col`` whose band span avoids restrictions.
+
+    A branch junction needs a vertical connector across the tree's band;
+    restricted rectangles (case 3) can cover the requested column, in which
+    case the junction slides sideways to the closest legal even column.
+    """
+    col = _snap_even(max(0, min(col, grid.ncols - 1)))
+    restricted = grid.restricted_mask
+    for offset in range(0, grid.ncols, 2):
+        for candidate in (col - offset, col + offset):
+            if not 0 <= candidate < grid.ncols:
+                continue
+            if not restricted[row_lo : row_hi + 1, candidate].any():
+                return candidate
+    raise DesignRuleError(
+        f"no legal branch column near {col} for band rows "
+        f"[{row_lo}, {row_hi}]"
+    )
+
+
+def _carve_h(grid: ChannelGrid, row: int, col0: int, col1: int) -> None:
+    lo, hi = sorted((col0, col1))
+    if row_is_clear(grid, row, lo, hi):
+        grid.carve_horizontal(row, lo, hi)
+    else:
+        carve_path(grid, (row, lo), (row, hi))
+
+
+def _carve_v(grid: ChannelGrid, col: int, row0: int, row1: int) -> None:
+    lo, hi = sorted((row0, row1))
+    blocked = (
+        grid.tsv_mask[lo : hi + 1, col] | grid.restricted_mask[lo : hi + 1, col]
+    )
+    if not blocked.any():
+        grid.carve_vertical(col, lo, hi)
+    else:
+        carve_path(grid, (lo, col), (hi, col))
+
+
+def power_aware_initialization(plan: TreePlan, power_map: np.ndarray) -> TreePlan:
+    """Seed branch positions from the per-band power distribution.
+
+    Section 3's compensation idea in closed form: bands dissipating more
+    power get earlier branch points (more leaf channels sooner, hence more
+    wall area and lower fluid resistance), cooler bands split later.  The
+    result is a better SA starting point than the uniform initialization --
+    the search still refines it.
+
+    Args:
+        plan: A tree plan (canonical frame; square footprints assumed for
+            rotated directions).
+        power_map: (nrows, ncols) power map in the *final* chip frame.
+
+    Returns:
+        A new plan with per-tree ``(b1, b2)`` scaled by band power.
+    """
+    power = np.asarray(power_map, dtype=float)
+    if power.shape != (plan.nrows, plan.ncols):
+        raise GeometryError(
+            f"power map shape {power.shape} does not match plan footprint "
+            f"({plan.nrows}, {plan.ncols})"
+        )
+    # Specs live in the canonical west-to-east frame; pull the power map
+    # back through the direction transform so band rows line up.
+    from .base import GLOBAL_DIRECTIONS
+
+    rotations, flip = GLOBAL_DIRECTIONS[plan.direction]
+    if flip:
+        power = np.flipud(power)
+    if rotations:
+        power = np.rot90(power, -rotations)
+    # Band power per tree (rows of the band, full width).
+    band_density = []
+    for spec in plan.specs:
+        lo = min(spec.tracks)
+        hi = max(spec.tracks) + 1
+        band_density.append(power[lo:hi, :].sum() / (hi - lo))
+    density = np.asarray(band_density)
+    mean_density = density.mean() if density.size else 1.0
+    if mean_density <= 0:
+        return plan.with_params(plan.params())
+    # Hot bands (ratio > 1) pull branches toward the inlet; cold bands push
+    # them downstream.  The shift spans about a quarter chip at 2x contrast.
+    # Density (power per track row) keeps unequal band sizes comparable.
+    ratio = density / mean_density
+    base_b1 = plan.ncols / 3.0
+    base_b2 = 2.0 * plan.ncols / 3.0
+    shift = np.clip((ratio - 1.0) * (plan.ncols / 4.0), -plan.ncols / 3.0, plan.ncols / 3.0)
+    params = np.stack(
+        [base_b1 - shift, base_b2 - shift / 2.0], axis=1
+    )
+    return plan.with_params(plan.clamp_params(params))

@@ -1,0 +1,40 @@
+"""Design optimization: the outer level of Algorithm 1.
+
+Simulated annealing searches the tree-network parameter space (two branch
+positions per tree), staged from rough/cheap to fine/accurate (Table 1):
+early stages run many short rounds on the fast 2RM simulator with a
+fixed-pressure gradient cost, later stages evaluate the true objective
+(lowest feasible pumping power, or minimum capped gradient) and the final
+stage switches to the 4RM reference model.
+
+* :mod:`~repro.optimize.annealing` -- generic SA engine.
+* :mod:`~repro.optimize.moves` -- the paper's tree-parameter move.
+* :mod:`~repro.optimize.stages` -- stage schedules for both problems.
+* :mod:`~repro.optimize.problem1` -- pumping power minimization (Problem 1).
+* :mod:`~repro.optimize.problem2` -- thermal gradient minimization (Problem 2).
+* :mod:`~repro.optimize.baseline` -- straight-channel baselines and the
+  manual-design comparator.
+"""
+
+from .annealing import SAConfig, SAHistory, simulated_annealing
+from .baseline import BaselineResult, best_manual_design, best_straight_baseline
+from .moves import perturb_tree_params
+from .problem1 import OptimizationResult, optimize_problem1
+from .problem2 import optimize_problem2
+from .stages import StageConfig, problem1_stages, problem2_stages
+
+__all__ = [
+    "BaselineResult",
+    "OptimizationResult",
+    "SAConfig",
+    "SAHistory",
+    "StageConfig",
+    "best_manual_design",
+    "best_straight_baseline",
+    "optimize_problem1",
+    "optimize_problem2",
+    "perturb_tree_params",
+    "problem1_stages",
+    "problem2_stages",
+    "simulated_annealing",
+]

@@ -1,0 +1,39 @@
+"""Neighborhood moves on tree-network parameters (Section 4.4).
+
+"In each iteration, every tree parameter may be changed by a large step size
+or remains unchanged (with equal possibility)."  A parameter that moves goes
+up or down by the stage's step; clamping and the ``b1 <= b2`` ordering are
+handled by :meth:`~repro.networks.tree.TreePlan.clamp_params`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SearchError
+
+
+def perturb_tree_params(
+    params: np.ndarray, step: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One SA move: each parameter stays or jumps +-``step`` columns.
+
+    Args:
+        params: (n_trees, 2) branch-position array.
+        step: Move magnitude in basic-cell columns (kept even by the caller's
+            clamp; must be positive).
+        rng: Source of randomness.
+
+    Returns:
+        A new (unclamped) parameter array; at least one entry is changed so
+        the move is never a no-op.
+    """
+    if step <= 0:
+        raise SearchError(f"move step must be positive, got {step}")
+    params = np.asarray(params, dtype=int)
+    while True:
+        moves = rng.integers(0, 2, size=params.shape).astype(bool)
+        if moves.any():
+            break
+    signs = rng.choice((-1, 1), size=params.shape)
+    return params + moves * signs * int(step)

@@ -1,0 +1,77 @@
+"""Parallel candidate evaluation (the paper's 64-way neighbor evaluation).
+
+The paper's server evaluates 64 neighboring network solutions simultaneously
+in each SA iteration.  :func:`evaluate_population` reproduces that pattern:
+score a batch of tree-parameter vectors, optionally across worker processes.
+Each worker rebuilds the candidate's cooling system from picklable inputs
+(case, plan, stage), so no shared state is needed.
+
+The grouped Problem-2 metric is inherently sequential (later candidates
+re-use the group leader's optimal pressure), so it always evaluates serially;
+the Problem-1 metrics parallelize freely.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SearchError
+from ..iccad2015.cases import Case
+from ..networks.tree import TreePlan
+from .stages import METRIC_MIN_GRADIENT_CAPPED, StageConfig
+
+
+def evaluate_population(
+    case: Case,
+    plan: TreePlan,
+    stage: StageConfig,
+    problem: str,
+    params_list: Sequence[np.ndarray],
+    fixed_pressure: Optional[float] = None,
+    n_workers: int = 1,
+) -> List[float]:
+    """Score a batch of candidate parameter vectors.
+
+    Args:
+        case / plan / stage / problem / fixed_pressure: As in the staged
+            flow (:mod:`repro.optimize.runner`).
+        params_list: Candidate (n_trees, 2) arrays.
+        n_workers: Worker processes; 1 evaluates serially in-process.
+
+    Returns:
+        One cost per candidate (``inf`` for illegal/infeasible networks).
+    """
+    if n_workers < 1:
+        raise SearchError(f"n_workers must be >= 1, got {n_workers}")
+    if not params_list:
+        return []
+    if n_workers == 1 or stage.metric == METRIC_MIN_GRADIENT_CAPPED:
+        from .runner import _CandidateEvaluator
+
+        evaluator = _CandidateEvaluator(
+            case, plan, stage, problem, fixed_pressure
+        )
+        return [float(evaluator(params)) for params in params_list]
+
+    payloads = [
+        (case, plan, stage, problem, fixed_pressure, np.asarray(p, dtype=int))
+        for p in params_list
+    ]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_score_one, payloads))
+
+
+def _score_one(payload) -> float:
+    """Worker entry point: build a fresh evaluator and score one candidate."""
+    case, plan, stage, problem, fixed_pressure, params = payload
+    from .runner import _CandidateEvaluator
+
+    evaluator = _CandidateEvaluator(case, plan, stage, problem, fixed_pressure)
+    try:
+        return float(evaluator(params))
+    except Exception:  # worker crashes must not kill the search
+        return math.inf

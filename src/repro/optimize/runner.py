@@ -1,0 +1,423 @@
+"""Shared orchestration of the staged SA design flows (Algorithm 1).
+
+Both problems run the same skeleton: per global flow direction, initialize a
+uniform tree plan, then per stage run several SA rounds (same settings,
+different seeds), re-score the per-round bests with the *next* stage's metric
+and carry the winner forward; the final network is evaluated with the 4RM
+reference model.  The problems differ only in the cost metric and the final
+evaluator, both injected here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cooling.evaluation import (
+    EvaluationResult,
+    evaluate_problem1,
+    evaluate_problem2,
+)
+from ..cooling.system import CoolingSystem
+from ..errors import (
+    DesignRuleError,
+    FlowError,
+    GeometryError,
+    SearchError,
+    ThermalError,
+)
+from ..geometry.grid import ChannelGrid
+from ..iccad2015.cases import Case
+from ..networks.tree import TreePlan
+from .annealing import SAConfig, simulated_annealing, simulated_annealing_batch
+from .moves import perturb_tree_params
+from .stages import (
+    METRIC_FIXED_PRESSURE_GRADIENT,
+    METRIC_LOWEST_FEASIBLE_POWER,
+    METRIC_MIN_GRADIENT_CAPPED,
+    StageConfig,
+)
+
+#: Problem identifiers.
+PROBLEM_PUMPING_POWER = "problem1"
+PROBLEM_THERMAL_GRADIENT = "problem2"
+
+
+@dataclass
+class StageReport:
+    """What one stage did."""
+
+    stage: str
+    round_best_costs: List[float]
+    selected_cost: float
+    simulations: int
+    #: Per-round SA traces (best-so-far cost per iteration).
+    histories: List[object] = field(default_factory=list)
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one staged design flow.
+
+    Attributes:
+        plan: The winning tree plan (build() reproduces the network).
+        network: The winning cooling network.
+        evaluation: Final 4RM evaluation (Algorithm 2 or its P2 variant).
+        direction: Winning global flow direction index.
+        stage_reports: Per-stage traces for the winning direction.
+        total_simulations: Thermal simulations spent across all directions.
+    """
+
+    plan: TreePlan
+    network: ChannelGrid
+    evaluation: EvaluationResult
+    direction: int
+    stage_reports: List[StageReport]
+    total_simulations: int
+
+
+class _CandidateEvaluator:
+    """Builds and scores cooling systems for parameter vectors, with caching."""
+
+    def __init__(
+        self,
+        case: Case,
+        plan: TreePlan,
+        stage: StageConfig,
+        problem: str,
+        fixed_pressure: Optional[float] = None,
+    ):
+        self.case = case
+        self.plan = plan
+        self.stage = stage
+        self.problem = problem
+        self.fixed_pressure = fixed_pressure
+        self.simulations = 0
+        self._cache: Dict[bytes, float] = {}
+        self._group_counter = 0
+        self._group_pressure: Optional[float] = None
+        self._base_stack = case.base_stack()
+
+    # ------------------------------------------------------------------
+
+    def system_for(self, params: np.ndarray) -> Optional[CoolingSystem]:
+        """A cooling system for one candidate, or None when illegal."""
+        try:
+            grid = self.plan.with_params(params).build()
+            return CoolingSystem.for_network(
+                self._base_stack,
+                grid,
+                self.case.coolant,
+                model=self.stage.model,
+                tile_size=self.stage.tile_size,
+                inlet_temperature=self.case.inlet_temperature,
+            )
+        except (DesignRuleError, FlowError, GeometryError, ThermalError):
+            return None
+
+    def __call__(self, params: np.ndarray) -> float:
+        key = np.asarray(params, dtype=int).tobytes()
+        if key in self._cache:
+            return self._cache[key]
+        cost = self._score(np.asarray(params, dtype=int))
+        self._cache[key] = cost
+        return cost
+
+    # ------------------------------------------------------------------
+
+    def _score(self, params: np.ndarray) -> float:
+        system = self.system_for(params)
+        if system is None:
+            return math.inf
+        try:
+            cost = self._score_system(system)
+        except (SearchError, ThermalError, FlowError):
+            cost = math.inf
+        self.simulations += system.n_simulations
+        return cost
+
+    def _score_system(self, system: CoolingSystem) -> float:
+        metric = self.stage.metric
+        if metric == METRIC_FIXED_PRESSURE_GRADIENT:
+            if self.fixed_pressure is None:
+                raise SearchError(
+                    "fixed-pressure stage needs a reference pressure"
+                )
+            return system.delta_t(self.fixed_pressure)
+        if metric == METRIC_LOWEST_FEASIBLE_POWER:
+            return evaluate_problem1(
+                system, self.case.delta_t_star, self.case.t_max_star
+            ).score
+        if metric == METRIC_MIN_GRADIENT_CAPPED:
+            return self._score_grouped_gradient(system)
+        raise SearchError(f"unknown metric {metric!r}")
+
+    def _score_grouped_gradient(self, system: CoolingSystem) -> float:
+        """Problem 2's grouped evaluation (Section 5, adaptation 2).
+
+        The first candidate of every group pays the full evaluation and
+        donates its optimal pressure; the rest are scored by one simulation
+        at that pressure (capped by their own power limit).  Slightly
+        pessimistic, but neighboring networks have near-identical optima.
+        """
+        w_star = self.case.w_pump_star()
+        full = (
+            self._group_counter % self.stage.group_size == 0
+            or self._group_pressure is None
+        )
+        self._group_counter += 1
+        if full:
+            evaluation = evaluate_problem2(
+                system, self.case.t_max_star, w_star
+            )
+            if evaluation.feasible:
+                self._group_pressure = evaluation.p_sys
+            return evaluation.score
+        p_cap = system.p_sys_for_power(w_star)
+        p_used = min(self._group_pressure, p_cap)
+        result = system.evaluate(p_used)
+        if result.t_max > self.case.t_max_star:
+            return math.inf
+        return result.delta_t
+
+
+def run_staged_flow(
+    case: Case,
+    stages: Sequence[StageConfig],
+    problem: str,
+    directions: Sequence[int] = (0,),
+    seed: int = 0,
+    leaves_per_tree: int = 4,
+    n_workers: int = 1,
+    batch_size: Optional[int] = None,
+    initialization: str = "uniform",
+) -> OptimizationResult:
+    """Run the full staged SA flow and return the best design found.
+
+    Args:
+        case: Benchmark case.
+        stages: Stage schedule (see :mod:`~repro.optimize.stages`).
+        problem: :data:`PROBLEM_PUMPING_POWER` or
+            :data:`PROBLEM_THERMAL_GRADIENT`.
+        directions: Global flow direction indices to attempt (the paper tries
+            all eight and keeps the best).
+        seed: Base RNG seed; rounds and directions derive distinct streams.
+        leaves_per_tree: Band size of the tree plan.
+        n_workers: Worker processes for neighbor evaluation (the paper used
+            64); 1 evaluates in-process.
+        batch_size: Neighbors proposed and scored per SA iteration; defaults
+            to ``n_workers`` when parallel, else 1 (classic single-neighbor
+            SA).  In batch mode ``StageReport.simulations`` counts candidate
+            evaluations rather than linear solves.
+        initialization: ``"uniform"`` (the paper's pre-search init) or
+            ``"power_aware"`` (branch positions seeded from per-band power;
+            see :func:`repro.networks.tree.power_aware_initialization`).
+    """
+    if problem not in (PROBLEM_PUMPING_POWER, PROBLEM_THERMAL_GRADIENT):
+        raise SearchError(f"unknown problem {problem!r}")
+    if not directions:
+        raise SearchError("need at least one direction")
+    best: Optional[OptimizationResult] = None
+    total_sims = 0
+    for d_index, direction in enumerate(directions):
+        plan = case.tree_plan(
+            direction=direction, leaves_per_tree=leaves_per_tree
+        )
+        if initialization == "power_aware":
+            from ..networks.tree import power_aware_initialization
+
+            total_power = sum(case.power_maps)
+            plan = power_aware_initialization(plan, total_power)
+        elif initialization != "uniform":
+            raise SearchError(
+                f"unknown initialization {initialization!r}; "
+                "use 'uniform' or 'power_aware'"
+            )
+        result = _run_one_direction(
+            case,
+            plan,
+            stages,
+            problem,
+            seed + 1000 * d_index,
+            n_workers=n_workers,
+            batch_size=batch_size,
+        )
+        total_sims += result.total_simulations
+        if best is None or result.evaluation.score < best.evaluation.score:
+            best = result
+    assert best is not None
+    best.total_simulations = total_sims
+    return best
+
+
+def _run_one_direction(
+    case: Case,
+    plan: TreePlan,
+    stages: Sequence[StageConfig],
+    problem: str,
+    seed: int,
+    n_workers: int = 1,
+    batch_size: Optional[int] = None,
+) -> OptimizationResult:
+    effective_batch = (
+        batch_size
+        if batch_size is not None
+        else (n_workers if n_workers > 1 else 1)
+    )
+    params = plan.params()
+    reports: List[StageReport] = []
+    total_sims = 0
+
+    fixed_pressure = None
+    if any(s.metric == METRIC_FIXED_PRESSURE_GRADIENT for s in stages):
+        fixed_pressure, sims = _reference_pressure(case, plan, stages[0], problem)
+        total_sims += sims
+
+    for s_index, stage in enumerate(stages):
+        evaluator = _CandidateEvaluator(
+            case, plan, stage, problem, fixed_pressure
+        )
+
+        def neighbor(state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+            return plan.clamp_params(
+                perturb_tree_params(state, stage.step, rng)
+            )
+
+        round_bests: List[Tuple[np.ndarray, float]] = []
+        round_histories: List[object] = []
+        batch_evals = [0]
+        for round_i in range(stage.rounds):
+            config = SAConfig(
+                iterations=stage.iterations,
+                seed=seed + 17 * s_index + round_i,
+                stall_limit=max(stage.iterations // 2, 8),
+            )
+            if effective_batch > 1:
+                batch_cost = _make_batch_cost(
+                    case, plan, stage, problem, fixed_pressure,
+                    n_workers, batch_evals,
+                )
+                state, cost, history = simulated_annealing_batch(
+                    params, batch_cost, neighbor, config, effective_batch
+                )
+            else:
+                state, cost, history = simulated_annealing(
+                    params, evaluator, neighbor, config
+                )
+            round_bests.append((state, cost))
+            round_histories.append(history)
+        total_sims += evaluator.simulations + batch_evals[0]
+
+        # Re-score per-round bests with the next stage's metric when it
+        # differs, then carry the winner into the next stage.
+        next_stage = stages[s_index + 1] if s_index + 1 < len(stages) else stage
+        if (next_stage.metric, next_stage.model) != (stage.metric, stage.model):
+            rescorer = _CandidateEvaluator(
+                case, plan, next_stage, problem, fixed_pressure
+            )
+            scored = [(state, rescorer(state)) for state, _ in round_bests]
+            total_sims += rescorer.simulations
+        else:
+            scored = round_bests
+        scored.sort(key=lambda item: item[1])
+        params = scored[0][0]
+        reports.append(
+            StageReport(
+                stage=stage.name,
+                round_best_costs=[cost for _, cost in round_bests],
+                selected_cost=scored[0][1],
+                simulations=evaluator.simulations + batch_evals[0],
+                histories=round_histories,
+            )
+        )
+
+    final_plan = plan.with_params(params)
+    network = final_plan.build()
+    system = CoolingSystem.for_network(
+        case.base_stack(),
+        network,
+        case.coolant,
+        model="4rm",
+        inlet_temperature=case.inlet_temperature,
+    )
+    if problem == PROBLEM_PUMPING_POWER:
+        evaluation = evaluate_problem1(
+            system, case.delta_t_star, case.t_max_star
+        )
+    else:
+        evaluation = evaluate_problem2(
+            system, case.t_max_star, case.w_pump_star()
+        )
+    total_sims += system.n_simulations
+    return OptimizationResult(
+        plan=final_plan,
+        network=network,
+        evaluation=evaluation,
+        direction=final_plan.direction,
+        stage_reports=reports,
+        total_simulations=total_sims,
+    )
+
+
+def _reference_pressure(
+    case: Case, plan: TreePlan, stage: StageConfig, problem: str
+) -> Tuple[float, int]:
+    """The fixed pressure for stage-1 costs: the initial network's optimum."""
+    system = CoolingSystem.for_network(
+        case.base_stack(),
+        plan.build(),
+        case.coolant,
+        model=stage.model,
+        tile_size=stage.tile_size,
+        inlet_temperature=case.inlet_temperature,
+    )
+    if problem == PROBLEM_PUMPING_POWER:
+        evaluation = evaluate_problem1(
+            system, case.delta_t_star, case.t_max_star
+        )
+    else:
+        evaluation = evaluate_problem2(
+            system, case.t_max_star, case.w_pump_star()
+        )
+    return evaluation.p_sys, system.n_simulations
+
+
+def _make_batch_cost(
+    case: Case,
+    plan: TreePlan,
+    stage: StageConfig,
+    problem: str,
+    fixed_pressure: Optional[float],
+    n_workers: int,
+    counter: list,
+):
+    """A caching batch evaluator over :func:`evaluate_population`."""
+    from .parallel import evaluate_population
+
+    cache: Dict[bytes, float] = {}
+
+    def batch_cost(states):
+        missing = []
+        for state in states:
+            key = np.asarray(state, dtype=int).tobytes()
+            if key not in cache:
+                missing.append((key, state))
+        if missing:
+            costs = evaluate_population(
+                case,
+                plan,
+                stage,
+                problem,
+                [state for _, state in missing],
+                fixed_pressure=fixed_pressure,
+                n_workers=n_workers,
+            )
+            for (key, _), cost in zip(missing, costs):
+                cache[key] = cost
+            counter[0] += len(missing)
+        return [cache[np.asarray(s, dtype=int).tobytes()] for s in states]
+
+    return batch_cost

@@ -1,0 +1,47 @@
+"""Thermal models for liquid-cooled 3D IC stacks.
+
+Two steady-state simulators implement Section 2 of the paper:
+
+* :class:`~repro.thermal.rc4.RC4Simulator` -- the 4-register-model reference:
+  one thermal node per basic cell per layer, following the microchannel
+  geometry exactly (Section 2.2).
+* :class:`~repro.thermal.rc2.RC2Simulator` -- the fast porous-medium
+  2-register model: an ``m x m`` coarsening with one solid and one liquid node
+  per tile in channel layers, complete-conducting-path effective conductances
+  (Eq. 7) and folded side-wall convection (Eq. 8) (Section 2.3).
+
+Both precompute everything that does not depend on the system pressure drop,
+so sweeping ``P_sys`` (the inner loop of Algorithms 2/3) only re-assembles the
+advection operator and re-factorizes.
+
+:class:`~repro.thermal.transient.TransientSimulator` extends either model to
+transient analysis with backward Euler (the extension Section 2.3 mentions).
+"""
+
+from .common import convective_conductance, h_conv, series_conductance
+from .control import (
+    ControlTrace,
+    HysteresisController,
+    PIController,
+    run_controlled,
+)
+from .mesh import Tiling
+from .rc2 import RC2Simulator
+from .rc4 import RC4Simulator
+from .result import ThermalResult
+from .transient import TransientSimulator
+
+__all__ = [
+    "ControlTrace",
+    "HysteresisController",
+    "PIController",
+    "RC2Simulator",
+    "RC4Simulator",
+    "ThermalResult",
+    "Tiling",
+    "TransientSimulator",
+    "convective_conductance",
+    "h_conv",
+    "run_controlled",
+    "series_conductance",
+]

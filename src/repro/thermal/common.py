@@ -1,0 +1,245 @@
+"""Shared thermal-conductance formulas and the simulator base class.
+
+The individual conductance expressions follow Section 2.2 of the paper:
+
+* Eq. 4 -- solid-solid conduction ``g = k A / l``.
+* Eq. 5 -- solid-liquid transfer: the convective wall conductance in series
+  with the half-cell solid conduction, ``g_sl = (g_sl* g_ss*) / (g_sl* + g_ss*)``.
+* Eq. 6 -- liquid-liquid advection under the central differencing scheme,
+  ``q_ll = (C_v / 2) sum_j Q_ji T_j`` (plus the inlet/outlet closure terms).
+
+Both simulators reduce to one sparse linear system ``(K + P_sys * A) T =
+b0 + P_sys * b1``: ``K`` collects every conductance (pressure independent),
+``A``/``b1`` collect the advection terms which scale linearly with ``P_sys``
+because all local flow rates do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix, csc_matrix
+from scipy.sparse.linalg import splu
+
+from ..constants import NUSSELT_NUMBER
+from ..errors import ThermalError
+from ..flow.conductance import hydraulic_diameter
+from ..materials import Coolant
+
+
+def series_conductance(g_a: float, g_b: float) -> float:
+    """Two thermal conductances in series (Eqs. 5 and 7).
+
+    Returns 0 if either path is blocked (zero conductance).
+    """
+    if g_a <= 0 or g_b <= 0:
+        return 0.0
+    return g_a * g_b / (g_a + g_b)
+
+
+def h_conv(
+    coolant: Coolant,
+    channel_width: float,
+    channel_height: float,
+    nusselt: float = NUSSELT_NUMBER,
+) -> float:
+    """Convective heat transfer coefficient ``h = Nu k_liquid / D_h``."""
+    d_h = hydraulic_diameter(channel_width, channel_height)
+    return nusselt * coolant.thermal_conductivity / d_h
+
+
+def convective_conductance(
+    area: float,
+    coolant: Coolant,
+    channel_width: float,
+    channel_height: float,
+    nusselt: float = NUSSELT_NUMBER,
+) -> float:
+    """Wall-to-coolant conductance ``g_sl* = h A`` (the Eq. 5 building block)."""
+    if area < 0:
+        raise ThermalError(f"wall area must be non-negative, got {area}")
+    return h_conv(coolant, channel_width, channel_height, nusselt) * area
+
+
+def slab_half_conductance(k: float, area: float, thickness: float) -> float:
+    """Conductance from a slab's center plane to its face, ``k A / (t/2)``."""
+    if thickness <= 0:
+        raise ThermalError(f"thickness must be positive, got {thickness}")
+    return k * area / (0.5 * thickness)
+
+
+@dataclass
+class AdvectionSpec:
+    """Advection terms of one channel layer at *unit* system pressure.
+
+    Attributes:
+        pair_nodes: (e, 2) global node ids of liquid entities exchanging
+            coolant; flow is signed from column 0 to column 1.
+        pair_flows: (e,) signed volumetric flow rates at ``P_sys = 1``.
+        node_ids: (n,) global node ids of the layer's liquid entities.
+        inlet_flows: (n,) inlet inflow per entity at ``P_sys = 1`` (>= 0).
+        outlet_flows: (n,) outlet outflow per entity at ``P_sys = 1`` (>= 0).
+    """
+
+    pair_nodes: np.ndarray
+    pair_flows: np.ndarray
+    node_ids: np.ndarray
+    inlet_flows: np.ndarray
+    outlet_flows: np.ndarray
+
+
+def assemble_advection(
+    n_nodes: int,
+    specs: "list[AdvectionSpec]",
+    c_v: float,
+    inlet_temperature: float,
+) -> Tuple[csc_matrix, np.ndarray]:
+    """Build the unit advection operator ``A`` and its RHS vector ``b1``.
+
+    The steady energy balance of a liquid node ``i`` contributes (after the
+    central differencing of Eq. 6 and the volume-conservation substitution)::
+
+        A[i, j] = -C_v Q_ji / 2          for each liquid neighbor j
+        A[i, i] = +C_v (Q_in,i + Q_out,i) / 2
+        b1[i]   = +C_v Q_in,i * T_in
+
+    all evaluated at unit pressure; at pressure ``P`` the physical terms are
+    ``P * A`` and ``P * b1``.
+    """
+    rows: list = []
+    cols: list = []
+    vals: list = []
+    b1 = np.zeros(n_nodes)
+    for spec in specs:
+        if spec.pair_nodes.size:
+            i = spec.pair_nodes[:, 0]
+            j = spec.pair_nodes[:, 1]
+            q = spec.pair_flows
+            # For node i, neighbor j: Q_{j,i} = -q  =>  A[i, j] += C_v q / 2.
+            rows.append(i)
+            cols.append(j)
+            vals.append(0.5 * c_v * q)
+            # For node j, neighbor i: Q_{i,j} = +q  =>  A[j, i] -= C_v q / 2.
+            rows.append(j)
+            cols.append(i)
+            vals.append(-0.5 * c_v * q)
+        diag = 0.5 * c_v * (spec.inlet_flows + spec.outlet_flows)
+        rows.append(spec.node_ids)
+        cols.append(spec.node_ids)
+        vals.append(diag)
+        np.add.at(b1, spec.node_ids, c_v * spec.inlet_flows * inlet_temperature)
+    if rows:
+        row_arr = np.concatenate(rows)
+        col_arr = np.concatenate(cols)
+        val_arr = np.concatenate(vals)
+    else:
+        row_arr = np.zeros(0, dtype=np.int64)
+        col_arr = np.zeros(0, dtype=np.int64)
+        val_arr = np.zeros(0)
+    matrix = coo_matrix(
+        (val_arr, (row_arr, col_arr)), shape=(n_nodes, n_nodes)
+    ).tocsc()
+    return matrix, b1
+
+
+class ConductanceBuilder:
+    """Accumulates pairwise conductances into a sparse stiffness matrix ``K``."""
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = n_nodes
+        self._rows: list = []
+        self._cols: list = []
+        self._vals: list = []
+        self._diag = np.zeros(n_nodes)
+
+    def add_pairs(
+        self, node_a: np.ndarray, node_b: np.ndarray, conductance: np.ndarray
+    ) -> None:
+        """Add conductances between node pairs (vectorized)."""
+        node_a = np.asarray(node_a, dtype=np.int64)
+        node_b = np.asarray(node_b, dtype=np.int64)
+        g = np.asarray(conductance, dtype=float)
+        keep = g > 0
+        if not keep.all():
+            node_a, node_b, g = node_a[keep], node_b[keep], g[keep]
+        if node_a.size == 0:
+            return
+        np.add.at(self._diag, node_a, g)
+        np.add.at(self._diag, node_b, g)
+        self._rows.extend((node_a, node_b))
+        self._cols.extend((node_b, node_a))
+        self._vals.extend((-g, -g))
+
+    def add_grounded(self, nodes: np.ndarray, conductance: np.ndarray) -> None:
+        """Add conductances from nodes to a fixed-temperature reservoir."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        g = np.asarray(conductance, dtype=float)
+        np.add.at(self._diag, nodes, g)
+
+    def build(self) -> csc_matrix:
+        """Assemble the accumulated conductances into a CSC matrix."""
+        rows = list(self._rows)
+        cols = list(self._cols)
+        vals = list(self._vals)
+        rows.append(np.arange(self.n_nodes, dtype=np.int64))
+        cols.append(np.arange(self.n_nodes, dtype=np.int64))
+        vals.append(self._diag)
+        return coo_matrix(
+            (
+                np.concatenate(vals),
+                (np.concatenate(rows), np.concatenate(cols)),
+            ),
+            shape=(self.n_nodes, self.n_nodes),
+        ).tocsc()
+
+
+class LinearThermalSystem:
+    """Solves ``(K + P A) T = b0 + P b1`` for the node temperature vector.
+
+    Shared back end of both simulators; subclass meshes provide the matrices
+    and interpret the solution vector.
+    """
+
+    def __init__(
+        self,
+        stiffness: csc_matrix,
+        advection: csc_matrix,
+        rhs_static: np.ndarray,
+        rhs_advection: np.ndarray,
+    ):
+        self.stiffness = stiffness
+        self.advection = advection
+        self.rhs_static = rhs_static
+        self.rhs_advection = rhs_advection
+        self.n_nodes = stiffness.shape[0]
+
+    def solve(self, p_sys: float) -> np.ndarray:
+        """Node temperatures at one system pressure drop."""
+        if p_sys <= 0:
+            raise ThermalError(
+                f"system pressure must be positive for a steady solution, "
+                f"got {p_sys}"
+            )
+        matrix = (self.stiffness + p_sys * self.advection).tocsc()
+        rhs = self.rhs_static + p_sys * self.rhs_advection
+        try:
+            lu = splu(matrix)
+        except RuntimeError as exc:
+            raise ThermalError(
+                "thermal system is singular; some nodes may be thermally "
+                "isolated from the coolant"
+            ) from exc
+        temperatures = lu.solve(rhs)
+        if not np.all(np.isfinite(temperatures)):
+            raise ThermalError("thermal solve produced non-finite temperatures")
+        return temperatures
+
+    def system_matrix(self, p_sys: float) -> csc_matrix:
+        """The assembled operator at ``p_sys`` (used by the transient solver)."""
+        return (self.stiffness + p_sys * self.advection).tocsc()
+
+    def rhs(self, p_sys: float) -> np.ndarray:
+        """Right-hand side (sources + inlet enthalpy) at ``p_sys``."""
+        return self.rhs_static + p_sys * self.rhs_advection

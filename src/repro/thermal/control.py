@@ -1,0 +1,222 @@
+"""Run-time thermal management: pressure control under dynamic power.
+
+The paper's future work proposes "combining cooling networks with run-time
+thermal management techniques (e.g., DVFS and adjustable flow rates) to
+handle dynamic die power".  This module implements that loop on top of the
+transient extension: a controller observes the peak temperature at a control
+period and adjusts the pump pressure; the plant integrates backward-Euler
+between control decisions (re-factorizing only when the pressure actually
+changes, which keeps the loop cheap).
+
+Two standard controllers are provided: a hysteresis (bang-bang) controller
+switching between two pump levels, and a clamped proportional-integral
+controller tracking a peak-temperature setpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+from scipy.sparse import diags
+from scipy.sparse.linalg import splu
+
+from ..errors import ThermalError
+from .result import ThermalResult
+
+
+class HysteresisController:
+    """Bang-bang pump control with hysteresis.
+
+    Runs the pump at ``p_low`` until the peak temperature exceeds
+    ``t_high``, then at ``p_high`` until it drops below ``t_low``.
+    """
+
+    def __init__(
+        self, p_low: float, p_high: float, t_low: float, t_high: float
+    ):
+        if not 0 < p_low <= p_high:
+            raise ThermalError(
+                f"need 0 < p_low <= p_high, got ({p_low}, {p_high})"
+            )
+        if not t_low < t_high:
+            raise ThermalError(f"need t_low < t_high, got ({t_low}, {t_high})")
+        self.p_low = float(p_low)
+        self.p_high = float(p_high)
+        self.t_low = float(t_low)
+        self.t_high = float(t_high)
+        self._boosted = False
+
+    def __call__(self, t_max: float, p_current: float) -> float:
+        if self._boosted:
+            if t_max < self.t_low:
+                self._boosted = False
+        elif t_max > self.t_high:
+            self._boosted = True
+        return self.p_high if self._boosted else self.p_low
+
+
+class PIController:
+    """Clamped proportional-integral control of the pump pressure.
+
+    Tracks ``T_max -> setpoint`` with gains in Pa/K; the output is clamped
+    to ``[p_min, p_max]`` with integral anti-windup.
+    """
+
+    def __init__(
+        self,
+        setpoint: float,
+        kp: float,
+        ki: float,
+        p_min: float,
+        p_max: float,
+        period: float,
+    ):
+        if not 0 < p_min < p_max:
+            raise ThermalError(f"need 0 < p_min < p_max, got ({p_min}, {p_max})")
+        if period <= 0:
+            raise ThermalError(f"control period must be positive, got {period}")
+        self.setpoint = float(setpoint)
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.period = float(period)
+        self._integral = 0.0
+
+    def __call__(self, t_max: float, p_current: float) -> float:
+        error = t_max - self.setpoint  # hotter than setpoint -> pump harder
+        candidate = (
+            p_current + self.kp * error + self.ki * self._integral
+        )
+        clamped = min(max(candidate, self.p_min), self.p_max)
+        if clamped == candidate:  # anti-windup: integrate only unclamped
+            self._integral += error * self.period
+        return clamped
+
+
+@dataclass
+class ControlTrace:
+    """Time series of a controlled transient run."""
+
+    times: List[float]
+    t_max: List[float]
+    delta_t: List[float]
+    pressures: List[float]
+    #: Average pumping power over the run, W.
+    mean_pumping_power: float
+    #: Snapshots at the control instants.
+    results: List[ThermalResult] = field(default_factory=list)
+
+    @property
+    def peak(self) -> float:
+        """Highest peak temperature over the whole run."""
+        return max(self.t_max)
+
+    def time_above(self, threshold: float) -> float:
+        """Total simulated time spent with ``T_max`` above ``threshold``."""
+        total = 0.0
+        for (t0, t1), value in zip(
+            zip(self.times, self.times[1:]), self.t_max[1:]
+        ):
+            if value > threshold:
+                total += t1 - t0
+        return total
+
+
+def run_controlled(
+    steady,
+    controller: Callable[[float, float], float],
+    duration: float,
+    control_period: float,
+    dt: float,
+    p_initial: float,
+    power_profile: Optional[Callable[[float], float]] = None,
+    store_results: bool = False,
+) -> ControlTrace:
+    """Closed-loop transient simulation with pump-pressure control.
+
+    Args:
+        steady: An :class:`~repro.thermal.rc2.RC2Simulator` or
+            :class:`~repro.thermal.rc4.RC4Simulator` (its assembled matrices
+            are reused; the flow/advection scales with the commanded
+            pressure).
+        controller: Called once per control period with
+            ``(t_max, p_current)``; returns the commanded pressure in Pa.
+        duration: Total simulated time, s.
+        control_period: Time between controller invocations, s.
+        dt: Backward-Euler step, s (must divide the control period).
+        p_initial: Pump pressure before the first control decision, Pa.
+        power_profile: Optional multiplier on the die power over time
+            (models DVFS-driven dynamic power).
+        store_results: Keep full thermal snapshots at control instants.
+
+    Returns:
+        A :class:`ControlTrace`.
+    """
+    if control_period <= 0 or dt <= 0 or duration <= 0:
+        raise ThermalError("duration, control_period and dt must be positive")
+    steps_per_period = int(round(control_period / dt))
+    if steps_per_period < 1 or abs(steps_per_period * dt - control_period) > 1e-9:
+        raise ThermalError(
+            f"dt={dt} must divide the control period {control_period}"
+        )
+    n_periods = int(round(duration / control_period))
+    if n_periods < 1:
+        raise ThermalError("duration shorter than one control period")
+
+    capacitances = steady.node_capacitances()
+    c_over_dt = capacitances / dt
+    rhs_power = steady.system.rhs_static
+    state = np.full(steady.system.n_nodes, steady.inlet_temperature)
+
+    p_current = float(p_initial)
+    lu = None
+    lu_pressure = None
+    energy_pump = 0.0
+
+    times = [0.0]
+    result0 = steady._package(max(p_current, 1e-9), state.copy())
+    t_maxes = [result0.t_max]
+    delta_ts = [result0.delta_t]
+    pressures = [p_current]
+    results = [result0] if store_results else []
+
+    time = 0.0
+    for _ in range(n_periods):
+        commanded = float(controller(t_maxes[-1], p_current))
+        if commanded <= 0:
+            raise ThermalError(
+                f"controller commanded non-positive pressure {commanded}"
+            )
+        p_current = commanded
+        if lu is None or p_current != lu_pressure:
+            matrix = steady.system.system_matrix(p_current)
+            lu = splu((matrix + diags(c_over_dt)).tocsc())
+            lu_pressure = p_current
+        rhs_adv = p_current * steady.system.rhs_advection
+        for _ in range(steps_per_period):
+            time += dt
+            scale = 1.0 if power_profile is None else float(power_profile(time))
+            state = lu.solve(c_over_dt * state + scale * rhs_power + rhs_adv)
+        # Pumping power P^2 / R integrated over the period.
+        q_unit = sum(f.q_sys(1.0) for f in steady.flow_fields)
+        energy_pump += p_current * p_current * q_unit * control_period
+
+        snapshot = steady._package(p_current, state.copy())
+        times.append(time)
+        t_maxes.append(snapshot.t_max)
+        delta_ts.append(snapshot.delta_t)
+        pressures.append(p_current)
+        if store_results:
+            results.append(snapshot)
+
+    return ControlTrace(
+        times=times,
+        t_max=t_maxes,
+        delta_t=delta_ts,
+        pressures=pressures,
+        mean_pumping_power=energy_pump / (n_periods * control_period),
+        results=results,
+    )

@@ -1,0 +1,174 @@
+"""Public verification utilities: check solutions against physical laws.
+
+Downstream users extending the models (new conductance terms, new network
+generators) can call these after any change; the same invariants back the
+test suite:
+
+* volume conservation and the discrete maximum principle for flow solutions;
+* energy conservation (die power = coolant enthalpy rise) and near-minimum
+  temperatures for thermal results;
+* 2RM-vs-4RM agreement within a tolerance for a whole stack.
+
+Each check returns a :class:`VerificationReport`; ``raise_if_failed()``
+turns violations into exceptions for use in CI-style gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .errors import ReproError
+from .flow.network import FlowSolution
+from .thermal.result import ThermalResult
+
+
+class VerificationError(ReproError):
+    """A solution violates a physical invariant."""
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification pass."""
+
+    checks: List[str] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every check passed."""
+        return not self.violations
+
+    def record(self, name: str, passed: bool, detail: str = "") -> None:
+        """Log one check outcome."""
+        self.checks.append(name)
+        if not passed:
+            self.violations.append(f"{name}: {detail}" if detail else name)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`VerificationError` on any violation."""
+        if self.violations:
+            raise VerificationError(
+                f"{len(self.violations)} invariant violation(s): "
+                + "; ".join(self.violations)
+            )
+
+    def merged_with(self, other: "VerificationReport") -> "VerificationReport":
+        """Concatenate two reports."""
+        return VerificationReport(
+            checks=self.checks + other.checks,
+            violations=self.violations + other.violations,
+        )
+
+
+def verify_flow_solution(
+    solution: FlowSolution, rtol: float = 1e-9
+) -> VerificationReport:
+    """Check a flow solution: conservation, pressure bounds, flow balance."""
+    report = VerificationReport()
+    scale = max(abs(solution.q_sys), 1e-30)
+
+    residual = float(np.abs(solution.conservation_residual()).max())
+    report.record(
+        "volume conservation",
+        residual <= rtol * scale,
+        f"max residual {residual:.3e} m^3/s vs Q_sys {solution.q_sys:.3e}",
+    )
+    p_min = float(solution.pressures.min())
+    p_max = float(solution.pressures.max())
+    report.record(
+        "discrete maximum principle",
+        p_min >= -rtol * solution.p_sys and p_max <= solution.p_sys * (1 + rtol),
+        f"pressures in [{p_min:.3g}, {p_max:.3g}] vs [0, {solution.p_sys:.3g}]",
+    )
+    inflow = float(solution.inlet_flows.sum())
+    outflow = float(solution.outlet_flows.sum())
+    report.record(
+        "inflow equals outflow",
+        abs(inflow - outflow) <= rtol * scale,
+        f"in {inflow:.3e} vs out {outflow:.3e}",
+    )
+    report.record(
+        "positive throughput", solution.q_sys > 0, f"Q_sys = {solution.q_sys}"
+    )
+    return report
+
+
+def verify_thermal_result(
+    result: ThermalResult,
+    energy_rtol: float = 1e-6,
+    undershoot_fraction: float = 0.02,
+) -> VerificationReport:
+    """Check a thermal result: energy balance and temperature bounds.
+
+    ``undershoot_fraction`` bounds how far below the inlet temperature any
+    node may sit, as a fraction of the total rise -- the central differencing
+    scheme (Eq. 6) is not positivity-preserving, so a small undershoot is
+    expected numerics rather than a bug.
+    """
+    report = VerificationReport()
+    if result.coolant_heat_removed is not None and result.total_power > 0:
+        error = result.energy_balance_error()
+        report.record(
+            "energy conservation",
+            error <= energy_rtol,
+            f"relative imbalance {error:.3e}",
+        )
+    rise = max(result.t_max - result.inlet_temperature, 0.0)
+    floor = result.inlet_temperature - max(
+        undershoot_fraction * rise, 1e-9
+    )
+    coldest = min(float(np.nanmin(f)) for f in result.layer_fields)
+    report.record(
+        "near-minimum principle",
+        coldest >= floor,
+        f"coldest node {coldest:.3f} K vs floor {floor:.3f} K",
+    )
+    finite = all(
+        np.isfinite(f[~np.isnan(f)]).all() for f in result.layer_fields
+    )
+    report.record("finite temperatures", finite)
+    if result.source_layer_indices:
+        report.record(
+            "peak in source layer",
+            abs(result.t_max - result.t_max_source) < 1e-6,
+            f"T_max {result.t_max:.3f} vs source peak "
+            f"{result.t_max_source:.3f}",
+        )
+    return report
+
+
+def verify_model_agreement(
+    stack,
+    coolant,
+    pressures: Sequence[float],
+    tile_size: int = 4,
+    tolerance: float = 0.02,
+    inlet_temperature: float = 300.0,
+) -> VerificationReport:
+    """Check that 2RM tracks 4RM on a stack across pressures.
+
+    ``tolerance`` bounds the mean per-node relative error of source-layer
+    temperatures (the paper's Fig. 9(a) metric).  Remember the documented
+    counterflow limitation: dense serpentines legitimately exceed any such
+    tolerance (see ``tests/thermal/test_model_limitations.py``).
+    """
+    from .analysis.model_compare import compare_models
+
+    report = VerificationReport()
+    records = compare_models(
+        stack,
+        coolant,
+        [tile_size],
+        pressures,
+        inlet_temperature=inlet_temperature,
+    )
+    for record in records:
+        report.record(
+            f"2RM agreement @ {record.p_sys / 1e3:.1f} kPa",
+            record.error_abs <= tolerance,
+            f"mean relative error {record.error_abs:.3%} > {tolerance:.1%}",
+        )
+    return report

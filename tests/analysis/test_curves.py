@@ -1,0 +1,98 @@
+"""Tests for pressure-curve analysis (Figs. 5 and 6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import classify_gradient_curve, pressure_sweep, turning_point
+from repro.analysis.curves import SHAPE_DECREASING, SHAPE_UNIMODAL
+from repro.cooling import CoolingSystem
+from repro.errors import SearchError
+
+
+class TestClassification:
+    def test_decreasing(self):
+        ps = np.array([1e3, 1e4, 1e5])
+        dt = np.array([10.0, 6.0, 5.0])
+        assert classify_gradient_curve(ps, dt) == SHAPE_DECREASING
+
+    def test_unimodal(self):
+        ps = np.array([1e3, 1e4, 1e5])
+        dt = np.array([10.0, 4.0, 7.0])
+        assert classify_gradient_curve(ps, dt) == SHAPE_UNIMODAL
+
+    def test_tiny_noise_ignored(self):
+        ps = np.array([1e3, 1e4, 1e5])
+        dt = np.array([10.0, 5.0, 5.0000001])
+        assert classify_gradient_curve(ps, dt) == SHAPE_DECREASING
+
+    def test_needs_two_samples(self):
+        with pytest.raises(SearchError):
+            classify_gradient_curve(np.array([1.0]), np.array([1.0]))
+
+
+class TestTurningPoint:
+    def test_knee_detection(self):
+        ps = np.array([1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+        ts = np.array([400.0, 350.0, 320.0, 305.0, 301.0, 300.0])
+        knee = turning_point(ps, ts, knee_fraction=0.9)
+        # 90% of the 100 K drop is covered at T <= 310 K: first at p=8.
+        assert knee == pytest.approx(8.0)
+
+    def test_flat_curve(self):
+        ps = np.array([1.0, 2.0, 4.0])
+        ts = np.array([300.0, 300.0, 300.0])
+        assert turning_point(ps, ts) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            turning_point(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+        with pytest.raises(SearchError):
+            turning_point(
+                np.array([1.0, 2.0, 3.0]),
+                np.array([3.0, 2.0, 1.0]),
+                knee_fraction=1.5,
+            )
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def system(self):
+        from repro.iccad2015 import load_case
+
+        case = load_case(1, grid_size=21)
+        return CoolingSystem.for_network(
+            case.base_stack(),
+            case.baseline_network(),
+            case.coolant,
+            model="2rm",
+        )
+
+    def test_sweep_outputs(self, system):
+        sweep = pressure_sweep(system, [1e3, 5e3, 2e4, 8e4])
+        assert sweep.pressures.shape == (4,)
+        assert sweep.peak_is_monotone()
+        assert np.all(np.diff(sweep.w_pump) > 0)
+
+    def test_probe_traces_decrease(self, system):
+        probes = [("upstream", 0, 10, 1), ("downstream", 0, 10, 19)]
+        sweep = pressure_sweep(system, [1e3, 5e3, 2e4, 8e4], probe_cells=probes)
+        for label in ("upstream", "downstream"):
+            trace = sweep.node_curves[label]
+            assert np.all(np.diff(trace) < 1e-9)
+
+    def test_upstream_turns_before_downstream(self, system):
+        """Fig. 5: upstream cells reach their turning point earlier."""
+        pressures = np.geomspace(5e2, 2e5, 14)
+        probes = [("up", 0, 10, 1), ("down", 0, 10, 19)]
+        sweep = pressure_sweep(system, pressures, probe_cells=probes)
+        knee_up = turning_point(sweep.pressures, sweep.node_curves["up"], 0.9)
+        knee_down = turning_point(sweep.pressures, sweep.node_curves["down"], 0.9)
+        assert knee_up <= knee_down
+
+    def test_needs_positive_pressures(self, system):
+        with pytest.raises(SearchError):
+            pressure_sweep(system, [0.0, 1e3])
+
+    def test_needs_two_pressures(self, system):
+        with pytest.raises(SearchError):
+            pressure_sweep(system, [1e3])

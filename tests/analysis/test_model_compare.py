@@ -1,0 +1,56 @@
+"""Tests for the 2RM vs 4RM comparison machinery (Fig. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_models
+from repro.analysis.model_compare import aggregate_by
+from repro.materials import WATER
+
+
+@pytest.fixture(scope="module")
+def records():
+    from repro.iccad2015 import load_case
+
+    case = load_case(1, grid_size=21)
+    stack = case.base_stack()
+    return compare_models(
+        stack,
+        WATER,
+        tile_sizes=[2, 4, 7],
+        pressures=[5e3, 2e4],
+        network_name="straight",
+        style="straight",
+    )
+
+
+class TestComparisonRecords:
+    def test_record_count(self, records):
+        assert len(records) == 6  # 3 tile sizes x 2 pressures
+
+    def test_errors_small_for_fine_tiles(self, records):
+        fine = [r for r in records if r.tile_size == 2]
+        assert all(r.error_abs < 0.02 for r in fine)
+
+    def test_error_grows_with_tile_size(self, records):
+        by_tile = aggregate_by(records, "tile_size")
+        assert by_tile[2]["error_rise"] <= by_tile[7]["error_rise"] * 1.05
+
+    def test_speedup_positive(self, records):
+        assert all(r.speedup > 0 for r in records)
+
+    def test_timings_recorded(self, records):
+        assert all(r.time_4rm > 0 and r.time_2rm > 0 for r in records)
+
+
+class TestAggregation:
+    def test_group_by_pressure(self, records):
+        by_p = aggregate_by(records, "p_sys")
+        assert set(by_p) == {5e3, 2e4}
+        assert all(v["count"] == 3 for v in by_p.values())
+
+    def test_means_are_finite(self, records):
+        by_tile = aggregate_by(records, "tile_size")
+        for stats in by_tile.values():
+            assert np.isfinite(stats["error_abs"])
+            assert np.isfinite(stats["speedup"])

@@ -1,0 +1,104 @@
+"""Tests for the sensitivity analysis utilities."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PARAMETERS,
+    elasticities,
+    sensitivity_sweep,
+)
+from repro.errors import ThermalError
+from repro.iccad2015 import load_case
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    case = load_case(1, grid_size=21)
+    records = sensitivity_sweep(
+        case.base_stack(),
+        case.baseline_network(),
+        case.coolant,
+        p_sys=1e4,
+        scales=(0.8, 1.0, 1.25),
+    )
+    return case, records
+
+
+class TestSweep:
+    def test_record_count(self, sweep):
+        _, records = sweep
+        assert len(records) == len(PARAMETERS) * 3
+
+    def test_unknown_parameter_rejected(self, sweep):
+        case, _ = sweep
+        with pytest.raises(ThermalError, match="unknown"):
+            sensitivity_sweep(
+                case.base_stack(),
+                case.baseline_network(),
+                case.coolant,
+                1e4,
+                parameters=("gravity",),
+            )
+
+    def test_taller_channels_cool_more(self, sweep):
+        """Raising h_c cuts fluid resistance -> more flow -> cooler."""
+        _, records = sweep
+        group = {
+            r.scale: r for r in records if r.parameter == "channel_height"
+        }
+        assert group[1.25].t_max < group[0.8].t_max
+        assert group[1.25].q_sys > group[0.8].q_sys
+
+    def test_viscosity_throttles_flow(self, sweep):
+        _, records = sweep
+        group = {r.scale: r for r in records if r.parameter == "viscosity"}
+        assert group[1.25].q_sys < group[0.8].q_sys
+        assert group[1.25].t_max > group[0.8].t_max
+
+    def test_heat_capacity_cools_downstream(self, sweep):
+        """A stronger coolant lowers the downstream rise (gradient)."""
+        _, records = sweep
+        group = {
+            r.scale: r
+            for r in records
+            if r.parameter == "coolant_heat_capacity"
+        }
+        assert group[1.25].delta_t <= group[0.8].delta_t
+        # Flow itself is unaffected (viscosity unchanged).
+        assert group[1.25].q_sys == pytest.approx(group[0.8].q_sys, rel=1e-9)
+
+    def test_nusselt_improves_film(self, sweep):
+        _, records = sweep
+        group = {r.scale: r for r in records if r.parameter == "nusselt"}
+        assert group[1.25].t_max < group[0.8].t_max
+
+
+class TestElasticities:
+    def test_signs(self, sweep):
+        _, records = sweep
+        slopes = elasticities(records, metric="t_max")
+        assert slopes["channel_height"] < 0  # taller -> cooler
+        assert slopes["viscosity"] > 0  # thicker -> hotter
+        assert slopes["nusselt"] < 0
+
+    def test_dominant_knob_depends_on_regime(self, sweep):
+        """Past the turning point the film coefficient dominates; when the
+        system is flow-starved the hydraulic knob (h_c) takes over."""
+        case, records = sweep
+        rich = elasticities(records, metric="t_max")
+        assert abs(rich["nusselt"]) > abs(rich["channel_height"])
+        starved_records = sensitivity_sweep(
+            case.base_stack(),
+            case.baseline_network(),
+            case.coolant,
+            p_sys=4e2,
+            scales=(0.8, 1.0, 1.25),
+        )
+        starved = elasticities(starved_records, metric="t_max")
+        assert abs(starved["channel_height"]) > abs(starved["nusselt"])
+
+    def test_metric_selection(self, sweep):
+        _, records = sweep
+        slopes = elasticities(records, metric="w_pump")
+        # W_pump = P^2/R: taller channels lower R -> more power at fixed P.
+        assert slopes["channel_height"] > 0

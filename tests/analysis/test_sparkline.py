@@ -1,0 +1,55 @@
+"""Tests for the sparkline renderer and SA convergence traces."""
+
+import math
+
+from repro.analysis.render import sparkline
+
+
+class TestSparkline:
+    def test_ramp(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 8
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_infinite_marks(self):
+        line = sparkline([math.inf, 1.0, 2.0])
+        assert line[0] == "!"
+
+    def test_all_infinite(self):
+        assert sparkline([math.inf, math.inf]) == "!!"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_resampling_caps_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+
+class TestStageHistories:
+    def test_runner_records_histories(self):
+        from repro.iccad2015 import load_case
+        from repro.optimize import optimize_problem1
+        from repro.optimize.stages import (
+            METRIC_LOWEST_FEASIBLE_POWER,
+            StageConfig,
+        )
+
+        case = load_case(1, grid_size=21)
+        stages = [
+            StageConfig("s", 3, 2, 4, METRIC_LOWEST_FEASIBLE_POWER, "2rm")
+        ]
+        result = optimize_problem1(case, stages=stages, directions=(0,))
+        report = result.stage_reports[0]
+        assert len(report.histories) == 2
+        history = report.histories[0]
+        assert len(history.best_costs) <= 3
+        # Best-so-far is non-increasing; it sparklines cleanly.
+        line = sparkline(history.best_costs)
+        assert isinstance(line, str) and line

@@ -1,0 +1,65 @@
+"""Tests for text table formatting."""
+
+import math
+
+import pytest
+
+from repro.analysis import format_table, result_row
+from repro.analysis.tables import improvement_percent
+from repro.cooling.evaluation import EvaluationResult
+
+
+def _evaluation(feasible=True):
+    return EvaluationResult(
+        score=1.66e-3 if feasible else math.inf,
+        feasible=feasible,
+        p_sys=8720.0,
+        w_pump=1.66e-3,
+        t_max=358.0,
+        delta_t=15.0,
+        simulations=12,
+    )
+
+
+class TestResultRow:
+    def test_feasible_row(self):
+        row = result_row(_evaluation())
+        assert row["P_sys (kPa)"] == "8.72"
+        assert row["W_pump (mW)"] == "1.660"
+        assert row["DeltaT (K)"] == "15.00"
+
+    def test_infeasible_row_is_na(self):
+        row = result_row(_evaluation(feasible=False))
+        assert set(row.values()) == {"N/A"}
+
+    def test_none_row_is_na(self):
+        row = result_row(None)
+        assert set(row.values()) == {"N/A"}
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["case", "value"], [[1, 3.14159], [2, 100.0]], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "case" in lines[1]
+        assert "3.142" in text
+
+    def test_handles_nan_inf(self):
+        text = format_table(["x"], [[float("nan")], [float("inf")]])
+        assert "N/A" in text and "inf" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestImprovement:
+    def test_reduction(self):
+        assert improvement_percent(10.41, 1.66) == pytest.approx(84.05, abs=0.1)
+
+    def test_nan_for_infeasible(self):
+        assert math.isnan(improvement_percent(float("inf"), 1.0))
+        assert math.isnan(improvement_percent(0.0, 1.0))

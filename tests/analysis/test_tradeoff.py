@@ -1,0 +1,115 @@
+"""Tests for trade-off curves and Pareto dominance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    front_dominates,
+    pareto_front,
+    tradeoff_curve,
+)
+from repro.cooling import CoolingSystem
+from repro.errors import SearchError
+from repro.iccad2015 import load_case
+
+
+@pytest.fixture(scope="module")
+def systems():
+    case = load_case(1, grid_size=21)
+    straight = CoolingSystem.for_network(
+        case.base_stack(), case.baseline_network(), case.coolant
+    )
+    tree = CoolingSystem.for_network(
+        case.base_stack(), case.tree_plan().build(), case.coolant
+    )
+    return case, straight, tree
+
+
+class TestTradeoffPoint:
+    def test_dominance(self):
+        a = TradeoffPoint(1.0, 1.0, 5.0, 310.0)
+        b = TradeoffPoint(2.0, 2.0, 6.0, 312.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_incomparable(self):
+        a = TradeoffPoint(1.0, 1.0, 8.0, 310.0)
+        b = TradeoffPoint(2.0, 2.0, 6.0, 312.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = TradeoffPoint(1.0, 1.0, 5.0, 310.0)
+        b = TradeoffPoint(2.0, 1.0, 5.0, 310.0)
+        assert not a.dominates(b)
+
+
+class TestTradeoffCurve:
+    def test_power_increases_along_curve(self, systems):
+        _, straight, _ = systems
+        curve = tradeoff_curve(straight, np.geomspace(1e3, 5e4, 8))
+        w = [pt.w_pump for pt in curve]
+        assert w == sorted(w)
+
+    def test_t_max_filter(self, systems):
+        _, straight, _ = systems
+        full = tradeoff_curve(straight, np.geomspace(1e3, 5e4, 8))
+        hottest = max(pt.t_max for pt in full)
+        coldest = min(pt.t_max for pt in full)
+        cut = (hottest + coldest) / 2
+        filtered = tradeoff_curve(
+            straight, np.geomspace(1e3, 5e4, 8), t_max_star=cut
+        )
+        assert 0 < len(filtered) < len(full)
+        assert all(pt.t_max <= cut for pt in filtered)
+
+    def test_validation(self, systems):
+        _, straight, _ = systems
+        with pytest.raises(SearchError):
+            tradeoff_curve(straight, [1e4])
+        with pytest.raises(SearchError):
+            tradeoff_curve(straight, [0.0, 1e4])
+
+
+class TestParetoFront:
+    def test_front_is_subset_and_sorted(self, systems):
+        _, straight, _ = systems
+        curve = tradeoff_curve(straight, np.geomspace(1e3, 5e4, 8))
+        front = pareto_front(curve)
+        assert set(front) <= set(curve)
+        w = [pt.w_pump for pt in front]
+        assert w == sorted(w)
+        # Along the front DeltaT must be non-increasing.
+        dts = [pt.delta_t for pt in front]
+        assert all(a >= b - 1e-12 for a, b in zip(dts, dts[1:]))
+
+    def test_front_nondominated(self, systems):
+        _, straight, _ = systems
+        curve = tradeoff_curve(straight, np.geomspace(1e3, 5e4, 8))
+        front = pareto_front(curve)
+        for pt in front:
+            assert not any(o.dominates(pt) for o in curve)
+
+    def test_monotone_curve_is_its_own_front(self, systems):
+        """For a monotone-decreasing f every sampled point is efficient."""
+        _, straight, _ = systems
+        curve = tradeoff_curve(straight, np.geomspace(1e3, 5e4, 8))
+        front = pareto_front(curve)
+        dts = [pt.delta_t for pt in curve]
+        if all(a >= b for a, b in zip(dts, dts[1:])):
+            assert len(front) == len(curve)
+
+
+class TestFrontDominance:
+    def test_self_not_dominating(self, systems):
+        _, straight, _ = systems
+        front = pareto_front(
+            tradeoff_curve(straight, np.geomspace(1e3, 5e4, 6))
+        )
+        # A front never dominates itself (no strict improvement).
+        assert not front_dominates(front, front)
+
+    def test_empty_front_rejected(self):
+        with pytest.raises(SearchError):
+            front_dominates([], [])

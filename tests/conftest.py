@@ -1,0 +1,80 @@
+"""Shared fixtures: small grids, stacks and benchmark cases.
+
+Tests run on reduced footprints (21x21 or smaller) so the whole suite stays
+fast; physics invariants (conservation laws, monotonicity, model agreement)
+are scale-free and hold at any size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import CELL_WIDTH
+from repro.geometry import build_contest_stack
+from repro.iccad2015 import load_case
+from repro.materials import WATER
+from repro.networks import plan_tree_bands, straight_network
+
+
+@pytest.fixture
+def straight_grid():
+    """A 21x21 straight-channel network (west to east)."""
+    return straight_network(21, 21)
+
+
+@pytest.fixture
+def tree_grid():
+    """A 21x21 tree-like network."""
+    return plan_tree_bands(21, 21).build()
+
+
+@pytest.fixture
+def uniform_power():
+    """A 2 W uniform power map on the 21x21 footprint."""
+    return np.full((21, 21), 2.0 / (21 * 21))
+
+
+@pytest.fixture
+def small_stack(straight_grid, uniform_power):
+    """A 2-die stack with straight channels and uniform power."""
+    return build_contest_stack(
+        n_dies=2,
+        channel_height=200e-6,
+        power_maps=[uniform_power, uniform_power],
+        grid_factory=lambda die: straight_grid.copy(),
+        nrows=21,
+        ncols=21,
+        cell_width=CELL_WIDTH,
+    )
+
+
+@pytest.fixture
+def tree_stack(tree_grid, uniform_power):
+    """A 2-die stack with a tree network and uniform power."""
+    return build_contest_stack(
+        n_dies=2,
+        channel_height=200e-6,
+        power_maps=[uniform_power, uniform_power],
+        grid_factory=lambda die: tree_grid.copy(),
+        nrows=21,
+        ncols=21,
+        cell_width=CELL_WIDTH,
+    )
+
+
+@pytest.fixture
+def coolant():
+    return WATER
+
+
+@pytest.fixture
+def case1_small():
+    """Benchmark case 1 at a 21x21 footprint."""
+    return load_case(1, grid_size=21)
+
+
+@pytest.fixture
+def case3_small():
+    """Benchmark case 3 (restricted area) at a 31x31 footprint."""
+    return load_case(3, grid_size=31)

@@ -1,0 +1,130 @@
+"""Integration tests for network evaluation (Algorithm 2 and its P2 twin)."""
+
+import math
+
+import pytest
+
+from repro.cooling import CoolingSystem, evaluate_problem1, evaluate_problem2
+
+
+@pytest.fixture(scope="module")
+def system():
+    from repro.iccad2015 import load_case
+
+    case = load_case(1, grid_size=21)
+    return case, CoolingSystem.for_network(
+        case.base_stack(),
+        case.baseline_network(),
+        case.coolant,
+        model="2rm",
+        tile_size=4,
+    )
+
+
+class TestProblem1Evaluation:
+    def test_feasible_case(self, system):
+        case, sysm = system
+        result = evaluate_problem1(sysm, case.delta_t_star, case.t_max_star)
+        assert result.feasible
+        assert result.score == pytest.approx(result.w_pump)
+        assert result.delta_t <= case.delta_t_star * 1.01
+        assert result.t_max <= case.t_max_star * 1.01
+
+    def test_score_uses_eq10(self, system):
+        case, sysm = system
+        result = evaluate_problem1(sysm, case.delta_t_star, case.t_max_star)
+        assert result.w_pump == pytest.approx(
+            result.p_sys**2 / sysm.r_sys, rel=1e-9
+        )
+
+    def test_gradient_constraint_binds(self, system):
+        """At the optimum the gradient constraint is active (or T_max is)."""
+        case, sysm = system
+        result = evaluate_problem1(sysm, case.delta_t_star, case.t_max_star)
+        gradient_active = result.delta_t >= case.delta_t_star * 0.97
+        peak_active = result.t_max >= case.t_max_star * 0.97
+        assert gradient_active or peak_active
+
+    def test_impossible_gradient_infeasible(self, system):
+        case, sysm = system
+        result = evaluate_problem1(sysm, delta_t_star=0.001, t_max_star=case.t_max_star)
+        assert not result.feasible
+        assert math.isinf(result.score)
+
+    def test_impossible_peak_infeasible(self, system):
+        case, sysm = system
+        result = evaluate_problem1(
+            sysm, delta_t_star=case.delta_t_star, t_max_star=300.5
+        )
+        assert not result.feasible
+
+    def test_tighter_gradient_costs_more_power(self, system):
+        case, sysm = system
+        loose = evaluate_problem1(sysm, 15.0, case.t_max_star)
+        tight = evaluate_problem1(sysm, 8.0, case.t_max_star)
+        if tight.feasible:
+            assert tight.w_pump >= loose.w_pump
+
+    def test_peak_constraint_raises_pressure(self, system):
+        """A tight T_max* forces more pressure than the gradient alone."""
+        case, sysm = system
+        loose = evaluate_problem1(sysm, case.delta_t_star, case.t_max_star)
+        tight_t = loose.t_max - 2.0  # force the peak step to engage
+        tight = evaluate_problem1(sysm, case.delta_t_star, tight_t)
+        if tight.feasible:
+            assert tight.p_sys > loose.p_sys
+
+
+class TestProblem2Evaluation:
+    def test_feasible_case(self, system):
+        case, sysm = system
+        result = evaluate_problem2(sysm, case.t_max_star, case.w_pump_star())
+        assert result.feasible
+        assert result.score == pytest.approx(result.delta_t)
+        assert result.w_pump <= case.w_pump_star() * 1.01
+
+    def test_power_cap_respected(self, system):
+        case, sysm = system
+        w_star = case.w_pump_star()
+        result = evaluate_problem2(sysm, case.t_max_star, w_star)
+        assert result.w_pump <= w_star * (1 + 1e-9)
+
+    def test_larger_budget_never_worse(self, system):
+        case, sysm = system
+        small = evaluate_problem2(sysm, case.t_max_star, case.w_pump_star())
+        large = evaluate_problem2(sysm, case.t_max_star, 10 * case.w_pump_star())
+        assert large.score <= small.score * 1.001
+
+    def test_impossible_peak_infeasible(self, system):
+        case, sysm = system
+        result = evaluate_problem2(sysm, 300.5, case.w_pump_star())
+        assert not result.feasible
+        assert math.isinf(result.score)
+
+    def test_tiny_power_budget_infeasible_or_hot(self, system):
+        case, sysm = system
+        result = evaluate_problem2(sysm, case.t_max_star, 1e-12)
+        assert not result.feasible or result.delta_t > 0
+
+    def test_simulation_counts_recorded(self, system):
+        case, sysm = system
+        result = evaluate_problem2(sysm, case.t_max_star, case.w_pump_star())
+        assert result.simulations >= 0
+
+
+class TestRaiseIfInfeasible:
+    def test_feasible_chains(self, system):
+        case, sysm = system
+        from repro.cooling import evaluate_problem1
+
+        result = evaluate_problem1(sysm, case.delta_t_star, case.t_max_star)
+        assert result.raise_if_infeasible() is result
+
+    def test_infeasible_raises(self, system):
+        case, sysm = system
+        from repro.cooling import evaluate_problem1
+        from repro.errors import InfeasibleError
+
+        result = evaluate_problem1(sysm, 0.001, case.t_max_star)
+        with pytest.raises(InfeasibleError, match="cannot meet"):
+            result.raise_if_infeasible()

@@ -1,0 +1,113 @@
+"""Property-based tests of the pressure searches on random curves.
+
+Hypothesis draws random curves with the Section 4.1 shapes (uni-modal or
+monotone decreasing) and checks Algorithm 3's contract on each: when a
+feasible pressure exists it returns (approximately) the smallest one; when
+none exists it returns a certificate near the curve's minimum.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cooling import (
+    golden_section_minimize,
+    min_pressure_for_peak,
+    minimize_pressure_for_gradient,
+)
+
+
+@st.composite
+def unimodal_curves(draw):
+    """Uni-modal f with a known minimum inside the search range."""
+    p_opt = draw(st.floats(2e3, 8e4))
+    f_min = draw(st.floats(1.0, 20.0))
+    width = draw(st.floats(0.5, 4.0))
+
+    def f(p):
+        return f_min + width * math.log(p / p_opt) ** 2
+
+    return f, p_opt, f_min, width
+
+
+@st.composite
+def decreasing_curves(draw):
+    """Monotone decreasing f saturating at f_inf."""
+    scale = draw(st.floats(1e3, 1e6))
+    f_inf = draw(st.floats(0.5, 20.0))
+
+    def f(p):
+        return f_inf + scale / p
+
+    return f, scale, f_inf
+
+
+class TestAlgorithm3Properties:
+    @given(unimodal_curves(), st.floats(0.2, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_unimodal_contract(self, curve, margin):
+        f, p_opt, f_min, width = curve
+        target = f_min + margin
+        result = minimize_pressure_for_gradient(
+            f, target, p_init=5e3, p_max=1e7
+        )
+        # Analytic crossing below the optimum.
+        expected = p_opt * math.exp(-math.sqrt(margin / width))
+        assume(expected > 1.0)  # keep away from the p_min floor
+        assert result.feasible
+        assert f(result.p_sys) <= target * (1 + 2e-3)
+        assert result.p_sys == pytest.approx(expected, rel=2e-2)
+
+    @given(unimodal_curves(), st.floats(0.05, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_unimodal_infeasible_certificate(self, curve, gap):
+        f, p_opt, f_min, width = curve
+        target = f_min - gap  # below the minimum: unreachable
+        result = minimize_pressure_for_gradient(
+            f, target, p_init=5e3, p_max=1e7
+        )
+        assert not result.feasible
+        assert result.at_minimum
+        # The certificate value is close to the true minimum.
+        assert result.value <= f_min + 0.25 * (gap + width)
+
+    @given(decreasing_curves(), st.floats(0.3, 15.0))
+    @settings(max_examples=60, deadline=None)
+    def test_decreasing_contract(self, curve, margin):
+        f, scale, f_inf = curve
+        target = f_inf + margin
+        expected = scale / margin
+        assume(1.0 < expected < 1e6)
+        result = minimize_pressure_for_gradient(
+            f, target, p_init=5e3, p_max=1e7
+        )
+        assert result.feasible
+        assert result.p_sys == pytest.approx(expected, rel=2e-2)
+
+
+class TestGoldenSectionProperties:
+    @given(unimodal_curves())
+    @settings(max_examples=40, deadline=None)
+    def test_finds_interior_minimum(self, curve):
+        f, p_opt, f_min, _ = curve
+        lo, hi = p_opt / 50.0, p_opt * 50.0
+        result = golden_section_minimize(f, lo, hi, rtol=1e-4)
+        assert result.value == pytest.approx(f_min, abs=1e-2)
+        assert result.p_sys == pytest.approx(p_opt, rel=3e-2)
+
+
+class TestPeakSearchProperties:
+    @given(decreasing_curves(), st.floats(0.3, 15.0))
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_feasible_pressure(self, curve, margin):
+        h, scale, t_inf = curve
+        t_star = t_inf + margin
+        expected = scale / margin
+        assume(10.0 < expected < 1e5)
+        result = min_pressure_for_peak(h, t_star, p_lo=5.0, p_max=1e7)
+        assert result.feasible
+        assert h(result.p_sys) <= t_star * (1 + 1e-9)
+        # Minimality: a slightly lower pressure violates the constraint.
+        assert h(result.p_sys * 0.98) > t_star

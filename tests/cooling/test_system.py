@@ -1,0 +1,143 @@
+"""Unit tests for the CoolingSystem evaluation wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.cooling import CoolingSystem
+from repro.errors import ThermalError
+from repro.thermal import RC2Simulator, RC4Simulator
+
+
+class TestConstruction:
+    def test_2rm_model(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+            model="2rm",
+        )
+        assert isinstance(system.simulator, RC2Simulator)
+
+    def test_4rm_model(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+            model="4rm",
+        )
+        assert isinstance(system.simulator, RC4Simulator)
+
+    def test_unknown_model(self, case1_small):
+        with pytest.raises(ThermalError, match="unknown model"):
+            CoolingSystem(case1_small.base_stack(), case1_small.coolant, model="8rm")
+
+    def test_network_replicated_across_layers(self, case1_small):
+        grid = case1_small.baseline_network()
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(), grid, case1_small.coolant
+        )
+        layers = system.stack.channel_layers()
+        assert len(layers) == case1_small.n_dies
+        for layer in layers:
+            assert layer.grid.liquid_count == grid.liquid_count
+            assert layer.grid is not grid
+
+
+class TestEvaluationCache:
+    def test_cache_hit_skips_simulation(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        system.evaluate(1e4)
+        count = system.n_simulations
+        system.evaluate(1e4)
+        assert system.n_simulations == count
+
+    def test_distinct_pressures_simulate(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        system.evaluate(1e4)
+        system.evaluate(2e4)
+        assert system.n_simulations == 2
+
+    def test_clear_cache(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        system.evaluate(1e4)
+        system.clear_cache()
+        system.evaluate(1e4)
+        assert system.n_simulations == 2
+
+
+class TestHydraulicShortcuts:
+    def test_w_pump_needs_no_simulation(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        w = system.w_pump(1e4)
+        assert w > 0
+        assert system.n_simulations == 0
+
+    def test_w_pump_matches_simulation(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        result = system.evaluate(1e4)
+        assert system.w_pump(1e4) == pytest.approx(result.w_pump, rel=1e-12)
+
+    def test_p_sys_for_power_round_trip(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        p = system.p_sys_for_power(system.w_pump(7e3))
+        assert p == pytest.approx(7e3)
+
+    def test_r_sys_combines_layers_in_parallel(self, case1_small):
+        """Two identical channel layers halve the single-layer resistance."""
+        from repro.flow import FlowField
+
+        grid = case1_small.baseline_network()
+        single = FlowField(
+            grid, case1_small.channel_height, case1_small.coolant
+        ).r_sys
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(), grid, case1_small.coolant
+        )
+        assert system.r_sys == pytest.approx(single / case1_small.n_dies, rel=1e-9)
+
+
+class TestCurves:
+    def test_delta_t_and_t_max_accessors(self, case1_small):
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        result = system.evaluate(1e4)
+        assert system.delta_t(1e4) == pytest.approx(result.delta_t)
+        assert system.t_max(1e4) == pytest.approx(result.t_max)
+
+    def test_t_max_monotone_decreasing(self, case1_small):
+        """Section 4.1: h(P_sys) decreases monotonically."""
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        pressures = [1e3, 3e3, 1e4, 3e4, 1e5]
+        t = [system.t_max(p) for p in pressures]
+        assert all(a >= b for a, b in zip(t, t[1:]))

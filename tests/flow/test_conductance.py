@@ -1,0 +1,82 @@
+"""Unit tests for hydraulic conductance formulas (Eq. 1)."""
+
+import pytest
+
+from repro.constants import POISEUILLE_CONSTANT
+from repro.errors import FlowError
+from repro.flow import (
+    cell_conductance,
+    channel_cross_section,
+    edge_conductance,
+    hydraulic_diameter,
+)
+from repro.materials import WATER
+
+
+class TestHydraulicDiameter:
+    def test_square_duct(self):
+        # For a square duct D_h equals the side length.
+        assert hydraulic_diameter(1e-4, 1e-4) == pytest.approx(1e-4)
+
+    def test_rectangular_duct(self):
+        # 2wh/(w+h) for 100 x 200 um: 2*2e-8/3e-4.
+        assert hydraulic_diameter(1e-4, 2e-4) == pytest.approx(4e-8 / 3e-4)
+
+    def test_symmetric_in_arguments(self):
+        assert hydraulic_diameter(1e-4, 4e-4) == pytest.approx(
+            hydraulic_diameter(4e-4, 1e-4)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FlowError):
+            hydraulic_diameter(0.0, 1e-4)
+
+
+class TestCrossSection:
+    def test_area(self):
+        assert channel_cross_section(1e-4, 2e-4) == pytest.approx(2e-8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(FlowError):
+            channel_cross_section(1e-4, -1.0)
+
+
+class TestCellConductance:
+    def test_formula(self):
+        w, h, l = 1e-4, 2e-4, 1e-4
+        d_h = hydraulic_diameter(w, h)
+        expected = d_h**2 * (w * h) / (
+            POISEUILLE_CONSTANT * l * WATER.dynamic_viscosity
+        )
+        assert cell_conductance(w, h, l, WATER) == pytest.approx(expected)
+
+    def test_halving_length_doubles_conductance(self):
+        g1 = cell_conductance(1e-4, 2e-4, 1e-4, WATER)
+        g2 = cell_conductance(1e-4, 2e-4, 5e-5, WATER)
+        assert g2 == pytest.approx(2 * g1)
+
+    def test_taller_channel_conducts_more(self):
+        g_short = cell_conductance(1e-4, 2e-4, 1e-4, WATER)
+        g_tall = cell_conductance(1e-4, 4e-4, 1e-4, WATER)
+        assert g_tall > g_short
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(FlowError):
+            cell_conductance(1e-4, 2e-4, 0.0, WATER)
+
+
+class TestEdgeConductance:
+    def test_smaller_than_cell_conductance(self):
+        """The paper states the inlet/outlet conductance is smaller."""
+        g_cell = cell_conductance(1e-4, 2e-4, 1e-4, WATER)
+        g_edge = edge_conductance(1e-4, 2e-4, 1e-4, WATER)
+        assert g_edge < g_cell
+
+    def test_factor_scaling(self):
+        g_cell = cell_conductance(1e-4, 2e-4, 1e-4, WATER)
+        g_edge = edge_conductance(1e-4, 2e-4, 1e-4, WATER, factor=0.25)
+        assert g_edge == pytest.approx(0.25 * g_cell)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(FlowError):
+            edge_conductance(1e-4, 2e-4, 1e-4, WATER, factor=0.0)

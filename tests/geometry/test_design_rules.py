@@ -1,0 +1,158 @@
+"""Unit tests for the design rule checker (Section 3's rules)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignRuleError
+from repro.geometry import (
+    ChannelGrid,
+    DesignRules,
+    PortKind,
+    Rect,
+    Side,
+    check_design_rules,
+)
+from repro.networks import plan_tree_bands, straight_network
+
+
+def _channel(n=9):
+    grid = ChannelGrid(n, n)
+    grid.carve_horizontal(0, 0, n - 1)
+    grid.add_port(PortKind.INLET, Side.WEST, 0)
+    grid.add_port(PortKind.OUTLET, Side.EAST, 0)
+    return grid
+
+
+class TestBasicRules:
+    def test_legal_network_passes(self):
+        assert check_design_rules(_channel()).ok
+
+    def test_liquid_on_tsv_flagged(self):
+        grid = _channel()
+        grid.liquid[1, 1] = True  # bypass carve checks
+        grid.liquid[0, 1] = True
+        result = check_design_rules(grid)
+        assert any("TSV" in v for v in result.violations)
+
+    def test_liquid_in_restricted_flagged(self):
+        grid = ChannelGrid(9, 9, restricted=[Rect(0, 2, 2, 4)])
+        grid.liquid[0, :] = True
+        grid.add_port(PortKind.INLET, Side.WEST, 0)
+        grid.add_port(PortKind.OUTLET, Side.EAST, 0)
+        result = check_design_rules(grid)
+        assert any("restricted" in v for v in result.violations)
+
+    def test_missing_inlet_flagged(self):
+        grid = _channel()
+        grid.ports = [p for p in grid.ports if p.kind is PortKind.OUTLET]
+        result = check_design_rules(grid)
+        assert any("no inlet" in v for v in result.violations)
+
+    def test_missing_outlet_flagged(self):
+        grid = _channel()
+        grid.ports = [p for p in grid.ports if p.kind is PortKind.INLET]
+        result = check_design_rules(grid)
+        assert any("no outlet" in v for v in result.violations)
+
+    def test_port_detached_from_liquid_flagged(self):
+        grid = _channel()
+        grid.liquid[0, 0] = False
+        result = check_design_rules(grid)
+        assert any("solid cell" in v for v in result.violations)
+
+    def test_raise_if_failed(self):
+        grid = _channel()
+        grid.ports = []
+        with pytest.raises(DesignRuleError) as err:
+            check_design_rules(grid).raise_if_failed()
+        assert err.value.violations
+
+
+class TestSpanRule:
+    def test_interleaved_ports_flagged(self):
+        """Alternating-direction straight channels violate rule 3."""
+        grid = ChannelGrid(9, 9)
+        for row in (0, 2, 4):
+            grid.carve_horizontal(row, 0, 8)
+        grid.add_port(PortKind.INLET, Side.WEST, 0)
+        grid.add_port(PortKind.OUTLET, Side.WEST, 2)
+        grid.add_port(PortKind.INLET, Side.WEST, 4)
+        grid.add_port(PortKind.OUTLET, Side.EAST, 0)
+        grid.add_port(PortKind.INLET, Side.EAST, 2)
+        grid.add_port(PortKind.OUTLET, Side.EAST, 4)
+        result = check_design_rules(grid)
+        assert any("overlap" in v or "skips" in v for v in result.violations)
+
+    def test_gap_in_span_flagged(self):
+        grid = ChannelGrid(9, 9)
+        for row in (0, 2, 4):
+            grid.carve_horizontal(row, 0, 8)
+            grid.add_port(PortKind.OUTLET, Side.EAST, row)
+        grid.add_port(PortKind.INLET, Side.WEST, 0)
+        grid.add_port(PortKind.INLET, Side.WEST, 4)  # skips liquid row 2
+        result = check_design_rules(grid)
+        assert any("skips liquid" in v for v in result.violations)
+
+    def test_span_rule_can_be_disabled(self):
+        grid = ChannelGrid(9, 9)
+        for row in (0, 2, 4):
+            grid.carve_horizontal(row, 0, 8)
+            grid.add_port(PortKind.OUTLET, Side.EAST, row)
+        grid.add_port(PortKind.INLET, Side.WEST, 0)
+        grid.add_port(PortKind.INLET, Side.WEST, 4)
+        rules = DesignRules(
+            single_span_per_side=False, forbid_stagnant_liquid=False
+        )
+        assert check_design_rules(grid, rules).ok
+
+
+class TestConnectivity:
+    def test_stagnant_region_flagged(self):
+        grid = _channel()
+        grid.carve_horizontal(4, 0, 4)  # disconnected pool, no ports
+        result = check_design_rules(grid)
+        assert any("stagnant" in v for v in result.violations)
+
+    def test_inlet_only_region_flagged(self):
+        grid = _channel()
+        grid.carve_horizontal(4, 0, 4)
+        grid.add_port(PortKind.INLET, Side.WEST, 4)
+        result = check_design_rules(grid)
+        assert any("no outlet" in v for v in result.violations)
+
+    def test_connectivity_can_be_disabled(self):
+        grid = _channel()
+        grid.carve_horizontal(4, 0, 4)
+        rules = DesignRules(forbid_stagnant_liquid=False)
+        assert check_design_rules(grid, rules).ok
+
+
+class TestStackLevel:
+    def test_stack_all_layers_checked(self, case1_small):
+        stack = case1_small.base_stack()
+        assert check_design_rules(stack).ok
+
+    def test_matched_ports_rule(self, case1_small):
+        grid_a = case1_small.baseline_network()
+        grid_b = case1_small.baseline_network(direction=2)
+        stack = case1_small.stack_with_network([grid_a, grid_b])
+        rules = DesignRules(matched_ports_across_layers=True)
+        result = check_design_rules(stack, rules)
+        assert any("do not match" in v for v in result.violations)
+
+    def test_matched_ports_pass_when_replicated(self, case1_small):
+        stack = case1_small.stack_with_network(case1_small.baseline_network())
+        rules = DesignRules(matched_ports_across_layers=True)
+        assert check_design_rules(stack, rules).ok
+
+
+class TestGeneratedNetworksAreLegal:
+    @pytest.mark.parametrize("direction", range(8))
+    def test_straight_all_directions(self, direction):
+        grid = straight_network(21, 21, direction=direction)
+        assert check_design_rules(grid).ok
+
+    @pytest.mark.parametrize("direction", range(8))
+    def test_tree_all_directions(self, direction):
+        grid = plan_tree_bands(21, 21, direction=direction).build()
+        assert check_design_rules(grid).ok

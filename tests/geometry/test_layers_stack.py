@@ -1,0 +1,144 @@
+"""Unit tests for stack layers and the stack container."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CELL_WIDTH
+from repro.errors import GeometryError
+from repro.geometry import (
+    ChannelGrid,
+    ChannelLayer,
+    SolidLayer,
+    SourceLayer,
+    Stack,
+    build_contest_stack,
+)
+from repro.materials import BEOL, SILICON
+from repro.networks import straight_network
+
+
+def _grid(n=11):
+    return straight_network(n, n)
+
+
+class TestLayers:
+    def test_solid_layer(self):
+        layer = SolidLayer("bulk", SILICON, 50e-6)
+        assert not layer.is_channel and not layer.is_source
+
+    def test_source_layer_total_power(self):
+        power = np.full((4, 4), 0.5)
+        layer = SourceLayer("src", BEOL, 2e-6, power)
+        assert layer.is_source
+        assert layer.total_power == pytest.approx(8.0)
+
+    def test_source_rejects_negative_power(self):
+        power = np.full((4, 4), 0.5)
+        power[0, 0] = -1.0
+        with pytest.raises(GeometryError, match="negative"):
+            SourceLayer("src", BEOL, 2e-6, power)
+
+    def test_source_rejects_non_2d(self):
+        with pytest.raises(GeometryError, match="2D"):
+            SourceLayer("src", BEOL, 2e-6, np.zeros(4))
+
+    def test_channel_layer(self):
+        layer = ChannelLayer("chan", _grid(), 200e-6, SILICON)
+        assert layer.is_channel
+        assert layer.channel_height == pytest.approx(200e-6)
+
+    def test_with_grid(self):
+        layer = ChannelLayer("chan", _grid(), 200e-6, SILICON)
+        other = layer.with_grid(_grid())
+        assert other.name == "chan" and other.grid is not layer.grid
+
+    def test_nonpositive_thickness(self):
+        with pytest.raises(GeometryError, match="thickness"):
+            SolidLayer("bad", SILICON, 0.0)
+
+
+class TestStack:
+    def _stack(self):
+        power = np.full((11, 11), 0.1)
+        return build_contest_stack(
+            2, 200e-6, [power, power], lambda d: _grid(), 11, 11, CELL_WIDTH
+        )
+
+    def test_layer_order_bottom_up(self):
+        stack = self._stack()
+        names = [l.name for l in stack.layers]
+        assert names == [
+            "source_0",
+            "bulk_0",
+            "channel_0",
+            "source_1",
+            "bulk_1",
+            "channel_1",
+        ]
+
+    def test_total_power(self):
+        stack = self._stack()
+        assert stack.total_power == pytest.approx(2 * 0.1 * 121)
+
+    def test_source_and_channel_indices(self):
+        stack = self._stack()
+        assert stack.source_layer_indices() == [0, 3]
+        assert stack.channel_layer_indices() == [2, 5]
+
+    def test_layer_index_by_name(self):
+        stack = self._stack()
+        assert stack.layer_index("bulk_1") == 4
+        with pytest.raises(GeometryError, match="no layer"):
+            stack.layer_index("missing")
+
+    def test_duplicate_names_rejected(self):
+        layer = SolidLayer("dup", SILICON, 1e-6)
+        with pytest.raises(GeometryError, match="duplicate"):
+            Stack([layer, SolidLayer("dup", SILICON, 1e-6)], 11, 11, CELL_WIDTH)
+
+    def test_grid_shape_mismatch_rejected(self):
+        with pytest.raises(GeometryError, match="does not match"):
+            Stack(
+                [ChannelLayer("c", _grid(9), 1e-4, SILICON)],
+                11,
+                11,
+                CELL_WIDTH,
+            )
+
+    def test_power_map_mismatch_rejected(self):
+        power = np.zeros((9, 9))
+        with pytest.raises(GeometryError, match="power map"):
+            Stack(
+                [SourceLayer("s", BEOL, 1e-6, power)],
+                11,
+                11,
+                CELL_WIDTH,
+            )
+
+    def test_with_channel_grids_swaps(self):
+        stack = self._stack()
+        new_grid = straight_network(11, 11, pitch=4)
+        swapped = stack.with_channel_grids([new_grid, new_grid.copy()])
+        assert swapped.channel_layers()[0].grid.liquid_count == new_grid.liquid_count
+        # Original untouched.
+        assert stack.channel_layers()[0].grid.liquid_count != new_grid.liquid_count
+
+    def test_with_channel_grids_count_mismatch(self):
+        stack = self._stack()
+        with pytest.raises(GeometryError, match="channel layers"):
+            stack.with_channel_grids([_grid()])
+
+    def test_total_thickness(self):
+        stack = self._stack()
+        assert stack.total_thickness == pytest.approx(2 * (2e-6 + 50e-6 + 200e-6))
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(GeometryError, match="at least one layer"):
+            Stack([], 11, 11, CELL_WIDTH)
+
+    def test_power_maps_count_checked(self):
+        power = np.zeros((11, 11))
+        with pytest.raises(GeometryError, match="power maps"):
+            build_contest_stack(
+                2, 200e-6, [power], lambda d: _grid(), 11, 11, CELL_WIDTH
+            )

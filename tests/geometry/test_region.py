@@ -1,0 +1,76 @@
+"""Unit tests for rectangular regions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Rect
+
+
+class TestRectBasics:
+    def test_dimensions(self):
+        rect = Rect(2, 3, 5, 10)
+        assert rect.nrows == 3
+        assert rect.ncols == 7
+        assert rect.area_cells == 21
+
+    def test_empty_rect_rejected(self):
+        with pytest.raises(GeometryError, match="empty"):
+            Rect(2, 2, 2, 5)
+
+    def test_inverted_rect_rejected(self):
+        with pytest.raises(GeometryError, match="empty"):
+            Rect(5, 0, 2, 5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(GeometryError, match="negative"):
+            Rect(-1, 0, 2, 2)
+
+
+class TestContains:
+    def test_inside(self):
+        rect = Rect(1, 1, 4, 4)
+        assert rect.contains(1, 1)
+        assert rect.contains(3, 3)
+
+    def test_half_open_upper_bound(self):
+        rect = Rect(1, 1, 4, 4)
+        assert not rect.contains(4, 3)
+        assert not rect.contains(3, 4)
+
+    def test_outside(self):
+        rect = Rect(1, 1, 4, 4)
+        assert not rect.contains(0, 2)
+        assert not rect.contains(2, 0)
+
+
+class TestIntersects:
+    def test_overlapping(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(4, 4, 8, 8))
+
+    def test_touching_edges_do_not_intersect(self):
+        assert not Rect(0, 0, 5, 5).intersects(Rect(5, 0, 8, 5))
+
+    def test_disjoint(self):
+        assert not Rect(0, 0, 2, 2).intersects(Rect(3, 3, 5, 5))
+
+    def test_contained(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(2, 2, 4, 4))
+
+
+class TestMaskAndClip:
+    def test_mask_counts_cells(self):
+        rect = Rect(1, 2, 3, 5)
+        mask = rect.mask(6, 6)
+        assert mask.sum() == rect.area_cells
+        assert mask[1, 2] and mask[2, 4]
+        assert not mask[3, 2] and not mask[1, 5]
+
+    def test_mask_clips_to_grid(self):
+        rect = Rect(4, 4, 100, 100)
+        mask = rect.mask(6, 6)
+        assert mask.sum() == 4
+
+    def test_clipped(self):
+        rect = Rect(4, 4, 100, 100).clipped(6, 8)
+        assert (rect.row1, rect.col1) == (6, 8)

@@ -1,0 +1,134 @@
+"""Unit tests for the benchmark case definitions (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.geometry import check_design_rules
+from repro.iccad2015 import CASE_NUMBERS, load_case
+
+
+class TestTable2Data:
+    def test_case_roster(self):
+        assert CASE_NUMBERS == (1, 2, 3, 4, 5)
+
+    @pytest.mark.parametrize(
+        "number,dies,h_c_um,power,dt,tmax",
+        [
+            (1, 2, 200, 42.038, 15.0, 358.15),
+            (2, 2, 400, 37.038, 10.0, 358.15),
+            (3, 2, 400, 43.038, 15.0, 358.15),
+            (4, 3, 200, 43.438, 10.0, 358.15),
+            (5, 2, 400, 148.174, 10.0, 338.15),
+        ],
+    )
+    def test_row_values(self, number, dies, h_c_um, power, dt, tmax):
+        case = load_case(number)  # full scale
+        assert case.n_dies == dies
+        assert case.channel_height == pytest.approx(h_c_um * 1e-6)
+        assert case.die_power == pytest.approx(power)
+        assert case.delta_t_star == dt
+        assert case.t_max_star == tmax
+
+    def test_full_scale_grid(self):
+        case = load_case(1)
+        assert (case.nrows, case.ncols) == (101, 101)
+
+    def test_case3_restricted(self):
+        case = load_case(3)
+        assert len(case.restricted) == 1
+
+    def test_case4_matched_ports(self):
+        assert load_case(4).matched_ports
+        assert not load_case(1).matched_ports
+
+    def test_unknown_case(self):
+        with pytest.raises(BenchmarkError, match="unknown case"):
+            load_case(6)
+
+
+class TestScaling:
+    def test_scale_shrinks_grid(self):
+        case = load_case(1, scale=0.5)
+        assert case.nrows == 51
+
+    def test_grid_size_override(self):
+        case = load_case(1, grid_size=33)
+        assert case.nrows == 33
+
+    def test_even_size_bumped_odd(self):
+        case = load_case(1, grid_size=20)
+        assert case.nrows == 21
+
+    def test_power_density_preserved(self):
+        full = load_case(1)
+        half = load_case(1, scale=0.5)
+        density_full = full.die_power / full.nrows**2
+        density_half = half.die_power / half.nrows**2
+        assert density_half == pytest.approx(density_full, rel=1e-9)
+
+    def test_unscaled_power_option(self):
+        case = load_case(1, scale=0.5, scale_power=False)
+        assert case.die_power == pytest.approx(42.038)
+
+    def test_w_pump_star_uses_full_power(self):
+        half = load_case(1, scale=0.5)
+        assert half.w_pump_star() == pytest.approx(0.001 * 42.038)
+        assert half.w_pump_star(of_full_power=False) == pytest.approx(
+            0.001 * half.die_power
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(BenchmarkError, match="too small"):
+            load_case(1, grid_size=5)
+
+    def test_bad_scale(self):
+        with pytest.raises(BenchmarkError, match="scale"):
+            load_case(1, scale=0.0)
+
+
+class TestCaseBuilders:
+    def test_power_maps_sum(self):
+        case = load_case(2, grid_size=21)
+        total = sum(m.sum() for m in case.power_maps)
+        assert total == pytest.approx(case.die_power, rel=1e-9)
+
+    def test_base_stack_layers(self):
+        case = load_case(4, grid_size=21)
+        stack = case.base_stack()
+        assert len(stack.channel_layers()) == 3
+        assert len(stack.source_layers()) == 3
+
+    def test_stack_with_network_list(self):
+        case = load_case(1, grid_size=21)
+        grids = [case.baseline_network(), case.baseline_network(direction=1)]
+        stack = case.stack_with_network(grids)
+        assert len(stack.channel_layers()) == 2
+
+    def test_stack_with_wrong_count(self):
+        case = load_case(1, grid_size=21)
+        with pytest.raises(BenchmarkError, match="channel layers"):
+            case.stack_with_network([case.baseline_network()])
+
+    def test_baseline_respects_restriction(self):
+        case = load_case(3, grid_size=31)
+        grid = case.baseline_network()
+        assert check_design_rules(grid).ok
+        forbidden = np.zeros((31, 31), dtype=bool)
+        for rect in case.restricted:
+            forbidden |= rect.mask(31, 31)
+        assert not (grid.liquid & forbidden).any()
+
+    def test_tree_plan_covers_case(self):
+        case = load_case(1, grid_size=21)
+        plan = case.tree_plan()
+        grid = plan.build()
+        assert check_design_rules(grid).ok
+
+    def test_tree_plan_with_restriction(self):
+        case = load_case(3, grid_size=31)
+        grid = case.tree_plan().build()
+        assert check_design_rules(grid).ok
+
+    def test_repr_mentions_case(self):
+        assert "Case(2" in repr(load_case(2, grid_size=21))

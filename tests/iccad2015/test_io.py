@@ -1,0 +1,177 @@
+"""Round-trip tests for the text file formats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.iccad2015 import (
+    load_case,
+    read_floorplan,
+    read_network,
+    read_stack_description,
+    write_floorplan,
+    write_network,
+    write_stack_description,
+)
+from repro.networks import plan_tree_bands, serpentine_network, straight_network
+
+
+class TestStackDescription:
+    def test_round_trip(self, tmp_path):
+        case = load_case(3, grid_size=31)
+        path = tmp_path / "stack.txt"
+        write_stack_description(case, path)
+        fields = read_stack_description(path)
+        assert fields["case"] == 3
+        assert fields["dies"] == 2
+        assert fields["nrows"] == 31
+        assert fields["channel_height"] == pytest.approx(case.channel_height)
+        assert fields["die_power"] == pytest.approx(case.die_power)
+        assert len(fields["restricted"]) == 1
+        rect = fields["restricted"][0]
+        assert rect == case.restricted[0]
+
+    def test_matched_ports_flag(self, tmp_path):
+        case = load_case(4, grid_size=21)
+        path = tmp_path / "stack.txt"
+        write_stack_description(case, path)
+        assert read_stack_description(path)["matched_ports"] is True
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("case 1\ndies 2\n")
+        with pytest.raises(BenchmarkError, match="missing fields"):
+            read_stack_description(path)
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("wibble 3\n")
+        with pytest.raises(BenchmarkError, match="unknown"):
+            read_stack_description(path)
+
+
+class TestFloorplan:
+    def test_round_trip(self, tmp_path):
+        case = load_case(1, grid_size=21)
+        path = tmp_path / "floorplan.txt"
+        write_floorplan(case.power_maps, path)
+        maps = read_floorplan(path)
+        assert len(maps) == len(case.power_maps)
+        for a, b in zip(maps, case.power_maps):
+            assert np.allclose(a, b)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(BenchmarkError, match="no power maps"):
+            read_floorplan(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "trunc.txt"
+        path.write_text("die 0 rows 3 cols 3\n0 0 0\n")
+        with pytest.raises(BenchmarkError, match="expected 3 rows"):
+            read_floorplan(path)
+
+
+class TestNetworkFile:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: straight_network(21, 21),
+            lambda: serpentine_network(21, 21),
+            lambda: plan_tree_bands(21, 21).build(),
+        ],
+    )
+    def test_round_trip(self, tmp_path, builder):
+        grid = builder()
+        path = tmp_path / "net.txt"
+        write_network(grid, path)
+        loaded = read_network(path)
+        assert np.array_equal(loaded.liquid, grid.liquid)
+        assert np.array_equal(loaded.tsv_mask, grid.tsv_mask)
+        assert set(loaded.ports) == set(grid.ports)
+        assert loaded.cell_width == pytest.approx(grid.cell_width)
+
+    def test_bad_char_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("grid 1 3\ncell_width 1e-4\n.Z.\n")
+        with pytest.raises(BenchmarkError, match="unknown char"):
+            read_network(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("...\n")
+        with pytest.raises(BenchmarkError, match="grid header"):
+            read_network(path)
+
+    def test_missing_cell_width_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("grid 1 3\nOOO\n")
+        with pytest.raises(BenchmarkError, match="cell_width"):
+            read_network(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("grid 2 3\ncell_width 1e-4\nOOO\nOO\n")
+        with pytest.raises(BenchmarkError, match="chars"):
+            read_network(path)
+
+
+class TestCaseBundle:
+    def test_round_trip(self, tmp_path):
+        from repro.iccad2015 import load_case_bundle, save_case_bundle
+
+        case = load_case(3, grid_size=21)
+        save_case_bundle(case, tmp_path / "case3")
+        loaded = load_case_bundle(tmp_path / "case3")
+        assert loaded.number == case.number
+        assert loaded.n_dies == case.n_dies
+        assert loaded.die_power == pytest.approx(case.die_power, rel=1e-7)
+        assert loaded.delta_t_star == case.delta_t_star
+        assert loaded.restricted == case.restricted
+        for a, b in zip(loaded.power_maps, case.power_maps):
+            assert np.allclose(a, b, rtol=1e-7)
+
+    def test_bundle_preserves_full_power(self, tmp_path):
+        from repro.iccad2015 import load_case_bundle, save_case_bundle
+
+        case = load_case(1, grid_size=21)
+        save_case_bundle(case, tmp_path / "b")
+        loaded = load_case_bundle(tmp_path / "b")
+        # Stack file records the (scaled) die power as full_die_power so
+        # w_pump_star() stays consistent for the bundle.
+        assert loaded.w_pump_star(of_full_power=False) == pytest.approx(
+            0.001 * case.die_power, rel=1e-7
+        )
+
+    def test_missing_files_rejected(self, tmp_path):
+        from repro.iccad2015 import load_case_bundle
+
+        (tmp_path / "incomplete").mkdir()
+        with pytest.raises(BenchmarkError, match="needs stack.txt"):
+            load_case_bundle(tmp_path / "incomplete")
+
+    def test_die_count_mismatch_rejected(self, tmp_path):
+        from repro.iccad2015 import (
+            load_case_bundle,
+            save_case_bundle,
+            write_floorplan,
+        )
+
+        case = load_case(1, grid_size=21)
+        save_case_bundle(case, tmp_path / "bad")
+        write_floorplan(case.power_maps[:1], tmp_path / "bad" / "floorplan.txt")
+        with pytest.raises(BenchmarkError, match="declares 2 dies"):
+            load_case_bundle(tmp_path / "bad")
+
+    def test_bundle_is_usable(self, tmp_path):
+        from repro.cooling import CoolingSystem
+        from repro.iccad2015 import load_case_bundle, save_case_bundle
+
+        case = load_case(2, grid_size=21)
+        save_case_bundle(case, tmp_path / "c2")
+        loaded = load_case_bundle(tmp_path / "c2")
+        system = CoolingSystem.for_network(
+            loaded.base_stack(), loaded.baseline_network(), loaded.coolant
+        )
+        assert system.evaluate(1e4).t_max > 300.0

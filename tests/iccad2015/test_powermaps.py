@@ -1,0 +1,112 @@
+"""Unit tests for synthetic power maps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.iccad2015 import Hotspot, hotspot_power_map
+from repro.iccad2015.powermaps import (
+    CASE_BACKGROUND,
+    CASE_DIE_SPLIT,
+    CASE_HOTSPOTS,
+    case_power_maps,
+)
+
+
+class TestHotspot:
+    def test_valid(self):
+        spot = Hotspot(0.5, 0.5, 0.1, 1.0)
+        assert spot.weight == 1.0
+
+    def test_position_bounds(self):
+        with pytest.raises(BenchmarkError):
+            Hotspot(1.5, 0.5, 0.1, 1.0)
+
+    def test_sigma_positive(self):
+        with pytest.raises(BenchmarkError):
+            Hotspot(0.5, 0.5, 0.0, 1.0)
+
+    def test_weight_positive(self):
+        with pytest.raises(BenchmarkError):
+            Hotspot(0.5, 0.5, 0.1, -1.0)
+
+
+class TestHotspotPowerMap:
+    def test_total_power_exact(self):
+        spots = [Hotspot(0.3, 0.3, 0.1, 1.0)]
+        power = hotspot_power_map(21, 21, 10.0, spots)
+        assert power.sum() == pytest.approx(10.0, rel=1e-12)
+
+    def test_nonnegative(self):
+        spots = [Hotspot(0.3, 0.3, 0.05, 1.0)]
+        power = hotspot_power_map(21, 21, 10.0, spots)
+        assert (power >= 0).all()
+
+    def test_hotspot_location_is_peak(self):
+        spots = [Hotspot(0.25, 0.75, 0.08, 1.0)]
+        power = hotspot_power_map(40, 40, 10.0, spots)
+        peak = np.unravel_index(np.argmax(power), power.shape)
+        assert abs(peak[0] - 10) <= 1
+        assert abs(peak[1] - 30) <= 1
+
+    def test_all_background_is_uniform(self):
+        power = hotspot_power_map(11, 11, 5.0, [], background_fraction=1.0)
+        assert np.allclose(power, 5.0 / 121)
+
+    def test_lower_background_more_contrast(self):
+        spots = [Hotspot(0.5, 0.5, 0.05, 1.0)]
+        flat = hotspot_power_map(21, 21, 10.0, spots, background_fraction=0.8)
+        spiky = hotspot_power_map(21, 21, 10.0, spots, background_fraction=0.1)
+        assert spiky.max() > flat.max()
+
+    def test_zero_power(self):
+        spots = [Hotspot(0.5, 0.5, 0.1, 1.0)]
+        power = hotspot_power_map(11, 11, 0.0, spots)
+        assert power.sum() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(BenchmarkError):
+            hotspot_power_map(11, 11, -1.0, [Hotspot(0.5, 0.5, 0.1, 1.0)])
+        with pytest.raises(BenchmarkError):
+            hotspot_power_map(11, 11, 1.0, [], background_fraction=0.5)
+        with pytest.raises(BenchmarkError):
+            hotspot_power_map(
+                11, 11, 1.0, [Hotspot(0.5, 0.5, 0.1, 1.0)], background_fraction=2.0
+            )
+
+
+class TestCaseMaps:
+    def test_configs_complete(self):
+        for case in (1, 2, 3, 4, 5):
+            assert case in CASE_HOTSPOTS
+            assert case in CASE_DIE_SPLIT
+            assert case in CASE_BACKGROUND
+            assert len(CASE_HOTSPOTS[case]) == len(CASE_DIE_SPLIT[case])
+            assert sum(CASE_DIE_SPLIT[case]) == pytest.approx(1.0)
+
+    def test_maps_sum_to_die_power(self):
+        maps = case_power_maps(1, 21, 21, 42.038)
+        assert sum(m.sum() for m in maps) == pytest.approx(42.038, rel=1e-9)
+
+    def test_case4_has_three_dies(self):
+        maps = case_power_maps(4, 21, 21, 43.438)
+        assert len(maps) == 3
+
+    def test_case5_is_high_and_highly_varied(self):
+        """Case 5 is 'high and highly varied': at the published die powers
+        its absolute power density and its absolute variation both dominate
+        every other case."""
+        map1 = case_power_maps(1, 31, 31, 42.038)[0]
+        map5 = case_power_maps(5, 31, 31, 148.174)[0]
+        assert map5.mean() > 3 * map1.mean()  # high
+        assert map5.std() > map1.std()  # highly varied
+
+    def test_deterministic(self):
+        a = case_power_maps(2, 21, 21, 37.0)
+        b = case_power_maps(2, 21, 21, 37.0)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_unknown_case(self):
+        with pytest.raises(BenchmarkError, match="unknown case"):
+            case_power_maps(9, 21, 21, 1.0)

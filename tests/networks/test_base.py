@@ -1,0 +1,117 @@
+"""Unit tests for network-generator building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignRuleError, GeometryError
+from repro.geometry import Rect
+from repro.networks import carve_path, carve_ring_around, channel_tracks, empty_grid
+from repro.networks.base import (
+    GLOBAL_DIRECTIONS,
+    apply_direction,
+    connector_columns,
+    row_is_clear,
+)
+from repro.networks import straight_network
+
+
+class TestTrackHelpers:
+    def test_channel_tracks_are_even(self):
+        tracks = channel_tracks(11)
+        assert tracks == [0, 2, 4, 6, 8, 10]
+
+    def test_connector_columns_are_even(self):
+        assert connector_columns(7) == [0, 2, 4, 6]
+
+    def test_tracks_avoid_tsvs(self):
+        grid = empty_grid(11, 11)
+        for row in channel_tracks(11):
+            assert not grid.tsv_mask[row].any()
+
+    def test_row_is_clear(self):
+        grid = empty_grid(11, 11, restricted=[Rect(0, 4, 2, 8)])
+        assert row_is_clear(grid, 0, 0, 3)
+        assert not row_is_clear(grid, 0, 0, 5)
+        assert not row_is_clear(grid, 1, 0, 10)  # TSV row
+
+
+class TestCarvePath:
+    def test_straight_route(self):
+        grid = empty_grid(11, 11)
+        path = carve_path(grid, (0, 0), (0, 10))
+        assert len(path) == 11
+        assert grid.liquid[0].all()
+
+    def test_detours_around_restricted(self):
+        grid = empty_grid(11, 11, restricted=[Rect(0, 4, 3, 7)])
+        path = carve_path(grid, (0, 0), (0, 10))
+        assert grid.liquid[0, 0] and grid.liquid[0, 10]
+        # Path avoids the forbidden cells.
+        assert not (grid.liquid & grid.restricted_mask).any()
+        assert not (grid.liquid & grid.tsv_mask).any()
+
+    def test_no_route_raises(self):
+        # A full-height restricted wall splits the grid.
+        grid = empty_grid(11, 11, restricted=[Rect(0, 5, 11, 6)])
+        with pytest.raises(DesignRuleError, match="no carvable route"):
+            carve_path(grid, (0, 0), (0, 10))
+
+    def test_blocked_endpoint_raises(self):
+        grid = empty_grid(11, 11)
+        with pytest.raises(DesignRuleError, match="not carvable"):
+            carve_path(grid, (1, 1), (0, 10))  # TSV cell
+
+    def test_out_of_bounds_endpoint(self):
+        grid = empty_grid(11, 11)
+        with pytest.raises(GeometryError, match="outside"):
+            carve_path(grid, (0, 0), (0, 99))
+
+    def test_trivial_path(self):
+        grid = empty_grid(11, 11)
+        path = carve_path(grid, (0, 0), (0, 0))
+        assert path == [(0, 0)]
+        assert grid.liquid[0, 0]
+
+
+class TestRing:
+    def test_ring_surrounds_rect(self):
+        rect = Rect(4, 4, 7, 8)
+        grid = empty_grid(15, 15, restricted=[rect])
+        carve_ring_around(grid, rect)
+        # The ring connects around on even tracks.
+        assert grid.liquid[2, 2:9].all()  # top ring row (row 2 < 4, even)
+        assert not (grid.liquid & grid.restricted_mask).any()
+
+    def test_ring_at_boundary_raises(self):
+        rect = Rect(0, 4, 3, 8)
+        grid = empty_grid(15, 15, restricted=[rect])
+        with pytest.raises(DesignRuleError, match="no room"):
+            carve_ring_around(grid, rect)
+
+
+class TestDirections:
+    def test_eight_directions_defined(self):
+        assert len(GLOBAL_DIRECTIONS) == 8
+        assert len(set(GLOBAL_DIRECTIONS)) == 8
+
+    def test_direction_zero_is_identity(self):
+        grid = straight_network(11, 11)
+        out = apply_direction(grid, 0)
+        assert np.array_equal(out.liquid, grid.liquid)
+
+    def test_all_directions_distinct_for_asymmetric_design(self):
+        from repro.networks import serpentine_network
+
+        base = serpentine_network(11, 11, direction=0, pitch=4)
+        patterns = set()
+        for d in range(8):
+            out = apply_direction(base, d)
+            patterns.add(out.liquid.tobytes() + str(sorted(
+                (p.kind.value, p.side.value, p.index) for p in out.ports
+            )).encode())
+        assert len(patterns) == 8
+
+    def test_invalid_direction(self):
+        grid = straight_network(11, 11)
+        with pytest.raises(GeometryError, match="direction"):
+            apply_direction(grid, 8)

@@ -1,0 +1,41 @@
+"""Unit tests for the Fig. 9 network sample set."""
+
+import pytest
+
+from repro.geometry import check_design_rules
+from repro.networks import sample_networks
+from repro.networks.library import STYLE_MANUAL, STYLE_STRAIGHT, STYLE_TREE
+
+
+class TestSampleSet:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return sample_networks(21, 21)
+
+    def test_covers_all_styles(self, samples):
+        styles = {style for _, style, _ in samples}
+        assert styles == {STYLE_STRAIGHT, STYLE_TREE, STYLE_MANUAL}
+
+    def test_names_unique(self, samples):
+        names = [name for name, _, _ in samples]
+        assert len(set(names)) == len(names)
+
+    def test_all_samples_legal(self, samples):
+        for name, _, grid in samples:
+            result = check_design_rules(grid)
+            assert result.ok, (name, result.violations)
+
+    def test_deterministic(self):
+        a = sample_networks(21, 21, seed=5)
+        b = sample_networks(21, 21, seed=5)
+        for (name_a, _, grid_a), (name_b, _, grid_b) in zip(a, b):
+            assert name_a == name_b
+            assert (grid_a.liquid == grid_b.liquid).all()
+
+    def test_tree_variant_count(self):
+        samples = sample_networks(21, 21, n_tree_variants=3)
+        trees = [s for s in samples if s[1] == STYLE_TREE]
+        assert len(trees) == 3
+
+    def test_reasonable_total(self, samples):
+        assert len(samples) >= 20

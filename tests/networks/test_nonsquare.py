@@ -1,0 +1,62 @@
+"""Non-square footprints: generators must honor the requested final shape."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, check_design_rules
+from repro.networks import plan_tree_bands, straight_network, tree_network
+from repro.networks.base import canonical_cell, canonical_dims
+
+
+class TestCanonicalFrame:
+    def test_dims_swap_on_odd_rotations(self):
+        assert canonical_dims(11, 21, 0) == (11, 21)
+        assert canonical_dims(11, 21, 1) == (21, 11)
+        assert canonical_dims(11, 21, 2) == (11, 21)
+        assert canonical_dims(11, 21, 3) == (21, 11)
+
+    @pytest.mark.parametrize("direction", range(8))
+    def test_cell_map_inverts_grid_transform(self, direction):
+        """canonical_cell must invert the array transform exactly."""
+        from repro.geometry import ChannelGrid
+        from repro.networks.base import GLOBAL_DIRECTIONS
+
+        c_rows, c_cols = canonical_dims(9, 13, direction)
+        grid = ChannelGrid(c_rows, c_cols, tsv_mask=None)
+        marker = (min(3, c_rows - 1), min(5, c_cols - 1))
+        grid.liquid[marker] = True
+        rotations, flip = GLOBAL_DIRECTIONS[direction]
+        final = grid.transformed(rotations, flip)
+        (fr,), (fc,) = np.nonzero(final.liquid)
+        back = canonical_cell((int(fr), int(fc)), final.nrows, final.ncols, direction)
+        assert back == marker
+
+
+class TestNonSquareGenerators:
+    @pytest.mark.parametrize("direction", range(8))
+    def test_straight_output_shape(self, direction):
+        grid = straight_network(11, 21, direction=direction)
+        assert grid.shape == (11, 21)
+        assert check_design_rules(grid).ok
+
+    @pytest.mark.parametrize("direction", range(8))
+    def test_tree_output_shape(self, direction):
+        plan = plan_tree_bands(11, 21, direction=direction)
+        grid = plan.build()
+        assert grid.shape == (11, 21)
+        assert check_design_rules(grid).ok
+
+    def test_restricted_respected_in_rotated_frame(self):
+        rect = Rect(2, 6, 6, 12)
+        for direction in range(8):
+            grid = straight_network(15, 21, direction=direction, restricted=[rect])
+            mask = rect.mask(15, 21)
+            assert not (grid.liquid & mask).any(), direction
+
+    def test_tree_restricted_respected_in_rotated_frame(self):
+        rect = Rect(4, 8, 8, 14)
+        for direction in range(8):
+            plan = plan_tree_bands(21, 21, direction=direction, restricted=(rect,))
+            grid = plan.build()
+            mask = rect.mask(21, 21)
+            assert not (grid.liquid & mask).any(), direction

@@ -1,0 +1,90 @@
+"""Tests for the power-aware tree initialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import check_design_rules
+from repro.iccad2015 import load_case
+from repro.networks import plan_tree_bands, power_aware_initialization
+from repro.networks.base import canonical_cell
+
+
+class TestPowerAwareInitialization:
+    def test_uniform_power_keeps_uniform_init(self):
+        plan = plan_tree_bands(21, 21)
+        power = np.full((21, 21), 1.0)
+        seeded = power_aware_initialization(plan, power)
+        params = seeded.params()
+        assert (params[:, 0] == params[0, 0]).all()
+        assert (params[:, 1] == params[0, 1]).all()
+
+    def test_hot_band_splits_earlier(self):
+        plan = plan_tree_bands(21, 21)
+        power = np.full((21, 21), 0.1)
+        hot_band = plan.specs[1]
+        power[min(hot_band.tracks) : max(hot_band.tracks) + 1, :] = 2.0
+        seeded = power_aware_initialization(plan, power)
+        params = seeded.params()
+        # The hot band's first branch moves toward the inlet.
+        assert params[1, 0] < params[0, 0]
+        assert params[1, 0] < params[2, 0]
+
+    def test_all_configurations_legal(self):
+        rng = np.random.default_rng(3)
+        plan = plan_tree_bands(21, 21)
+        for _ in range(5):
+            power = rng.random((21, 21))
+            grid = power_aware_initialization(plan, power).build()
+            assert check_design_rules(grid).ok
+
+    @pytest.mark.parametrize("direction", range(8))
+    def test_direction_frames_align(self, direction):
+        """The hottest band in the final frame must split earliest even
+        when the plan is rotated."""
+        plan = plan_tree_bands(21, 21, direction=direction)
+        # Heat the final-frame region that maps to the canonical band of
+        # spec 0 (tracks 0..6): pick the canonical cell (3, 10) and place
+        # the hotspot at its final-frame image.
+        power = np.full((21, 21), 0.1)
+        # Find which final cell maps back to canonical (3, 10).
+        target = None
+        for r in range(21):
+            for c in range(21):
+                if canonical_cell((r, c), 21, 21, direction) == (3, 10):
+                    target = (r, c)
+                    break
+            if target:
+                break
+        power[target] = 50.0
+        seeded = power_aware_initialization(plan, power)
+        params = seeded.params()
+        assert params[0, 0] == params[:, 0].min()
+
+    def test_shape_mismatch_rejected(self):
+        plan = plan_tree_bands(21, 21)
+        with pytest.raises(GeometryError, match="does not match"):
+            power_aware_initialization(plan, np.ones((5, 5)))
+
+    def test_zero_power_is_identity(self):
+        plan = plan_tree_bands(21, 21)
+        seeded = power_aware_initialization(plan, np.zeros((21, 21)))
+        assert np.array_equal(seeded.params(), plan.params())
+
+    def test_seed_at_least_as_good_for_gradient(self):
+        """On a hot-band case the seeded network's fixed-pressure gradient
+        should not be worse than the uniform tree's."""
+        case = load_case(1, grid_size=31)
+        from repro.cooling import CoolingSystem
+
+        plan = case.tree_plan()
+        total_power = sum(case.power_maps)
+        seeded = power_aware_initialization(plan, total_power)
+
+        def gradient(p):
+            system = CoolingSystem.for_network(
+                case.base_stack(), p.build(), case.coolant, model="2rm"
+            )
+            return system.delta_t(5e3)
+
+        assert gradient(seeded) <= gradient(plan) * 1.10

@@ -1,0 +1,89 @@
+"""Unit tests for the manual design styles."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.flow import FlowField
+from repro.geometry import PortKind, check_design_rules
+from repro.materials import WATER
+from repro.networks import (
+    coiled_network,
+    ladder_network,
+    serpentine_network,
+    straight_network,
+    variable_pitch_network,
+)
+
+
+class TestSerpentine:
+    def test_single_inlet_single_outlet(self):
+        grid = serpentine_network(21, 21)
+        assert len(grid.inlets()) == 1
+        assert len(grid.outlets()) == 1
+
+    def test_legal(self):
+        assert check_design_rules(serpentine_network(21, 21)).ok
+
+    def test_much_higher_resistance_than_straight(self):
+        """One long snake has far more fluid resistance than parallel rows."""
+        straight = straight_network(21, 21)
+        serp = serpentine_network(21, 21)
+        r_straight = FlowField(straight, 2e-4, WATER).r_sys
+        r_serp = FlowField(serp, 2e-4, WATER).r_sys
+        assert r_serp > 10 * r_straight
+
+    def test_pitch_variants_legal(self):
+        for pitch in (2, 4, 6):
+            assert check_design_rules(serpentine_network(21, 21, pitch=pitch)).ok
+
+    def test_odd_pitch_rejected(self):
+        with pytest.raises(GeometryError):
+            serpentine_network(21, 21, pitch=5)
+
+
+class TestLadder:
+    def test_manifolds_carved(self):
+        grid = ladder_network(21, 21)
+        assert grid.liquid[:, 0].all()
+        assert grid.liquid[:, 20].all()
+
+    def test_legal(self):
+        assert check_design_rules(ladder_network(21, 21)).ok
+
+    def test_directions_legal(self):
+        for d in range(4):
+            assert check_design_rules(ladder_network(21, 21, direction=d)).ok
+
+
+class TestCoiled:
+    def test_two_inlets_one_outlet_opening(self):
+        grid = coiled_network(21, 21)
+        assert len(grid.inlets()) == 2
+        assert len(grid.outlets()) >= 1
+
+    def test_legal(self):
+        assert check_design_rules(coiled_network(21, 21)).ok
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GeometryError, match="8x8"):
+            coiled_network(5, 5)
+
+
+class TestVariablePitch:
+    def test_denser_center(self):
+        grid = variable_pitch_network(21, 21, dense_fraction=0.5)
+        center_band = grid.liquid[8:13]
+        edge_band = grid.liquid[0:5]
+        assert center_band.sum() >= edge_band.sum()
+
+    def test_legal(self):
+        assert check_design_rules(variable_pitch_network(21, 21)).ok
+
+    def test_invalid_fraction(self):
+        with pytest.raises(GeometryError, match="dense_fraction"):
+            variable_pitch_network(21, 21, dense_fraction=0.0)
+
+    def test_full_fraction_equals_straight(self):
+        grid = variable_pitch_network(21, 21, dense_fraction=1.0)
+        straight = straight_network(21, 21)
+        assert grid.liquid_count == straight.liquid_count

@@ -1,0 +1,72 @@
+"""Unit tests for straight-channel networks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import PortKind, Rect, Side, check_design_rules
+from repro.networks import straight_network
+
+
+class TestCanonical:
+    def test_channels_on_even_rows(self):
+        grid = straight_network(11, 11)
+        assert grid.liquid[::2].all()
+        assert not grid.liquid[1::2].any()
+
+    def test_ports_west_in_east_out(self):
+        grid = straight_network(11, 11)
+        assert all(p.side is Side.WEST for p in grid.inlets())
+        assert all(p.side is Side.EAST for p in grid.outlets())
+        assert len(grid.inlets()) == 6  # rows 0,2,...,10
+
+    def test_pitch_reduces_channel_count(self):
+        dense = straight_network(21, 21, pitch=2)
+        sparse = straight_network(21, 21, pitch=4)
+        assert sparse.liquid_count < dense.liquid_count
+        assert len(sparse.inlets()) == 6
+
+    def test_odd_pitch_rejected(self):
+        with pytest.raises(GeometryError, match="pitch"):
+            straight_network(11, 11, pitch=3)
+
+    def test_legal(self):
+        assert check_design_rules(straight_network(21, 21)).ok
+
+
+class TestDirections:
+    def test_north_south_direction(self):
+        grid = straight_network(11, 11, direction=1)
+        # 90-degree rotation: channels run vertically.
+        assert grid.liquid[:, ::2].all()
+        sides = {p.side for p in grid.ports}
+        assert sides == {Side.NORTH, Side.SOUTH}
+
+    @pytest.mark.parametrize("direction", range(8))
+    def test_all_directions_legal(self, direction):
+        grid = straight_network(21, 21, direction=direction)
+        assert check_design_rules(grid).ok
+        assert grid.liquid_count == straight_network(21, 21).liquid_count
+
+
+class TestRestricted:
+    def test_channels_avoid_restricted(self):
+        rect = Rect(8, 8, 14, 14)
+        grid = straight_network(21, 21, restricted=[rect])
+        assert not (grid.liquid & grid.restricted_mask).any()
+
+    def test_ring_reconnects_interrupted_channels(self):
+        rect = Rect(8, 8, 14, 14)
+        grid = straight_network(21, 21, restricted=[rect])
+        # Connectivity rule passes: every liquid cell reaches inlet + outlet.
+        assert check_design_rules(grid).ok
+
+    def test_restricted_changes_resistance(self):
+        from repro.flow import FlowField
+        from repro.materials import WATER
+
+        free = straight_network(21, 21)
+        blocked = straight_network(21, 21, restricted=[Rect(8, 8, 14, 14)])
+        r_free = FlowField(free, 2e-4, WATER).r_sys
+        r_blocked = FlowField(blocked, 2e-4, WATER).r_sys
+        assert r_blocked > r_free

@@ -1,0 +1,167 @@
+"""Unit tests for the hierarchical tree-like networks (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import PortKind, Rect, Side, check_design_rules
+from repro.networks import TreePlan, TreeSpec, plan_tree_bands, tree_network
+
+
+class TestTreeSpec:
+    def test_valid_spec(self):
+        spec = TreeSpec((0, 2, 4, 6), 2, 2, 6, 12)
+        assert spec.n_leaves == 4
+        assert spec.trunk_row == 2
+
+    def test_leaf_count_must_match_arities(self):
+        with pytest.raises(GeometryError, match="needs 4 leaf tracks"):
+            TreeSpec((0, 2, 4), 2, 2, 6, 12)
+
+    def test_tracks_must_be_even(self):
+        with pytest.raises(GeometryError, match="even rows"):
+            TreeSpec((1, 3), 2, 1, 6, 12)
+
+    def test_tracks_must_ascend(self):
+        with pytest.raises(GeometryError, match="ascending"):
+            TreeSpec((4, 0), 2, 1, 6, 12)
+
+    def test_branch_columns_must_be_even(self):
+        with pytest.raises(GeometryError, match="even"):
+            TreeSpec((0, 2), 2, 1, 5, 12)
+
+    def test_branch_order(self):
+        with pytest.raises(GeometryError, match="b1 <= b2"):
+            TreeSpec((0, 2), 2, 1, 12, 6)
+
+    def test_child_groups(self):
+        spec = TreeSpec((0, 2, 4, 6, 8, 10), 2, 3, 6, 12)
+        groups = spec.child_groups()
+        assert groups == [(0, 2, 4), (6, 8, 10)]
+
+    def test_with_branches(self):
+        spec = TreeSpec((0, 2), 2, 1, 6, 12)
+        moved = spec.with_branches(4, 10)
+        assert (moved.b1, moved.b2) == (4, 10)
+        assert moved.tracks == spec.tracks
+
+
+class TestTreeNetwork:
+    def test_basic_tree_carves_trunk_and_leaves(self):
+        spec = TreeSpec((0, 2, 4, 6), 2, 2, 8, 14)
+        grid = tree_network(9, 21, [spec])
+        # Trunk on track 2 from west edge.
+        assert grid.liquid[2, :9].all()
+        # Leaves reach the east edge.
+        for leaf in (0, 2, 4, 6):
+            assert grid.liquid[leaf, 14:].all()
+        assert check_design_rules(grid).ok
+
+    def test_overlapping_tracks_rejected(self):
+        specs = [
+            TreeSpec((0, 2), 2, 1, 6, 12),
+            TreeSpec((2, 4), 2, 1, 6, 12),
+        ]
+        with pytest.raises(GeometryError, match="multiple trees"):
+            tree_network(9, 21, specs)
+
+    def test_single_track_tree_is_straight_channel(self):
+        spec = TreeSpec((0,), 1, 1, 6, 12)
+        grid = tree_network(3, 21, [spec])
+        assert grid.liquid[0].all()
+        assert grid.liquid_count == 21
+
+    def test_ternary_split(self):
+        spec = TreeSpec((0, 2, 4), 3, 1, 10, 10)
+        grid = tree_network(5, 21, [spec])
+        assert check_design_rules(grid).ok
+        # Three leaves at the east edge.
+        assert sum(grid.liquid[r, -1] for r in (0, 2, 4)) == 3
+
+    def test_more_leaves_than_trunks(self):
+        grid = plan_tree_bands(21, 21).build()
+        inlets = len(grid.inlets())
+        outlets = len(grid.outlets())
+        assert outlets > inlets
+
+
+class TestTreePlan:
+    def test_band_partition_covers_all_tracks(self):
+        plan = plan_tree_bands(21, 21)
+        covered = sorted(t for spec in plan.specs for t in spec.tracks)
+        assert covered == list(range(0, 21, 2))
+
+    def test_remainder_bands(self):
+        # 26 tracks with 4-leaf trees leaves remainder 2.
+        plan = plan_tree_bands(51, 51)
+        sizes = [spec.n_leaves for spec in plan.specs]
+        assert sum(sizes) == 26
+        assert sizes[:-1] == [4] * 6 or sum(sizes[:-1]) + sizes[-1] == 26
+
+    def test_params_round_trip(self):
+        plan = plan_tree_bands(21, 21)
+        params = plan.params()
+        assert params.shape == (plan.n_trees, 2)
+        same = plan.with_params(params)
+        assert np.array_equal(same.params(), params)
+
+    def test_clamp_snaps_even_and_orders(self):
+        plan = plan_tree_bands(21, 21)
+        raw = np.array([[15, 3]] * plan.n_trees)
+        clamped = plan.clamp_params(raw)
+        assert (clamped % 2 == 0).all()
+        assert (clamped[:, 0] <= clamped[:, 1]).all()
+        assert clamped.min() >= 0
+        assert clamped.max() <= 20
+
+    def test_clamp_bounds(self):
+        plan = plan_tree_bands(21, 21)
+        raw = np.array([[-10, 999]] * plan.n_trees)
+        clamped = plan.clamp_params(raw)
+        assert clamped.min() >= 0 and clamped.max() <= 20
+
+    def test_wrong_shape_rejected(self):
+        plan = plan_tree_bands(21, 21)
+        with pytest.raises(GeometryError, match="parameter array"):
+            plan.with_params(np.zeros((1, 2)))
+
+    def test_direction_changes_build(self):
+        plan = plan_tree_bands(21, 21)
+        east = plan.build()
+        south = plan.with_direction(1).build()
+        assert not np.array_equal(east.liquid, south.liquid)
+        assert check_design_rules(south).ok
+
+    def test_invalid_leaves_per_tree(self):
+        with pytest.raises(GeometryError, match="leaves_per_tree"):
+            plan_tree_bands(21, 21, leaves_per_tree=5)
+
+    @pytest.mark.parametrize("leaves", [2, 3, 4, 6, 9])
+    def test_all_band_sizes_build_legal(self, leaves):
+        plan = plan_tree_bands(41, 41, leaves_per_tree=leaves)
+        assert check_design_rules(plan.build()).ok
+
+    def test_params_affect_resistance(self):
+        from repro.flow import FlowField
+        from repro.materials import WATER
+
+        plan = plan_tree_bands(21, 21)
+        early = plan.with_params(
+            plan.clamp_params(np.full((plan.n_trees, 2), [2, 4]))
+        )
+        late = plan.with_params(
+            plan.clamp_params(np.full((plan.n_trees, 2), [16, 18]))
+        )
+        r_early = FlowField(early.build(), 2e-4, WATER).r_sys
+        r_late = FlowField(late.build(), 2e-4, WATER).r_sys
+        # Splitting early puts more of the length in parallel -> lower R.
+        assert r_early < r_late
+
+
+class TestRestrictedAreas:
+    def test_tree_detours_around_restricted(self):
+        rect = Rect(8, 8, 12, 14)
+        plan = plan_tree_bands(21, 21, restricted=(rect,))
+        grid = plan.build()
+        assert not (grid.liquid & grid.restricted_mask).any()
+        assert check_design_rules(grid).ok

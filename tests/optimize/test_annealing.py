@@ -1,0 +1,114 @@
+"""Unit tests for the generic SA engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.optimize import SAConfig, simulated_annealing
+
+
+def quadratic_cost(state):
+    return float((state - 7) ** 2)
+
+
+def int_neighbor(state, rng):
+    return state + int(rng.choice((-1, 1)))
+
+
+class TestOptimization:
+    def test_finds_quadratic_minimum(self):
+        config = SAConfig(iterations=300, seed=1)
+        best, cost, _ = simulated_annealing(0, quadratic_cost, int_neighbor, config)
+        assert best == 7
+        assert cost == 0.0
+
+    def test_deterministic_given_seed(self):
+        config = SAConfig(iterations=50, seed=42)
+        a = simulated_annealing(0, quadratic_cost, int_neighbor, config)
+        b = simulated_annealing(0, quadratic_cost, int_neighbor, config)
+        assert a[0] == b[0] and a[1] == b[1]
+
+    def test_different_seeds_explore_differently(self):
+        results = set()
+        for seed in range(6):
+            config = SAConfig(iterations=5, seed=seed)
+            best, _, history = simulated_annealing(
+                0, quadratic_cost, int_neighbor, config
+            )
+            results.add(tuple(history.costs))
+        assert len(results) > 1
+
+    def test_best_never_worse_than_initial(self):
+        config = SAConfig(iterations=20, seed=3)
+        _, cost, _ = simulated_annealing(3, quadratic_cost, int_neighbor, config)
+        assert cost <= quadratic_cost(3)
+
+    def test_history_tracks_best(self):
+        config = SAConfig(iterations=30, seed=5)
+        _, cost, history = simulated_annealing(
+            0, quadratic_cost, int_neighbor, config
+        )
+        assert history.best_costs[-1] == cost
+        assert all(
+            b <= c + 1e-12 for b, c in zip(history.best_costs, history.costs)
+        )
+        # best_costs is non-increasing.
+        assert all(
+            a >= b for a, b in zip(history.best_costs, history.best_costs[1:])
+        )
+
+
+class TestInfeasibleHandling:
+    def test_never_accepts_inf_from_finite(self):
+        def cost(state):
+            return math.inf if state > 5 else float(state)
+
+        config = SAConfig(iterations=100, seed=2)
+        best, best_cost, history = simulated_annealing(
+            5, cost, int_neighbor, config
+        )
+        assert math.isfinite(best_cost)
+        assert all(math.isfinite(c) for c in history.costs)
+
+    def test_escapes_infeasible_region(self):
+        def cost(state):
+            return math.inf if state < 10 else float(abs(state - 12))
+
+        config = SAConfig(iterations=200, seed=4)
+        best, best_cost, _ = simulated_annealing(0, cost, int_neighbor, config)
+        assert math.isfinite(best_cost)
+
+
+class TestConvergence:
+    def test_stall_limit_stops_early(self):
+        config = SAConfig(iterations=500, seed=1, stall_limit=10)
+        _, _, history = simulated_annealing(
+            7, quadratic_cost, int_neighbor, config
+        )
+        assert history.proposed < 500
+
+    def test_acceptance_rate_bounded(self):
+        config = SAConfig(iterations=50, seed=9)
+        _, _, history = simulated_annealing(
+            0, quadratic_cost, int_neighbor, config
+        )
+        assert 0.0 <= history.acceptance_rate <= 1.0
+
+
+class TestValidation:
+    def test_bad_iterations(self):
+        with pytest.raises(SearchError):
+            SAConfig(iterations=0)
+
+    def test_bad_cooling_rate(self):
+        with pytest.raises(SearchError):
+            SAConfig(cooling_rate=0.0)
+        with pytest.raises(SearchError):
+            SAConfig(cooling_rate=1.5)
+
+    def test_explicit_temperature(self):
+        config = SAConfig(iterations=50, seed=1, initial_temperature=100.0)
+        best, cost, _ = simulated_annealing(0, quadratic_cost, int_neighbor, config)
+        assert cost <= quadratic_cost(0)

@@ -1,0 +1,70 @@
+"""Tests for the straight-channel baseline and manual comparator."""
+
+import pytest
+
+from repro.iccad2015 import load_case
+from repro.optimize import best_manual_design, best_straight_baseline
+from repro.optimize.runner import PROBLEM_PUMPING_POWER, PROBLEM_THERMAL_GRADIENT
+
+
+@pytest.fixture(scope="module")
+def case():
+    return load_case(1, grid_size=21)
+
+
+class TestStraightBaseline:
+    def test_problem1_baseline_feasible(self, case):
+        result = best_straight_baseline(case, PROBLEM_PUMPING_POWER, model="2rm")
+        assert result.feasible
+        assert result.evaluation.delta_t <= case.delta_t_star * 1.01
+        assert result.name.startswith("straight")
+
+    def test_problem2_baseline_feasible(self, case):
+        result = best_straight_baseline(
+            case, PROBLEM_THERMAL_GRADIENT, model="2rm"
+        )
+        assert result.feasible
+        assert result.evaluation.w_pump <= case.w_pump_star() * 1.01
+
+    def test_multiple_pitches_considered(self, case):
+        narrow = best_straight_baseline(
+            case, PROBLEM_PUMPING_POWER, directions=(0,), pitches=(2,), model="2rm"
+        )
+        wide = best_straight_baseline(
+            case,
+            PROBLEM_PUMPING_POWER,
+            directions=(0,),
+            pitches=(2, 4),
+            model="2rm",
+        )
+        assert wide.evaluation.score <= narrow.evaluation.score * 1.001
+
+    def test_restricted_case_baseline(self):
+        case3 = load_case(3, grid_size=31)
+        result = best_straight_baseline(
+            case3, PROBLEM_PUMPING_POWER, directions=(0,), model="2rm"
+        )
+        # Channels must avoid the forbidden region.
+        import numpy as np
+
+        forbidden = np.zeros((31, 31), dtype=bool)
+        for rect in case3.restricted:
+            forbidden |= rect.mask(31, 31)
+        assert not (result.network.liquid & forbidden).any()
+
+
+class TestManualComparator:
+    def test_manual_design_evaluates(self, case):
+        result = best_manual_design(case, PROBLEM_PUMPING_POWER, model="2rm")
+        assert result.evaluation is not None
+        assert result.name
+
+    def test_manual_skips_restricted_conflicts(self):
+        case3 = load_case(3, grid_size=31)
+        result = best_manual_design(case3, PROBLEM_PUMPING_POWER, model="2rm")
+        import numpy as np
+
+        forbidden = np.zeros((31, 31), dtype=bool)
+        for rect in case3.restricted:
+            forbidden |= rect.mask(31, 31)
+        assert not (result.network.liquid & forbidden).any()

@@ -1,0 +1,95 @@
+"""Unit tests for SA moves and stage schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.optimize import perturb_tree_params, problem1_stages, problem2_stages
+from repro.optimize.stages import (
+    METRIC_FIXED_PRESSURE_GRADIENT,
+    METRIC_LOWEST_FEASIBLE_POWER,
+    METRIC_MIN_GRADIENT_CAPPED,
+    StageConfig,
+)
+
+
+class TestMoves:
+    def test_changes_at_least_one_param(self):
+        rng = np.random.default_rng(0)
+        params = np.full((5, 2), 10)
+        for _ in range(50):
+            moved = perturb_tree_params(params, 4, rng)
+            assert (moved != params).any()
+
+    def test_step_magnitude(self):
+        rng = np.random.default_rng(1)
+        params = np.full((5, 2), 10)
+        moved = perturb_tree_params(params, 4, rng)
+        deltas = np.unique(np.abs(moved - params))
+        assert set(deltas.tolist()) <= {0, 4}
+
+    def test_roughly_half_move(self):
+        rng = np.random.default_rng(2)
+        params = np.zeros((100, 2), dtype=int)
+        moved = perturb_tree_params(params, 2, rng)
+        frac = (moved != 0).mean()
+        assert 0.35 < frac < 0.65
+
+    def test_bad_step(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SearchError):
+            perturb_tree_params(np.zeros((2, 2)), 0, rng)
+
+
+class TestSchedules:
+    def test_problem1_matches_paper(self):
+        stages = problem1_stages()
+        assert [s.iterations for s in stages] == [60, 40, 40, 30]
+        assert [s.rounds for s in stages] == [8, 4, 2, 1]
+        assert stages[0].metric == METRIC_FIXED_PRESSURE_GRADIENT
+        assert stages[1].metric == METRIC_LOWEST_FEASIBLE_POWER
+        assert stages[-1].model == "4rm"
+        assert all(s.model == "2rm" for s in stages[:-1])
+
+    def test_problem1_steps_decay(self):
+        stages = problem1_stages()
+        steps = [s.step for s in stages]
+        assert steps == sorted(steps, reverse=True)
+
+    def test_problem2_matches_paper(self):
+        stages = problem2_stages()
+        assert [s.iterations for s in stages] == [80, 20, 20]
+        assert [s.rounds for s in stages] == [8, 2, 1]
+        assert all(s.metric == METRIC_MIN_GRADIENT_CAPPED for s in stages)
+        assert stages[-1].model == "4rm"
+        assert all(s.group_size > 1 for s in stages)
+
+    def test_quick_variants_smaller(self):
+        full = problem1_stages()
+        quick = problem1_stages(quick=True)
+        assert sum(s.iterations * s.rounds for s in quick) < sum(
+            s.iterations * s.rounds for s in full
+        )
+        # Shape preserved.
+        assert [s.metric for s in quick] == [s.metric for s in full]
+        assert [s.model for s in quick] == [s.model for s in full]
+
+
+class TestStageValidation:
+    def test_unknown_metric(self):
+        with pytest.raises(SearchError, match="metric"):
+            StageConfig("s", 10, 1, 2, "mystery", "2rm")
+
+    def test_unknown_model(self):
+        with pytest.raises(SearchError, match="model"):
+            StageConfig("s", 10, 1, 2, METRIC_LOWEST_FEASIBLE_POWER, "fem")
+
+    def test_nonpositive_counts(self):
+        with pytest.raises(SearchError):
+            StageConfig("s", 0, 1, 2, METRIC_LOWEST_FEASIBLE_POWER, "2rm")
+
+    def test_bad_group_size(self):
+        with pytest.raises(SearchError, match="group_size"):
+            StageConfig(
+                "s", 10, 1, 2, METRIC_MIN_GRADIENT_CAPPED, "2rm", group_size=0
+            )

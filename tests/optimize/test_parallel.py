@@ -1,0 +1,129 @@
+"""Tests for batched/parallel neighbor evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import SearchError
+from repro.iccad2015 import load_case
+from repro.optimize import SAConfig, optimize_problem1
+from repro.optimize.annealing import simulated_annealing_batch
+from repro.optimize.parallel import evaluate_population
+from repro.optimize.runner import PROBLEM_PUMPING_POWER
+from repro.optimize.stages import (
+    METRIC_LOWEST_FEASIBLE_POWER,
+    METRIC_MIN_GRADIENT_CAPPED,
+    StageConfig,
+)
+
+STAGE = StageConfig("s", 4, 1, 4, METRIC_LOWEST_FEASIBLE_POWER, "2rm")
+
+
+@pytest.fixture(scope="module")
+def case():
+    return load_case(1, grid_size=21)
+
+
+class TestEvaluatePopulation:
+    def test_serial_matches_single_evaluator(self, case):
+        plan = case.tree_plan()
+        rng = np.random.default_rng(0)
+        candidates = [plan.params()]
+        for _ in range(3):
+            jitter = 2 * rng.integers(-3, 4, size=candidates[-1].shape)
+            candidates.append(plan.clamp_params(candidates[-1] + jitter))
+        costs = evaluate_population(
+            case, plan, STAGE, PROBLEM_PUMPING_POWER, candidates, n_workers=1
+        )
+        assert len(costs) == len(candidates)
+        assert all(math.isfinite(c) or math.isinf(c) for c in costs)
+
+    def test_parallel_matches_serial(self, case):
+        plan = case.tree_plan()
+        candidates = [plan.params(), plan.params() + 2]
+        candidates[1] = plan.clamp_params(candidates[1])
+        serial = evaluate_population(
+            case, plan, STAGE, PROBLEM_PUMPING_POWER, candidates, n_workers=1
+        )
+        parallel = evaluate_population(
+            case, plan, STAGE, PROBLEM_PUMPING_POWER, candidates, n_workers=2
+        )
+        assert serial == pytest.approx(parallel, rel=1e-9)
+
+    def test_grouped_metric_stays_serial(self, case):
+        plan = case.tree_plan()
+        stage = StageConfig(
+            "g", 4, 1, 4, METRIC_MIN_GRADIENT_CAPPED, "2rm", group_size=3
+        )
+        costs = evaluate_population(
+            case,
+            plan,
+            stage,
+            "problem2",
+            [plan.params()] * 2,
+            n_workers=4,  # must silently fall back to serial
+        )
+        assert len(costs) == 2
+
+    def test_empty_population(self, case):
+        plan = case.tree_plan()
+        assert evaluate_population(
+            case, plan, STAGE, PROBLEM_PUMPING_POWER, [], n_workers=1
+        ) == []
+
+    def test_bad_workers(self, case):
+        plan = case.tree_plan()
+        with pytest.raises(SearchError):
+            evaluate_population(
+                case, plan, STAGE, PROBLEM_PUMPING_POWER, [plan.params()],
+                n_workers=0,
+            )
+
+
+class TestBatchSA:
+    def test_optimizes_quadratic(self):
+        def batch_cost(states):
+            return [float((s - 7) ** 2) for s in states]
+
+        def neighbor(state, rng):
+            return state + int(rng.choice((-1, 1)))
+
+        config = SAConfig(iterations=60, seed=1)
+        best, cost, history = simulated_annealing_batch(
+            0, batch_cost, neighbor, config, batch_size=4
+        )
+        assert best == 7 and cost == 0.0
+        assert history.proposed == pytest.approx(60 * 4, abs=4 * 60)
+
+    def test_batch_size_one_equivalent_semantics(self):
+        def batch_cost(states):
+            return [float((s - 3) ** 2) for s in states]
+
+        def neighbor(state, rng):
+            return state + int(rng.choice((-1, 1)))
+
+        config = SAConfig(iterations=80, seed=2)
+        best, cost, _ = simulated_annealing_batch(
+            0, batch_cost, neighbor, config, batch_size=1
+        )
+        assert cost == 0.0
+
+    def test_invalid_batch_size(self):
+        config = SAConfig(iterations=5, seed=0)
+        with pytest.raises(SearchError):
+            simulated_annealing_batch(
+                0, lambda s: [0.0] * len(s), lambda s, r: s, config, 0
+            )
+
+
+class TestEndToEndBatchFlow:
+    def test_problem1_with_batches(self, case):
+        stages = [
+            StageConfig("b", 3, 1, 4, METRIC_LOWEST_FEASIBLE_POWER, "2rm")
+        ]
+        result = optimize_problem1(
+            case, stages=stages, directions=(0,), seed=0, batch_size=3
+        )
+        assert result.evaluation is not None
+        assert result.total_simulations > 0

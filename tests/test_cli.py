@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSimulate:
+    def test_straight_2rm(self, capsys):
+        code = main(
+            ["simulate", "--case", "1", "--grid", "21", "--pressure", "1e4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2RM" in out and "T_max" in out
+
+    def test_4rm_with_map(self, capsys):
+        code = main(
+            [
+                "simulate", "--case", "2", "--grid", "21",
+                "--model", "4rm", "--map",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4RM" in out and "K]" in out
+
+    def test_tree_network(self, capsys):
+        code = main(
+            ["simulate", "--case", "1", "--grid", "21", "--network", "tree"]
+        )
+        assert code == 0
+
+    def test_bad_case_reports_error(self, capsys):
+        code = main(["simulate", "--case", "9", "--grid", "21"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error:" in err
+
+
+class TestOptimizeEvaluateRoundTrip:
+    def test_optimize_then_evaluate(self, tmp_path, capsys):
+        out_file = tmp_path / "design.txt"
+        code = main(
+            [
+                "optimize", "--case", "1", "--grid", "21", "--problem", "1",
+                "--quick", "--directions", "0", "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "W_pump" in out
+
+        code = main(
+            [
+                "evaluate", "--case", "1", "--grid", "21",
+                "--network-file", str(out_file), "--model", "2rm",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feasible" in out or "INFEASIBLE" in out
+
+
+class TestCompareRender:
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare", "--case", "1", "--grid", "21",
+                "--tiles", "2", "4", "--pressures", "1e4",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "speed-up" in out
+
+    def test_render(self, tmp_path, capsys):
+        from repro.iccad2015 import write_network
+        from repro.networks import straight_network
+
+        path = tmp_path / "net.txt"
+        write_network(straight_network(21, 21), path)
+        code = main(["render", "--network-file", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "=" in out
+
+    def test_no_command_prints_help(self, capsys):
+        code = main([])
+        assert code == 2
+        assert "usage" in capsys.readouterr().out
+
+
+class TestOptimizeOptions:
+    def test_power_aware_init(self, capsys):
+        code = main(
+            [
+                "optimize", "--case", "1", "--grid", "21", "--problem", "2",
+                "--quick", "--directions", "0", "--init", "power_aware",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DeltaT" in out

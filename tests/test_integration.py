@@ -1,0 +1,163 @@
+"""End-to-end integration tests reproducing the paper's claims in miniature.
+
+Each test runs a reduced version of one headline experiment and checks the
+*shape* of the paper's result: tree networks beat straight channels on
+pumping power (Table 3) and on thermal gradient (Table 4), 2RM tracks 4RM
+while being much smaller (Fig. 9), and the Problem 1 / Problem 2 temperature
+maps trade heat for flatness (Fig. 10).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_models,
+    map_statistics,
+    pressure_sweep,
+    source_layer_map,
+)
+from repro.analysis.model_compare import aggregate_by
+from repro.cooling import CoolingSystem, evaluate_problem1, evaluate_problem2
+from repro.geometry import check_design_rules
+from repro.iccad2015 import load_case
+from repro.optimize import (
+    best_straight_baseline,
+    optimize_problem1,
+    optimize_problem2,
+)
+from repro.optimize.runner import PROBLEM_PUMPING_POWER, PROBLEM_THERMAL_GRADIENT
+
+
+@pytest.fixture(scope="module")
+def case():
+    return load_case(1, grid_size=31)
+
+
+@pytest.fixture(scope="module")
+def p1_result(case):
+    return optimize_problem1(case, quick=True, directions=(0, 1), seed=7)
+
+
+@pytest.fixture(scope="module")
+def p2_result(case):
+    return optimize_problem2(case, quick=True, directions=(0, 1), seed=7)
+
+
+@pytest.fixture(scope="module")
+def p1_baseline(case):
+    return best_straight_baseline(case, PROBLEM_PUMPING_POWER, model="4rm")
+
+
+@pytest.fixture(scope="module")
+def p2_baseline(case):
+    return best_straight_baseline(case, PROBLEM_THERMAL_GRADIENT, model="4rm")
+
+
+class TestProblem1Shape:
+    """Table 3's shape: the optimized tree meets the same constraints."""
+
+    def test_both_feasible(self, p1_result, p1_baseline):
+        assert p1_result.evaluation.feasible
+        assert p1_baseline.feasible
+
+    def test_constraints_met(self, case, p1_result):
+        assert p1_result.evaluation.delta_t <= case.delta_t_star * 1.02
+        assert p1_result.evaluation.t_max <= case.t_max_star * 1.02
+
+    def test_tree_competitive_with_baseline(self, p1_result, p1_baseline):
+        """With the quick schedule the tree should at least approach the
+        baseline; full schedules (the bench harness) beat it."""
+        assert (
+            p1_result.evaluation.w_pump
+            <= 3.0 * p1_baseline.evaluation.w_pump
+        )
+
+    def test_optimized_network_legal(self, p1_result):
+        assert check_design_rules(p1_result.network).ok
+
+
+class TestProblem2Shape:
+    """Table 4's shape: the tree cuts the gradient under the power cap."""
+
+    def test_feasible(self, p2_result, p2_baseline):
+        assert p2_result.evaluation.feasible
+        assert p2_baseline.feasible
+
+    def test_power_cap_met(self, case, p2_result):
+        assert p2_result.evaluation.w_pump <= case.w_pump_star() * 1.01
+
+    def test_gradient_improves_or_matches(self, p2_result, p2_baseline):
+        assert (
+            p2_result.evaluation.delta_t
+            <= 1.5 * p2_baseline.evaluation.delta_t
+        )
+
+
+class TestFig9Shape:
+    def test_error_and_speedup_trends(self, case):
+        stack = case.base_stack()
+        records = compare_models(
+            stack,
+            case.coolant,
+            tile_sizes=[2, 4, 8],
+            pressures=[1e4],
+            style="straight",
+        )
+        by_tile = aggregate_by(records, "tile_size")
+        errors = [by_tile[t]["error_rise"] for t in (2, 4, 8)]
+        # Error grows with thermal-cell size...
+        assert errors[0] <= errors[-1]
+        # ...and the paper's headline metric (relative to absolute node
+        # temperature) stays well under 1% -- the paper reports ~0.5% for
+        # its 400 um cells.
+        errors_abs = [by_tile[t]["error_abs"] for t in (2, 4, 8)]
+        assert max(errors_abs) < 0.01
+
+
+class TestFig10Shape:
+    def test_p1_hotter_p2_flatter(self, case, p1_result, p2_result):
+        """P1's map runs hotter with a larger spread; P2's is flatter."""
+        sys_p1 = CoolingSystem.for_network(
+            case.base_stack(), p1_result.network, case.coolant, model="4rm"
+        )
+        sys_p2 = CoolingSystem.for_network(
+            case.base_stack(), p2_result.network, case.coolant, model="4rm"
+        )
+        map_p1 = source_layer_map(sys_p1.evaluate(p1_result.evaluation.p_sys))
+        map_p2 = source_layer_map(sys_p2.evaluate(p2_result.evaluation.p_sys))
+        stats_p1 = map_statistics(map_p1)
+        stats_p2 = map_statistics(map_p2)
+        assert stats_p1.t_mean > stats_p2.t_mean  # P1 hotter overall
+        assert p2_result.evaluation.delta_t < p1_result.evaluation.delta_t
+        # P1 spends less pumping power than P2.
+        assert p1_result.evaluation.w_pump < p2_result.evaluation.w_pump
+
+
+class TestCurveShapes:
+    def test_gradient_curve_has_paper_shape(self, case):
+        """f(P_sys) is uni-modal or monotone decreasing (Fig. 6)."""
+        system = CoolingSystem.for_network(
+            case.base_stack(), case.baseline_network(), case.coolant
+        )
+        sweep = pressure_sweep(system, np.geomspace(5e2, 2e5, 12))
+        assert sweep.gradient_shape() in ("unimodal", "decreasing")
+        assert sweep.peak_is_monotone(rtol=1e-4)
+
+
+class TestEvaluationConsistency:
+    def test_2rm_and_4rm_evaluations_agree_roughly(self, case):
+        """The staged flow's premise: 2RM scores track 4RM scores."""
+        network = case.baseline_network()
+        fast = CoolingSystem.for_network(
+            case.base_stack(), network, case.coolant, model="2rm", tile_size=4
+        )
+        slow = CoolingSystem.for_network(
+            case.base_stack(), network, case.coolant, model="4rm"
+        )
+        ev_fast = evaluate_problem1(fast, case.delta_t_star, case.t_max_star)
+        ev_slow = evaluate_problem1(slow, case.delta_t_star, case.t_max_star)
+        assert ev_fast.feasible == ev_slow.feasible
+        if ev_fast.feasible:
+            assert ev_fast.w_pump == pytest.approx(ev_slow.w_pump, rel=0.5)

@@ -1,0 +1,76 @@
+"""Unit tests for the material library."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.materials import (
+    BEOL,
+    COOLANTS,
+    COPPER,
+    SILICON,
+    SOLIDS,
+    WATER,
+    Coolant,
+    Solid,
+    coolant_by_name,
+    solid_by_name,
+)
+
+
+class TestSolid:
+    def test_silicon_properties(self):
+        assert SILICON.thermal_conductivity == pytest.approx(130.0)
+        assert SILICON.volumetric_heat_capacity > 1e6
+
+    def test_copper_conducts_better_than_silicon(self):
+        assert COPPER.thermal_conductivity > SILICON.thermal_conductivity
+
+    def test_beol_is_poor_conductor(self):
+        assert BEOL.thermal_conductivity < 10.0
+
+    def test_rejects_nonpositive_conductivity(self):
+        with pytest.raises(GeometryError, match="thermal conductivity"):
+            Solid("bad", thermal_conductivity=0.0, volumetric_heat_capacity=1.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(GeometryError, match="heat capacity"):
+            Solid("bad", thermal_conductivity=1.0, volumetric_heat_capacity=-5.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SILICON.thermal_conductivity = 1.0
+
+
+class TestCoolant:
+    def test_water_properties(self):
+        assert WATER.dynamic_viscosity == pytest.approx(6.53e-4)
+        assert WATER.volumetric_heat_capacity == pytest.approx(4.172e6)
+
+    def test_rejects_nonpositive_viscosity(self):
+        with pytest.raises(GeometryError, match="dynamic_viscosity"):
+            Coolant(
+                "bad",
+                thermal_conductivity=0.6,
+                volumetric_heat_capacity=4e6,
+                dynamic_viscosity=0.0,
+            )
+
+
+class TestLookups:
+    def test_solid_by_name(self):
+        assert solid_by_name("silicon") is SILICON
+
+    def test_solid_by_name_unknown(self):
+        with pytest.raises(GeometryError, match="unknown solid"):
+            solid_by_name("adamantium")
+
+    def test_coolant_by_name(self):
+        assert coolant_by_name("water") is WATER
+
+    def test_coolant_by_name_unknown(self):
+        with pytest.raises(GeometryError, match="unknown coolant"):
+            coolant_by_name("mercury")
+
+    def test_registries_consistent(self):
+        assert all(SOLIDS[name].name == name for name in SOLIDS)
+        assert all(COOLANTS[name].name == name for name in COOLANTS)

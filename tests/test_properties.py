@@ -1,0 +1,276 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+These cover the claims the rest of the system leans on: volume conservation
+for arbitrary legal networks, energy conservation of both thermal models,
+Laplacian structure of the conductance assembly, legality of every tree-plan
+configuration, D4 transform group behavior, and I/O round trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import CELL_WIDTH
+from repro.flow import FlowField
+from repro.geometry import ChannelGrid, PortKind, Side, build_contest_stack, check_design_rules
+from repro.materials import WATER
+from repro.networks import plan_tree_bands, straight_network
+from repro.thermal import RC2Simulator, RC4Simulator
+from repro.thermal.mesh import Tiling
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_networks(draw):
+    """Random legal cooling networks on small grids.
+
+    Carve a few random horizontal tracks plus vertical connectors on the
+    TSV-free track graph, attach a west inlet to the first track and an east
+    outlet to every track (one contiguous span), then prune by rule check.
+    """
+    nrows = draw(st.sampled_from([9, 11, 13]))
+    ncols = draw(st.sampled_from([9, 11, 13]))
+    grid = ChannelGrid(nrows, ncols)
+    n_tracks = draw(st.integers(2, nrows // 2))
+    track_pool = list(range(0, nrows, 2))
+    tracks = sorted(
+        draw(
+            st.lists(
+                st.sampled_from(track_pool),
+                min_size=n_tracks,
+                max_size=n_tracks,
+                unique=True,
+            )
+        )
+    )
+    for row in tracks:
+        grid.carve_horizontal(row, 0, ncols - 1)
+    n_connectors = draw(st.integers(0, 3))
+    cols = list(range(0, ncols, 2))
+    for _ in range(n_connectors):
+        col = draw(st.sampled_from(cols))
+        a = draw(st.sampled_from(tracks))
+        b = draw(st.sampled_from(tracks))
+        if a != b:
+            grid.carve_vertical(col, min(a, b), max(a, b))
+    grid.add_port_span(PortKind.INLET, Side.WEST, 0, nrows)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, 0, nrows)
+    return grid
+
+
+@st.composite
+def tree_params(draw):
+    nrows = 21
+    ncols = 21
+    plan = plan_tree_bands(nrows, ncols)
+    raw = draw(
+        st.lists(
+            st.tuples(st.integers(-5, 30), st.integers(-5, 30)),
+            min_size=plan.n_trees,
+            max_size=plan.n_trees,
+        )
+    )
+    return plan, np.array(raw)
+
+
+# ---------------------------------------------------------------------------
+# Flow invariants
+# ---------------------------------------------------------------------------
+
+
+class TestFlowProperties:
+    @given(random_networks(), st.floats(1e2, 1e6))
+    @settings(max_examples=25, deadline=None)
+    def test_volume_conserved_everywhere(self, grid, p_sys):
+        sol = FlowField(grid, 2e-4, WATER).at_pressure(p_sys)
+        residual = np.abs(sol.conservation_residual()).max()
+        scale = max(sol.q_sys, 1e-30)
+        assert residual < 1e-9 * scale
+
+    @given(random_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_pressures_bounded_by_ports(self, grid):
+        """Discrete maximum principle: cell pressures lie in [0, P_sys]."""
+        sol = FlowField(grid, 2e-4, WATER).at_pressure(1e4)
+        assert sol.pressures.min() >= -1e-9
+        assert sol.pressures.max() <= 1e4 + 1e-9
+
+    @given(random_networks())
+    @settings(max_examples=25, deadline=None)
+    def test_inflow_equals_outflow(self, grid):
+        sol = FlowField(grid, 2e-4, WATER).at_pressure(1e4)
+        assert sol.inlet_flows.sum() == pytest.approx(
+            sol.outlet_flows.sum(), rel=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# Thermal invariants
+# ---------------------------------------------------------------------------
+
+
+class TestThermalProperties:
+    def _stack(self, grid, power_total):
+        nrows, ncols = grid.shape
+        rng = np.random.default_rng(nrows * 100 + ncols)
+        power = rng.random((nrows, ncols))
+        power *= power_total / power.sum()
+        return build_contest_stack(
+            2, 2e-4, [power, power], lambda d: grid.copy(), nrows, ncols, CELL_WIDTH
+        )
+
+    @given(random_networks(), st.floats(0.1, 3.0))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_energy_conserved_4rm(self, grid, power):
+        stack = self._stack(grid, power)
+        result = RC4Simulator(stack, WATER).solve(1e4)
+        assert result.energy_balance_error() < 1e-8
+
+    @given(random_networks(), st.integers(1, 6))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_energy_conserved_2rm(self, grid, tile_size):
+        stack = self._stack(grid, 1.0)
+        result = RC2Simulator(stack, WATER, tile_size=tile_size).solve(1e4)
+        assert result.energy_balance_error() < 1e-8
+
+    @given(random_networks())
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_temperatures_near_or_above_inlet(self, grid):
+        """Node temperatures stay at or above the inlet, up to the small
+        undershoot the central differencing scheme (Eq. 6) is known to
+        produce -- it is not positivity-preserving, so we bound the
+        undershoot at 2% of the total temperature rise instead of zero."""
+        stack = self._stack(grid, 1.0)
+        result = RC2Simulator(stack, WATER, tile_size=3).solve(1e4)
+        rise = result.t_max - 300.0
+        floor = 300.0 - max(0.02 * rise, 1e-9)
+        for field in result.layer_fields:
+            assert np.nanmin(field) >= floor
+
+
+# ---------------------------------------------------------------------------
+# Tiling invariants
+# ---------------------------------------------------------------------------
+
+
+class TestTilingProperties:
+    @given(
+        st.integers(1, 40),
+        st.integers(1, 40),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tiles_partition_grid(self, nrows, ncols, tile_size):
+        t = Tiling(nrows, ncols, tile_size)
+        assert t.tile_heights().sum() == nrows
+        assert t.tile_widths().sum() == ncols
+        ones = np.ones((nrows, ncols))
+        assert t.aggregate_sum(ones).sum() == pytest.approx(nrows * ncols)
+
+    @given(
+        st.integers(2, 30),
+        st.integers(2, 30),
+        st.integers(1, 8),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aggregate_sum_matches_naive(self, nrows, ncols, tile_size, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.random((nrows, ncols))
+        t = Tiling(nrows, ncols, tile_size)
+        fast = t.aggregate_sum(arr)
+        for tr in range(t.n_tile_rows):
+            for tc in range(t.n_tile_cols):
+                rect = t.tile_rect(tr, tc)
+                naive = arr[rect.row0 : rect.row1, rect.col0 : rect.col1].sum()
+                assert fast[tr, tc] == pytest.approx(naive)
+
+
+# ---------------------------------------------------------------------------
+# Network generator invariants
+# ---------------------------------------------------------------------------
+
+
+class TestNetworkProperties:
+    @given(tree_params())
+    @settings(max_examples=40, deadline=None)
+    def test_every_tree_configuration_is_legal(self, plan_and_params):
+        plan, params = plan_and_params
+        grid = plan.with_params(params).build()
+        result = check_design_rules(grid)
+        assert result.ok, result.violations
+
+    @given(tree_params(), st.integers(0, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_tree_legal_in_every_direction(self, plan_and_params, direction):
+        plan, params = plan_and_params
+        grid = plan.with_params(params).with_direction(direction).build()
+        assert check_design_rules(grid).ok
+
+    @given(st.integers(0, 7), st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_transform_composition_preserves_liquid_count(self, d1, d2):
+        base = straight_network(13, 13)
+        from repro.networks import apply_direction
+
+        once = apply_direction(base, d1)
+        twice = apply_direction(once, d2)
+        assert twice.liquid_count == base.liquid_count
+
+    @given(random_networks())
+    @settings(max_examples=20, deadline=None)
+    def test_rule_checker_accepts_generated(self, grid):
+        assert check_design_rules(grid).ok
+
+
+# ---------------------------------------------------------------------------
+# I/O round trips
+# ---------------------------------------------------------------------------
+
+
+class TestIOProperties:
+    @given(random_networks())
+    @settings(max_examples=15, deadline=None)
+    def test_network_file_round_trip(self, tmp_path_factory, grid):
+        from repro.iccad2015 import read_network, write_network
+
+        path = tmp_path_factory.mktemp("net") / "grid.txt"
+        write_network(grid, path)
+        loaded = read_network(path)
+        assert np.array_equal(loaded.liquid, grid.liquid)
+        assert set(loaded.ports) == set(grid.ports)
+
+    @given(
+        st.integers(3, 12),
+        st.integers(3, 12),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_floorplan_round_trip(self, tmp_path_factory, nrows, ncols, seed):
+        from repro.iccad2015 import read_floorplan, write_floorplan
+
+        rng = np.random.default_rng(seed)
+        maps = [rng.random((nrows, ncols)) for _ in range(2)]
+        path = tmp_path_factory.mktemp("fp") / "floorplan.txt"
+        write_floorplan(maps, path)
+        loaded = read_floorplan(path)
+        for a, b in zip(loaded, maps):
+            assert np.allclose(a, b, rtol=1e-7)

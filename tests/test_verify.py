@@ -1,0 +1,127 @@
+"""Tests for the public verification utilities."""
+
+import numpy as np
+import pytest
+
+from repro.cooling import CoolingSystem
+from repro.flow import FlowField
+from repro.iccad2015 import load_case
+from repro.materials import WATER
+from repro.networks import serpentine_network, straight_network
+from repro.verify import (
+    VerificationError,
+    VerificationReport,
+    verify_flow_solution,
+    verify_model_agreement,
+    verify_thermal_result,
+)
+
+
+@pytest.fixture(scope="module")
+def case():
+    return load_case(1, grid_size=21)
+
+
+class TestReport:
+    def test_record_and_ok(self):
+        report = VerificationReport()
+        report.record("a", True)
+        assert report.ok
+        report.record("b", False, "oops")
+        assert not report.ok
+        assert "b: oops" in report.violations
+
+    def test_raise_if_failed(self):
+        report = VerificationReport()
+        report.record("x", False)
+        with pytest.raises(VerificationError, match="1 invariant"):
+            report.raise_if_failed()
+
+    def test_merge(self):
+        a = VerificationReport(checks=["a"], violations=[])
+        b = VerificationReport(checks=["b"], violations=["b: bad"])
+        merged = a.merged_with(b)
+        assert merged.checks == ["a", "b"]
+        assert not merged.ok
+
+
+class TestFlowVerification:
+    def test_valid_solution_passes(self, case):
+        field = FlowField(
+            case.baseline_network(), case.channel_height, case.coolant
+        )
+        report = verify_flow_solution(field.at_pressure(1e4))
+        assert report.ok, report.violations
+
+    def test_tampered_solution_fails(self, case):
+        field = FlowField(
+            case.baseline_network(), case.channel_height, case.coolant
+        )
+        solution = field.at_pressure(1e4)
+        solution.edge_flows = solution.edge_flows * 1.5  # break conservation
+        report = verify_flow_solution(solution)
+        assert not report.ok
+        assert any("conservation" in v for v in report.violations)
+
+    def test_pressure_bound_check(self, case):
+        field = FlowField(
+            case.baseline_network(), case.channel_height, case.coolant
+        )
+        solution = field.at_pressure(1e4)
+        solution.pressures = solution.pressures + 2e4  # above P_sys
+        report = verify_flow_solution(solution)
+        assert any("maximum principle" in v for v in report.violations)
+
+
+class TestThermalVerification:
+    def test_valid_result_passes(self, case):
+        system = CoolingSystem.for_network(
+            case.base_stack(), case.baseline_network(), case.coolant
+        )
+        report = verify_thermal_result(system.evaluate(1e4))
+        assert report.ok, report.violations
+
+    def test_4rm_result_passes(self, case):
+        system = CoolingSystem.for_network(
+            case.base_stack(), case.baseline_network(), case.coolant,
+            model="4rm",
+        )
+        report = verify_thermal_result(system.evaluate(1e4))
+        assert report.ok, report.violations
+
+    def test_tampered_energy_fails(self, case):
+        system = CoolingSystem.for_network(
+            case.base_stack(), case.baseline_network(), case.coolant
+        )
+        result = system.evaluate(1e4)
+        result.coolant_heat_removed = result.total_power * 0.5
+        report = verify_thermal_result(result)
+        assert any("energy" in v for v in report.violations)
+
+    def test_cold_node_fails(self, case):
+        system = CoolingSystem.for_network(
+            case.base_stack(), case.baseline_network(), case.coolant
+        )
+        result = system.evaluate(1e4)
+        result.layer_fields[0] = result.layer_fields[0].copy()
+        result.layer_fields[0][0, 0] = 250.0  # below any sane floor
+        report = verify_thermal_result(result)
+        assert any("minimum principle" in v for v in report.violations)
+
+
+class TestModelAgreement:
+    def test_straight_network_agrees(self, case):
+        stack = case.base_stack()
+        report = verify_model_agreement(
+            stack, case.coolant, [1e4], tile_size=4, tolerance=0.02
+        )
+        assert report.ok, report.violations
+
+    def test_dense_serpentine_fails_as_documented(self, case):
+        """The counterflow limitation shows up as an agreement failure."""
+        net = serpentine_network(case.nrows, case.ncols, 0, pitch=2)
+        stack = case.stack_with_network(net)
+        report = verify_model_agreement(
+            stack, case.coolant, [2e4], tile_size=4, tolerance=0.02
+        )
+        assert not report.ok

@@ -1,0 +1,97 @@
+"""Closed-form validation of the advection-conduction solution.
+
+For a single straight channel under uniform heating, the steady coolant
+temperature grows linearly along the flow:
+
+    T_coolant(x) = T_in + P_absorbed(x) / (C_v * Q)
+
+where ``P_absorbed(x)`` is the power injected upstream of ``x``.  The 4RM
+solution must reproduce this profile (up to the central-differencing
+staircase), and the solid-coolant temperature difference must match the
+film resistance ``1 / (h A)`` locally.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import CELL_WIDTH, INLET_TEMPERATURE
+from repro.flow.conductance import hydraulic_diameter
+from repro.geometry import ChannelGrid, PortKind, Side, build_contest_stack
+from repro.materials import WATER
+from repro.thermal import RC4Simulator
+from repro.thermal.common import h_conv
+
+N = 31
+H_C = 200e-6
+
+
+@pytest.fixture(scope="module")
+def single_channel_solution():
+    grid = ChannelGrid(3, N, tsv_mask=None)
+    grid.carve_horizontal(1, 0, N - 1)
+    grid.add_port(PortKind.INLET, Side.WEST, 1)
+    grid.add_port(PortKind.OUTLET, Side.EAST, 1)
+    # Uniform heating over the channel column only keeps the 1D picture.
+    power = np.zeros((3, N))
+    power[1, :] = 0.5 / N
+    stack = build_contest_stack(
+        1, H_C, [power], lambda d: grid, 3, N, CELL_WIDTH
+    )
+    sim = RC4Simulator(stack, WATER)
+    p_sys = 2e4
+    result = sim.solve(p_sys)
+    q_sys = result.q_sys
+    channel_idx = stack.channel_layer_indices()[0]
+    coolant = result.liquid_fields[channel_idx][1]
+    return power, q_sys, coolant, result
+
+
+class TestLinearCoolantProfile:
+    def test_outlet_rise_matches_enthalpy(self, single_channel_solution):
+        power, q_sys, coolant, result = single_channel_solution
+        rise = power.sum() / (WATER.volumetric_heat_capacity * q_sys)
+        # Outlet cell temperature approximates T_in + full rise.
+        assert coolant[-1] - INLET_TEMPERATURE == pytest.approx(
+            rise, rel=0.05
+        )
+
+    def test_profile_is_linear(self, single_channel_solution):
+        _, _, coolant, _ = single_channel_solution
+        x = np.arange(N, dtype=float)
+        # Smooth the pairwise staircase before fitting.
+        smooth = 0.5 * (coolant[:-1] + coolant[1:])
+        coeffs = np.polyfit(x[:-1], smooth, deg=1)
+        fit = np.polyval(coeffs, x[:-1])
+        residual = np.abs(smooth - fit).max()
+        total_rise = coolant.max() - coolant.min()
+        assert residual < 0.05 * total_rise
+
+    def test_mid_channel_rise_is_half(self, single_channel_solution):
+        power, q_sys, coolant, _ = single_channel_solution
+        rise = power.sum() / (WATER.volumetric_heat_capacity * q_sys)
+        mid = 0.5 * (coolant[N // 2] + coolant[N // 2 + 1])
+        assert mid - INLET_TEMPERATURE == pytest.approx(0.5 * rise, rel=0.15)
+
+
+class TestFilmResistance:
+    def test_source_coolant_gap_scales_with_flux(self):
+        """Doubling the power doubles the local solid-coolant difference."""
+
+        def gap(power_scale):
+            grid = ChannelGrid(3, N, tsv_mask=None)
+            grid.carve_horizontal(1, 0, N - 1)
+            grid.add_port(PortKind.INLET, Side.WEST, 1)
+            grid.add_port(PortKind.OUTLET, Side.EAST, 1)
+            power = np.zeros((3, N))
+            power[1, :] = power_scale / N
+            stack = build_contest_stack(
+                1, H_C, [power], lambda d: grid, 3, N, CELL_WIDTH
+            )
+            result = RC4Simulator(stack, WATER).solve(2e4)
+            channel_idx = stack.channel_layer_indices()[0]
+            coolant = result.liquid_fields[channel_idx][1]
+            source = result.source_fields()[0][1]
+            mid = N // 2
+            return source[mid] - coolant[mid]
+
+        assert gap(1.0) == pytest.approx(2.0 * gap(0.5), rel=0.02)

@@ -1,0 +1,142 @@
+"""Unit tests for shared thermal formulas and the advection assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalError
+from repro.flow.conductance import hydraulic_diameter
+from repro.materials import WATER
+from repro.thermal.common import (
+    AdvectionSpec,
+    ConductanceBuilder,
+    assemble_advection,
+    convective_conductance,
+    h_conv,
+    series_conductance,
+    slab_half_conductance,
+)
+
+
+class TestSeriesConductance:
+    def test_equal_halves(self):
+        assert series_conductance(2.0, 2.0) == pytest.approx(1.0)
+
+    def test_dominated_by_smaller(self):
+        assert series_conductance(1e9, 1.0) == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_blocks(self):
+        assert series_conductance(0.0, 5.0) == 0.0
+        assert series_conductance(5.0, 0.0) == 0.0
+
+    def test_symmetric(self):
+        assert series_conductance(3.0, 7.0) == pytest.approx(
+            series_conductance(7.0, 3.0)
+        )
+
+
+class TestConvection:
+    def test_h_conv_formula(self):
+        h = h_conv(WATER, 1e-4, 2e-4, nusselt=4.86)
+        d_h = hydraulic_diameter(1e-4, 2e-4)
+        assert h == pytest.approx(4.86 * WATER.thermal_conductivity / d_h)
+
+    def test_conductance_scales_with_area(self):
+        g1 = convective_conductance(1e-8, WATER, 1e-4, 2e-4)
+        g2 = convective_conductance(2e-8, WATER, 1e-4, 2e-4)
+        assert g2 == pytest.approx(2 * g1)
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ThermalError):
+            convective_conductance(-1.0, WATER, 1e-4, 2e-4)
+
+    def test_slab_half(self):
+        # k A / (t/2): 100 * 1e-8 / 25e-6.
+        assert slab_half_conductance(100.0, 1e-8, 50e-6) == pytest.approx(
+            100.0 * 1e-8 / 25e-6
+        )
+
+    def test_slab_half_rejects_zero_thickness(self):
+        with pytest.raises(ThermalError):
+            slab_half_conductance(100.0, 1e-8, 0.0)
+
+
+class TestConductanceBuilder:
+    def test_pairwise_stamp(self):
+        b = ConductanceBuilder(3)
+        b.add_pairs(np.array([0]), np.array([1]), np.array([2.0]))
+        k = b.build().toarray()
+        expected = np.array([[2.0, -2.0, 0.0], [-2.0, 2.0, 0.0], [0, 0, 0]])
+        assert np.allclose(k, expected)
+
+    def test_rows_sum_to_zero(self):
+        """K is a graph Laplacian: each row sums to zero (no ground)."""
+        rng = np.random.default_rng(3)
+        b = ConductanceBuilder(6)
+        for _ in range(10):
+            i, j = rng.choice(6, size=2, replace=False)
+            b.add_pairs(np.array([i]), np.array([j]), rng.random(1))
+        k = b.build().toarray()
+        assert np.allclose(k.sum(axis=1), 0.0)
+        assert np.allclose(k, k.T)
+
+    def test_zero_conductances_dropped(self):
+        b = ConductanceBuilder(2)
+        b.add_pairs(np.array([0]), np.array([1]), np.array([0.0]))
+        assert b.build().nnz == 2  # only the (zero) diagonal entries
+
+    def test_grounded(self):
+        b = ConductanceBuilder(2)
+        b.add_grounded(np.array([0]), np.array([3.0]))
+        k = b.build().toarray()
+        assert k[0, 0] == pytest.approx(3.0)
+        assert k[0, 1] == 0.0
+
+
+class TestAdvectionAssembly:
+    def _chain_spec(self, n, q):
+        """A chain 0 -> 1 -> ... -> n-1 with inlet at 0 and outlet at n-1."""
+        pair_nodes = np.array([[i, i + 1] for i in range(n - 1)])
+        pair_flows = np.full(n - 1, q)
+        inlet = np.zeros(n)
+        inlet[0] = q
+        outlet = np.zeros(n)
+        outlet[-1] = q
+        return AdvectionSpec(
+            pair_nodes=pair_nodes,
+            pair_flows=pair_flows,
+            node_ids=np.arange(n),
+            inlet_flows=inlet,
+            outlet_flows=outlet,
+        )
+
+    def test_chain_operator_structure(self):
+        c_v, t_in, q = 4e6, 300.0, 1e-8
+        a, b1 = assemble_advection(4, [self._chain_spec(4, q)], c_v, t_in)
+        dense = a.toarray()
+        # Interior node 1: central differencing +- C_v q / 2.
+        assert dense[1, 0] == pytest.approx(-0.5 * c_v * q)
+        assert dense[1, 2] == pytest.approx(0.5 * c_v * q)
+        assert dense[1, 1] == pytest.approx(0.0)
+        # Inlet node: diagonal C_v q / 2, RHS C_v q T_in.
+        assert dense[0, 0] == pytest.approx(0.5 * c_v * q)
+        assert b1[0] == pytest.approx(c_v * q * t_in)
+        # Outlet node: diagonal C_v q / 2.
+        assert dense[3, 3] == pytest.approx(0.5 * c_v * q)
+
+    def test_pure_advection_solution_is_linear_ramp(self):
+        """Solving advection with uniform heating yields the energy balance."""
+        n, q, c_v, t_in = 5, 1e-8, 4e6, 300.0
+        a, b1 = assemble_advection(n, [self._chain_spec(n, q)], c_v, t_in)
+        source = np.full(n, 1e-3)  # 1 mW per cell
+        temps = np.linalg.solve(a.toarray(), b1 + source)
+        # Outlet enthalpy balance: C_v q (T_out - T_in) = total power.
+        assert c_v * q * (temps[-1] - t_in) == pytest.approx(source.sum())
+        # Temperatures never decrease downstream (central differencing
+        # produces the classic pairwise staircase in pure advection).
+        assert np.all(np.diff(temps) >= -1e-12)
+        assert temps[-1] > temps[0]
+
+    def test_empty_specs(self):
+        a, b1 = assemble_advection(3, [], 4e6, 300.0)
+        assert a.nnz == 0
+        assert not b1.any()

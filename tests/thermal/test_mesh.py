@@ -1,0 +1,104 @@
+"""Unit tests for the 2RM tiling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal import Tiling
+
+
+class TestTilingLayout:
+    def test_exact_division(self):
+        t = Tiling(8, 8, 4)
+        assert t.shape == (2, 2)
+        assert list(t.tile_heights()) == [4, 4]
+
+    def test_ragged_edges(self):
+        t = Tiling(101, 101, 4)
+        assert t.shape == (26, 26)
+        assert t.tile_heights()[-1] == 1
+        assert t.tile_heights()[:-1].sum() + 1 == 101
+
+    def test_tile_size_one(self):
+        t = Tiling(5, 7, 1)
+        assert t.shape == (5, 7)
+
+    def test_tile_larger_than_grid(self):
+        t = Tiling(3, 3, 10)
+        assert t.shape == (1, 1)
+
+    def test_cell_to_tile_maps(self):
+        t = Tiling(10, 10, 4)
+        assert t.row_of_cell[0] == 0
+        assert t.row_of_cell[3] == 0
+        assert t.row_of_cell[4] == 1
+        assert t.row_of_cell[9] == 2
+
+    def test_tile_rect(self):
+        t = Tiling(10, 10, 4)
+        rect = t.tile_rect(2, 0)
+        assert (rect.row0, rect.row1) == (8, 10)
+
+    def test_invalid_tile_size(self):
+        with pytest.raises(ThermalError):
+            Tiling(5, 5, 0)
+
+
+class TestAggregation:
+    def test_sum_partitions_total(self):
+        rng = np.random.default_rng(7)
+        arr = rng.random((11, 13))
+        t = Tiling(11, 13, 4)
+        assert t.aggregate_sum(arr).sum() == pytest.approx(arr.sum())
+
+    def test_sum_values(self):
+        arr = np.arange(16, dtype=float).reshape(4, 4)
+        t = Tiling(4, 4, 2)
+        tiles = t.aggregate_sum(arr)
+        assert tiles[0, 0] == pytest.approx(0 + 1 + 4 + 5)
+        assert tiles[1, 1] == pytest.approx(10 + 11 + 14 + 15)
+
+    def test_count(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[0, :] = True
+        t = Tiling(6, 6, 3)
+        counts = t.aggregate_count(mask)
+        assert counts[0, 0] == 3 and counts[0, 1] == 3
+        assert counts[1, 0] == 0
+
+    def test_mean_with_mask(self):
+        arr = np.full((4, 4), 2.0)
+        arr[0, 0] = 10.0
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[0, 0] = True
+        t = Tiling(4, 4, 2)
+        means = t.aggregate_mean(arr, where=mask)
+        assert means[0, 0] == pytest.approx(10.0)
+        assert np.isnan(means[1, 1])
+
+    def test_shape_mismatch(self):
+        t = Tiling(4, 4, 2)
+        with pytest.raises(ThermalError, match="does not match"):
+            t.aggregate_sum(np.zeros((5, 5)))
+
+
+class TestExpansion:
+    def test_round_trip_constant(self):
+        t = Tiling(7, 9, 3)
+        tiles = np.arange(t.n_tiles, dtype=float).reshape(t.shape)
+        cells = t.expand(tiles)
+        assert cells.shape == (7, 9)
+        # Every cell carries its tile's value.
+        assert cells[0, 0] == tiles[0, 0]
+        assert cells[6, 8] == tiles[-1, -1]
+
+    def test_expand_then_aggregate_mean_identity(self):
+        t = Tiling(8, 8, 4)
+        tiles = np.array([[1.0, 2.0], [3.0, 4.0]])
+        back = t.aggregate_mean(t.expand(tiles))
+        assert np.allclose(back, tiles)
+
+    def test_expand_shape_mismatch(self):
+        t = Tiling(4, 4, 2)
+        with pytest.raises(ThermalError, match="does not match"):
+            t.expand(np.zeros((3, 3)))

@@ -1,0 +1,75 @@
+"""Documented limitations of the 2RM porous-medium model.
+
+The 2RM aggregates liquid transport to the *net* flow across each tile
+interface (Section 2.3).  When two channels cross one interface in opposite
+directions -- a dense serpentine's neighboring runs -- their flows cancel and
+the model loses their advective heat transport entirely, even though each
+channel moves heat.  These tests pin that behavior down so it stays a
+*documented* limitation rather than a silent regression:
+
+* counterflow-free networks (straight channels, trees, serpentines with
+  pitch >= tile size) keep small errors;
+* a pitch-2 serpentine under a tile size of 4 shows large errors that
+  *grow* with flow rate (advection loss hurts more when advection matters
+  more).
+
+This is exactly why the ICCAD 2015 contest extended 3D-ICE with a 4RM model
+for flexible topologies, and why the paper's final SA stage re-scores
+candidates with 4RM.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model_compare import compare_models
+from repro.iccad2015 import load_case
+from repro.networks import serpentine_network
+
+
+@pytest.fixture(scope="module")
+def case():
+    return load_case(1, grid_size=31)
+
+
+def _error(case, network, tile_size, p_sys):
+    stack = case.stack_with_network(network)
+    record = compare_models(
+        stack, case.coolant, [tile_size], [p_sys], style="x"
+    )[0]
+    return record.error_abs
+
+
+class TestCounterflowCancellation:
+    def test_dense_serpentine_error_is_large(self, case):
+        net = serpentine_network(case.nrows, case.ncols, 0, pitch=2)
+        error = _error(case, net, tile_size=4, p_sys=2e4)
+        assert error > 0.05  # tens of kelvin -- the model loses the channels
+
+    def test_error_grows_with_flow(self, case):
+        """Losing advection hurts more when advection dominates."""
+        net = serpentine_network(case.nrows, case.ncols, 0, pitch=2)
+        low = _error(case, net, tile_size=4, p_sys=5e3)
+        high = _error(case, net, tile_size=4, p_sys=4e4)
+        assert high > low
+
+    def test_pitch_at_tile_size_recovers_accuracy(self, case):
+        """One channel per tile boundary -> nothing cancels."""
+        dense = serpentine_network(case.nrows, case.ncols, 0, pitch=2)
+        sparse = serpentine_network(case.nrows, case.ncols, 0, pitch=4)
+        err_dense = _error(case, dense, tile_size=4, p_sys=2e4)
+        err_sparse = _error(case, sparse, tile_size=4, p_sys=2e4)
+        assert err_sparse < err_dense / 3
+
+    def test_finer_tiles_recover_accuracy(self, case):
+        """Shrinking tiles below the pitch restores per-channel transport."""
+        net = serpentine_network(case.nrows, case.ncols, 0, pitch=2)
+        err_fine = _error(case, net, tile_size=2, p_sys=2e4)
+        err_coarse = _error(case, net, tile_size=4, p_sys=2e4)
+        assert err_fine < err_coarse / 3
+
+    def test_straight_and_tree_stay_accurate(self, case):
+        """The styles the paper's flow actually searches are safe."""
+        straight = case.baseline_network()
+        tree = case.tree_plan().build()
+        assert _error(case, straight, tile_size=4, p_sys=2e4) < 0.01
+        assert _error(case, tree, tile_size=4, p_sys=2e4) < 0.01

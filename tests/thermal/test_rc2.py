@@ -1,0 +1,181 @@
+"""Physics validation of the fast 2RM simulator (Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CELL_WIDTH, INLET_TEMPERATURE
+from repro.errors import ThermalError
+from repro.geometry import build_contest_stack
+from repro.materials import WATER
+from repro.networks import plan_tree_bands, straight_network
+from repro.thermal import RC2Simulator, RC4Simulator
+from repro.thermal.rc2 import _complete_paths
+from repro.thermal.mesh import Tiling
+
+H_C = 200e-6
+
+
+def _stack(power_map, grid=None, n=21, dies=2):
+    grid = grid if grid is not None else straight_network(n, n)
+    return build_contest_stack(
+        dies, H_C, [power_map] * dies, lambda d: grid.copy(), n, n, CELL_WIDTH
+    )
+
+
+class TestEnergyConservation:
+    @pytest.mark.parametrize("tile_size", [1, 2, 4, 7])
+    def test_coolant_removes_all_power(self, tile_size):
+        power = np.full((21, 21), 2.0 / 441)
+        sim = RC2Simulator(_stack(power), WATER, tile_size=tile_size)
+        result = sim.solve(2e4)
+        assert result.energy_balance_error() < 1e-9
+
+    def test_tree_network_conserves(self):
+        power = np.full((21, 21), 2.0 / 441)
+        grid = plan_tree_bands(21, 21).build()
+        sim = RC2Simulator(_stack(power, grid), WATER, tile_size=4)
+        assert sim.solve(2e4).energy_balance_error() < 1e-9
+
+    def test_zero_power_uniform_inlet_temperature(self):
+        power = np.zeros((21, 21))
+        sim = RC2Simulator(_stack(power), WATER, tile_size=4)
+        result = sim.solve(1e4)
+        for field in result.layer_fields:
+            finite = field[np.isfinite(field)]
+            assert np.allclose(finite, INLET_TEMPERATURE, atol=1e-8)
+
+
+class TestStructure:
+    def test_all_above_inlet(self):
+        power = np.full((21, 21), 2.0 / 441)
+        sim = RC2Simulator(_stack(power), WATER, tile_size=4)
+        result = sim.solve(2e4)
+        for field in result.layer_fields:
+            assert np.nanmin(field) >= INLET_TEMPERATURE - 1e-9
+
+    def test_downstream_hotter(self):
+        power = np.full((21, 21), 2.0 / 441)
+        sim = RC2Simulator(_stack(power), WATER, tile_size=4)
+        source = sim.solve(2e4).source_fields()[0]
+        assert source[:, -5:].mean() > source[:, :5].mean()
+
+    def test_higher_pressure_cools(self):
+        power = np.full((21, 21), 2.0 / 441)
+        sim = RC2Simulator(_stack(power), WATER, tile_size=4)
+        assert sim.solve(4e4).t_max < sim.solve(4e3).t_max
+
+    def test_node_count_shrinks_quadratically(self):
+        power = np.full((21, 21), 2.0 / 441)
+        stack = _stack(power)
+        n1 = RC2Simulator(stack, WATER, tile_size=1).n_nodes
+        n4 = RC2Simulator(stack, WATER, tile_size=4).n_nodes
+        # Roughly m^2 fewer nodes (channel layers carry up to 2 per tile).
+        assert n4 < n1 / 8
+
+    def test_problem_size_smaller_than_4rm(self):
+        power = np.full((21, 21), 2.0 / 441)
+        stack = _stack(power)
+        n2 = RC2Simulator(stack, WATER, tile_size=4).n_nodes
+        n4 = RC4Simulator(stack, WATER).n_nodes
+        # Roughly m^2 = 16x fewer; channel layers carry 2 nodes per tile, so
+        # allow some slack on small grids.
+        assert n2 < n4 / 8
+
+    def test_invalid_tile_size(self):
+        power = np.full((21, 21), 2.0 / 441)
+        with pytest.raises(ThermalError):
+            RC2Simulator(_stack(power), WATER, tile_size=0)
+
+    def test_capacitances_positive(self):
+        power = np.full((21, 21), 2.0 / 441)
+        sim = RC2Simulator(_stack(power), WATER, tile_size=4)
+        caps = sim.node_capacitances()
+        assert caps.shape == (sim.n_nodes,)
+        assert (caps > 0).all()
+
+    def test_channel_fields_split_solid_liquid(self):
+        power = np.full((21, 21), 2.0 / 441)
+        sim = RC2Simulator(_stack(power), WATER, tile_size=4)
+        result = sim.solve(2e4)
+        channel_idx = sim.stack.channel_layer_indices()[0]
+        liquid = result.liquid_fields[channel_idx]
+        grid = sim.stack.channel_layers()[0].grid
+        assert np.isfinite(liquid[grid.liquid]).all()
+        assert np.isnan(liquid[~grid.liquid]).all()
+
+
+class TestCompletePaths:
+    def test_all_solid_tile(self):
+        solid = np.ones((8, 8), dtype=bool)
+        east, west = _complete_paths(solid, Tiling(8, 8, 4), axis=1)
+        assert (east == 4).all() and (west == 4).all()
+
+    def test_channel_blocks_paths(self):
+        solid = np.ones((8, 8), dtype=bool)
+        solid[1, :] = False  # a full-width channel on row 1
+        east, west = _complete_paths(solid, Tiling(8, 8, 4), axis=1)
+        assert east[0, 0] == 3 and west[0, 0] == 3
+        assert east[1, 0] == 4
+
+    def test_partial_block_only_counts_complete(self):
+        solid = np.ones((4, 4), dtype=bool)
+        solid[0, 3] = False  # east half of row 0 broken
+        east, west = _complete_paths(solid, Tiling(4, 4, 4), axis=1)
+        assert east[0, 0] == 3  # row 0 lost
+        assert west[0, 0] == 4  # west half untouched
+
+    def test_vertical_axis(self):
+        solid = np.ones((8, 8), dtype=bool)
+        solid[:, 2] = False
+        south, north = _complete_paths(solid, Tiling(8, 8, 4), axis=0)
+        assert south[0, 0] == 3 and north[1, 0] == 3
+        assert south[0, 1] == 4
+
+    def test_checkerboard_tsv_pattern_keeps_even_paths(self):
+        """Alternating TSVs leave even rows/cols as complete paths."""
+        from repro.geometry.grid import alternating_tsv_mask
+
+        solid = np.ones((8, 8), dtype=bool)
+        grid_liquid = np.zeros((8, 8), dtype=bool)
+        # Solid everywhere; TSVs are solid too, so all paths complete.
+        east, west = _complete_paths(solid, Tiling(8, 8, 4), axis=1)
+        assert (east == 4).all()
+
+
+class TestAgainst4RM:
+    """Fig. 9(a)'s premise: small thermal cells track the 4RM reference."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        power = np.full((21, 21), 2.0 / 441)
+        power[5, 15] += 0.4
+        stack = _stack(power)
+        r4 = RC4Simulator(stack, WATER).solve(1.5e4)
+        return stack, r4
+
+    @pytest.mark.parametrize("tile_size,tolerance", [(2, 0.15), (4, 0.25)])
+    def test_source_temperature_rise_tracks(self, pair, tile_size, tolerance):
+        stack, r4 = pair
+        r2 = RC2Simulator(stack, WATER, tile_size=tile_size).solve(1.5e4)
+        rise4 = r4.source_fields()[0] - INLET_TEMPERATURE
+        rise2 = r2.source_fields()[0] - INLET_TEMPERATURE
+        rel = np.abs(rise2 - rise4).mean() / rise4.mean()
+        assert rel < tolerance
+
+    def test_error_grows_with_tile_size(self, pair):
+        stack, r4 = pair
+        rise4 = r4.source_fields()[0] - INLET_TEMPERATURE
+
+        def err(tile_size):
+            r2 = RC2Simulator(stack, WATER, tile_size=tile_size).solve(1.5e4)
+            rise2 = r2.source_fields()[0] - INLET_TEMPERATURE
+            return np.abs(rise2 - rise4).mean() / rise4.mean()
+
+        assert err(2) < err(7)
+
+    def test_q_sys_identical(self, pair):
+        """Both models share the exact same flow solution."""
+        stack, r4 = pair
+        r2 = RC2Simulator(stack, WATER, tile_size=4).solve(1.5e4)
+        assert r2.q_sys == pytest.approx(r4.q_sys, rel=1e-12)
+        assert r2.w_pump == pytest.approx(r4.w_pump, rel=1e-12)

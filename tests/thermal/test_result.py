@@ -1,0 +1,101 @@
+"""Unit tests for the ThermalResult container and its metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ThermalError
+from repro.thermal import ThermalResult
+
+
+def _result(fields, source_indices, **kwargs):
+    defaults = dict(
+        p_sys=1e4,
+        q_sys=1e-7,
+        w_pump=1e-3,
+        layer_fields=fields,
+        layer_names=[f"layer_{i}" for i in range(len(fields))],
+        source_layer_indices=source_indices,
+        inlet_temperature=300.0,
+        total_power=1.0,
+    )
+    defaults.update(kwargs)
+    return ThermalResult(**defaults)
+
+
+class TestMetrics:
+    def test_t_max_over_all_layers(self):
+        fields = [np.full((3, 3), 310.0), np.full((3, 3), 320.0)]
+        fields[1][1, 1] = 333.0
+        result = _result(fields, [1])
+        assert result.t_max == pytest.approx(333.0)
+
+    def test_delta_t_is_max_source_range(self):
+        src0 = np.full((3, 3), 310.0)
+        src0[0, 0] = 315.0  # range 5
+        src1 = np.full((3, 3), 310.0)
+        src1[0, 0] = 322.0  # range 12
+        result = _result([src0, src1], [0, 1])
+        assert result.delta_t == pytest.approx(12.0)
+        assert result.delta_t_per_source_layer() == pytest.approx([5.0, 12.0])
+
+    def test_delta_t_without_sources_raises(self):
+        result = _result([np.full((2, 2), 300.0)], [])
+        with pytest.raises(ThermalError, match="no source layers"):
+            _ = result.delta_t
+
+    def test_t_max_source(self):
+        fields = [np.full((2, 2), 350.0), np.full((2, 2), 320.0)]
+        result = _result(fields, [1])
+        assert result.t_max_source == pytest.approx(320.0)
+
+    def test_nan_aware(self):
+        field = np.full((3, 3), 310.0)
+        field[0, 0] = np.nan
+        field[2, 2] = 312.0
+        result = _result([field], [0])
+        assert result.t_max == pytest.approx(312.0)
+        assert result.delta_t == pytest.approx(2.0)
+
+
+class TestAccessors:
+    def test_layer_field_by_name(self):
+        fields = [np.zeros((2, 2)), np.ones((2, 2))]
+        result = _result(fields, [0])
+        assert result.layer_field("layer_1")[0, 0] == 1.0
+
+    def test_layer_field_unknown_name(self):
+        result = _result([np.zeros((2, 2))], [0])
+        with pytest.raises(ThermalError, match="no layer named"):
+            result.layer_field("missing")
+
+    def test_layer_field_by_index(self):
+        fields = [np.zeros((2, 2)), np.ones((2, 2))]
+        result = _result(fields, [0])
+        assert result.layer_field(1)[0, 0] == 1.0
+
+    def test_summary_mentions_units(self):
+        result = _result([np.full((2, 2), 310.0)], [0])
+        text = result.summary()
+        assert "kPa" in text and "mW" in text
+
+
+class TestEnergyBalance:
+    def test_balance_error(self):
+        result = _result(
+            [np.full((2, 2), 310.0)], [0], coolant_heat_removed=0.9
+        )
+        assert result.energy_balance_error() == pytest.approx(0.1)
+
+    def test_without_record_raises(self):
+        result = _result([np.full((2, 2), 310.0)], [0])
+        with pytest.raises(ThermalError, match="did not record"):
+            result.energy_balance_error()
+
+    def test_zero_power(self):
+        result = _result(
+            [np.full((2, 2), 300.0)],
+            [0],
+            total_power=0.0,
+            coolant_heat_removed=1e-6,
+        )
+        assert result.energy_balance_error() == pytest.approx(1e-6)

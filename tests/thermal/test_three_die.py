@@ -1,0 +1,75 @@
+"""Three-die stacks (benchmark case 4): structure and physics checks."""
+
+import numpy as np
+import pytest
+
+from repro.cooling import CoolingSystem
+from repro.geometry import DesignRules, check_design_rules
+from repro.iccad2015 import load_case
+from repro.thermal import RC2Simulator, RC4Simulator
+
+
+@pytest.fixture(scope="module")
+def case4():
+    return load_case(4, grid_size=21)
+
+
+@pytest.fixture(scope="module")
+def result4(case4):
+    stack = case4.stack_with_network(case4.baseline_network())
+    return stack, RC4Simulator(stack, case4.coolant).solve(1e4)
+
+
+class TestStackStructure:
+    def test_three_channel_layers(self, case4):
+        stack = case4.base_stack()
+        assert len(stack.channel_layers()) == 3
+        assert len(stack.source_layers()) == 3
+
+    def test_matched_ports_by_construction(self, case4):
+        stack = case4.stack_with_network(case4.baseline_network())
+        rules = DesignRules(matched_ports_across_layers=True)
+        assert check_design_rules(stack, rules).ok
+
+    def test_power_splits_across_dies(self, case4):
+        totals = [m.sum() for m in case4.power_maps]
+        assert len(totals) == 3
+        assert sum(totals) == pytest.approx(case4.die_power, rel=1e-9)
+        # Bottom die runs hottest per the case definition.
+        assert totals[0] > totals[1] > totals[2]
+
+
+class TestThreeDiePhysics:
+    def test_energy_conserved(self, result4):
+        _, result = result4
+        assert result.energy_balance_error() < 1e-9
+
+    def test_three_source_gradients_reported(self, result4):
+        _, result = result4
+        assert len(result.delta_t_per_source_layer()) == 3
+
+    def test_flow_splits_across_three_layers(self, case4):
+        system = CoolingSystem.for_network(
+            case4.base_stack(), case4.baseline_network(), case4.coolant
+        )
+        from repro.flow import FlowField
+
+        single = FlowField(
+            case4.baseline_network(), case4.channel_height, case4.coolant
+        ).r_sys
+        # Three identical layers in parallel: a third of the resistance.
+        assert system.r_sys == pytest.approx(single / 3.0, rel=1e-9)
+
+    def test_bottom_die_hottest(self, result4):
+        """With the largest power share and dies stacked identically, the
+        bottom source layer carries the peak."""
+        _, result = result4
+        peaks = [float(np.nanmax(f)) for f in result.source_fields()]
+        assert peaks[0] == pytest.approx(result.t_max, abs=1e-9)
+
+    def test_2rm_matches_4rm_on_three_dies(self, case4, result4):
+        stack, reference = result4
+        fast = RC2Simulator(stack, case4.coolant, tile_size=4).solve(1e4)
+        for f4, f2 in zip(reference.source_fields(), fast.source_fields()):
+            err = np.abs(f2 - f4) / f4
+            assert err.mean() < 0.01

@@ -1,0 +1,80 @@
+"""Tests for the TSV-aware vertical conduction option.
+
+Copper TSVs threading the channel layer add high-conductance vertical paths
+between dies.  Modeling them (the paper's TSV/microchannel co-optimization
+future work) must cool the stack relative to treating TSV cells as silicon,
+and both models must agree on the direction and rough size of the effect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import CELL_WIDTH
+from repro.geometry import build_contest_stack
+from repro.materials import COPPER, WATER
+from repro.networks import straight_network
+from repro.thermal import RC2Simulator, RC4Simulator
+
+
+@pytest.fixture(scope="module")
+def stack():
+    n = 21
+    power = np.full((n, n), 2.0 / (n * n))
+    grid = straight_network(n, n)
+    return build_contest_stack(
+        2, 200e-6, [power, power], lambda d: grid.copy(), n, n, CELL_WIDTH
+    )
+
+
+class TestRC4TSV:
+    def test_copper_tsvs_cool_the_stack(self, stack):
+        plain = RC4Simulator(stack, WATER).solve(1e4)
+        with_tsv = RC4Simulator(stack, WATER, tsv_material=COPPER).solve(1e4)
+        assert with_tsv.t_max < plain.t_max
+
+    def test_energy_still_conserved(self, stack):
+        result = RC4Simulator(stack, WATER, tsv_material=COPPER).solve(1e4)
+        assert result.energy_balance_error() < 1e-9
+
+    def test_effect_is_moderate(self, stack):
+        """TSVs shorten vertical paths but don't replace the coolant."""
+        plain = RC4Simulator(stack, WATER).solve(1e4)
+        with_tsv = RC4Simulator(stack, WATER, tsv_material=COPPER).solve(1e4)
+        rise_plain = plain.t_max - 300.0
+        rise_tsv = with_tsv.t_max - 300.0
+        assert rise_tsv > 0.5 * rise_plain
+
+
+class TestRC2TSV:
+    def test_copper_tsvs_cool_the_stack(self, stack):
+        plain = RC2Simulator(stack, WATER, tile_size=4).solve(1e4)
+        with_tsv = RC2Simulator(
+            stack, WATER, tile_size=4, tsv_material=COPPER
+        ).solve(1e4)
+        assert with_tsv.t_max < plain.t_max
+
+    def test_energy_still_conserved(self, stack):
+        result = RC2Simulator(
+            stack, WATER, tile_size=4, tsv_material=COPPER
+        ).solve(1e4)
+        assert result.energy_balance_error() < 1e-9
+
+    def test_models_agree_on_effect_direction_and_order(self, stack):
+        """Both models see a small cooling benefit of the same order.
+
+        The tile-level lumping of 2RM smooths the per-cell copper vias into
+        an area-weighted tile conductance, so its effect is genuinely smaller
+        than 4RM's localized paths -- same sign, same order of magnitude.
+        """
+        drop4 = (
+            RC4Simulator(stack, WATER).solve(1e4).t_max
+            - RC4Simulator(stack, WATER, tsv_material=COPPER).solve(1e4).t_max
+        )
+        drop2 = (
+            RC2Simulator(stack, WATER, tile_size=2).solve(1e4).t_max
+            - RC2Simulator(
+                stack, WATER, tile_size=2, tsv_material=COPPER
+            ).solve(1e4).t_max
+        )
+        assert drop4 > 0 and drop2 > 0
+        assert 0.05 * drop4 < drop2 < 3.0 * drop4
