@@ -1,0 +1,85 @@
+"""Persistent-pool candidate evaluation: speedup, parity, and counters.
+
+Runs the SA-shaped batch-evaluation workload from ``harness.py`` twice --
+once with the seed implementation (a fresh process pool and full-context
+pickling per batch) and once with the persistent worker pool -- then pins
+the PR's acceptance criteria: identical costs on every path and at least a
+2x speedup on a >= 32-candidate workload with 4 workers.  Writes the
+machine-readable artifact ``benchmarks/out/BENCH_parallel_eval.json`` so
+future PRs have a perf trajectory to compare against.
+
+The benchmark fixture times one persistent-pool batch (the steady-state
+cost of an SA iteration's neighbor evaluation).
+"""
+
+import numpy as np
+
+from repro.optimize.parallel import evaluate_population, shutdown_pools
+from repro.optimize.stages import METRIC_FIXED_PRESSURE_GRADIENT, StageConfig
+from repro.iccad2015 import load_case
+
+from harness import make_sa_batches, run_parallel_eval_bench, write_bench_json
+
+#: The acceptance workload: >= 32 candidates, 4 workers, SA-shaped batches.
+N_BATCHES = 16
+BATCH_SIZE = 4
+N_WORKERS = 4
+
+
+def test_parallel_eval_speedup(benchmark):
+    result = run_parallel_eval_bench(
+        grid_size=21,
+        n_batches=N_BATCHES,
+        batch_size=BATCH_SIZE,
+        n_workers=N_WORKERS,
+    )
+    path = write_bench_json("parallel_eval", result)
+    print(
+        f"\nseed {result['seed_seconds']:.2f}s vs persistent "
+        f"{result['persistent_seconds']:.2f}s: "
+        f"{result['speedup']:.2f}x speedup over "
+        f"{result['config']['n_candidates']} candidates"
+        f"\n[artifact: {path}]"
+    )
+
+    # Parity: persistent-pool costs match both the seed implementation and
+    # the serial path bit for bit.
+    assert result["parity_seed_vs_persistent"]
+    assert result["parity_serial_vs_persistent"]
+
+    # Acceptance: >= 2x faster than the seed implementation on >= 32
+    # candidates (measured 2.8-3.2x on an idle 4-core box; 2x leaves slack
+    # for noisy CI machines).
+    assert result["config"]["n_candidates"] >= 32
+    assert result["speedup"] >= 2.0
+
+    # The counters prove the mechanism: one pool start for all batches, and
+    # every candidate's solver work visible across the process boundary.
+    assert result["counters"]["parallel.pool_starts"] == 1
+    assert result["counters"]["parallel.batches"] == N_BATCHES
+    assert result["counters"]["parallel.candidates"] == N_BATCHES * BATCH_SIZE
+    assert result["counters"]["cooling.simulations"] > 0
+
+    # Steady-state cost of one SA iteration's neighbor batch.
+    case = load_case(1, grid_size=21)
+    plan = case.tree_plan()
+    stage = StageConfig(
+        "bench-stage1", 4, 1, 8, METRIC_FIXED_PRESSURE_GRADIENT, "2rm"
+    )
+    batch = make_sa_batches(plan, 1, BATCH_SIZE, seed=1)[0]
+
+    def one_batch():
+        return evaluate_population(
+            case,
+            plan,
+            stage,
+            "problem1",
+            batch,
+            fixed_pressure=2e4,
+            n_workers=N_WORKERS,
+        )
+
+    try:
+        benchmark(one_batch)
+    finally:
+        shutdown_pools()

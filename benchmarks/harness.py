@@ -1,17 +1,30 @@
-"""Shared machinery for the Table 3 / Table 4 benches.
+"""Shared machinery for the Table 3 / Table 4 benches, plus the perf harness.
 
 Runs, for every benchmark case: the straight-channel baseline (best of the
 global directions), the manual-design comparator (stand-in for the contest
 winner; see DESIGN.md), and the staged-SA tree-like design flow.  Formats the
 paper's row layout and improvement percentages.
+
+This module is also executable -- ``python benchmarks/harness.py --bench
+parallel_eval --json`` runs the persistent-pool evaluation benchmark and
+writes ``benchmarks/out/BENCH_parallel_eval.json`` (timings, speedup,
+profiling counters), giving future PRs a machine-readable perf trajectory.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import math
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro import profiling
 from repro.analysis import format_table, result_row
 from repro.analysis.tables import improvement_percent
 from repro.errors import ReproError
@@ -152,3 +165,209 @@ def _try(fn):
         return fn()
     except ReproError:
         return None
+
+
+# ---------------------------------------------------------------------------
+# Persistent-pool evaluation benchmark (BENCH_parallel_eval.json)
+# ---------------------------------------------------------------------------
+
+
+def _score_one_seed(payload):
+    """The seed implementation's worker body, kept verbatim as the baseline:
+    the full context rides along with *every* candidate, a fresh evaluator is
+    built per candidate, and every exception is silently swallowed."""
+    case, plan, stage, problem, fixed_pressure, params = payload
+    from repro.optimize.runner import _CandidateEvaluator
+
+    evaluator = _CandidateEvaluator(case, plan, stage, problem, fixed_pressure)
+    try:
+        return float(evaluator(params))
+    except Exception:
+        return math.inf
+
+
+def _seed_evaluate_batch(case, plan, stage, problem, fixed_pressure, batch, n_workers):
+    """One batch the way the seed ``evaluate_population`` ran it: a brand-new
+    process pool per call, full-context payloads per candidate."""
+    payloads = [
+        (case, plan, stage, problem, fixed_pressure, np.asarray(p, dtype=int))
+        for p in batch
+    ]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_score_one_seed, payloads))
+
+
+def make_sa_batches(plan, n_batches, batch_size, seed=0, step=2):
+    """SA-shaped candidate batches: each batch perturbs a drifting current
+    state, mirroring how ``simulated_annealing_batch`` proposes neighbors."""
+    rng = np.random.default_rng(seed)
+    batches, current = [], plan.params()
+    for _ in range(n_batches):
+        batch = [
+            plan.clamp_params(
+                current + step * rng.integers(-2, 3, size=current.shape)
+            )
+            for _ in range(batch_size)
+        ]
+        current = batch[0]
+        batches.append(batch)
+    return batches
+
+
+def run_parallel_eval_bench(
+    grid_size: int = 21,
+    n_batches: int = 16,
+    batch_size: int = 4,
+    n_workers: int = 4,
+    case_number: int = 1,
+    seed: int = 0,
+) -> dict:
+    """Benchmark the persistent pool against the seed per-batch pool.
+
+    The workload is the SA loop's real shape: ``n_batches`` consecutive
+    batches of ``batch_size`` neighbor candidates (the runner defaults to
+    ``batch_size = n_workers``), scored with the paper's stage-1 metric
+    (thermal gradient at a fixed pressure) on the 2RM model.  The seed
+    implementation pays pool spin-up and full-context pickling for every
+    batch; the persistent pool pays them once.  Also checks all three paths
+    (seed / persistent / serial) return identical costs.
+    """
+    from repro.optimize.parallel import evaluate_population, shutdown_pools
+    from repro.optimize.stages import METRIC_FIXED_PRESSURE_GRADIENT, StageConfig
+
+    if n_workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {n_workers}")
+    if n_batches < 1 or batch_size < 1:
+        raise SystemExit(
+            f"need at least one batch and one candidate per batch, got "
+            f"--batches {n_batches} --batch-size {batch_size}"
+        )
+    case = load_case(case_number, grid_size=grid_size)
+    plan = case.tree_plan()
+    stage = StageConfig(
+        "bench-stage1", 4, 1, 8, METRIC_FIXED_PRESSURE_GRADIENT, "2rm"
+    )
+    fixed_pressure = 2e4
+    batches = make_sa_batches(plan, n_batches, batch_size, seed=seed)
+    n_candidates = n_batches * batch_size
+
+    shutdown_pools()
+    start = time.perf_counter()
+    seed_costs = [
+        _seed_evaluate_batch(
+            case, plan, stage, "problem1", fixed_pressure, batch, n_workers
+        )
+        for batch in batches
+    ]
+    seed_seconds = time.perf_counter() - start
+
+    profiling.reset()
+    start = time.perf_counter()
+    persistent_costs = [
+        evaluate_population(
+            case,
+            plan,
+            stage,
+            "problem1",
+            batch,
+            fixed_pressure=fixed_pressure,
+            n_workers=n_workers,
+        )
+        for batch in batches
+    ]
+    persistent_seconds = time.perf_counter() - start
+    counters_snapshot = profiling.snapshot()
+    shutdown_pools()
+
+    serial_costs = [
+        evaluate_population(
+            case,
+            plan,
+            stage,
+            "problem1",
+            batch,
+            fixed_pressure=fixed_pressure,
+            n_workers=1,
+        )
+        for batch in batches
+    ]
+
+    return {
+        "benchmark": "parallel_eval",
+        "config": {
+            "case_number": case_number,
+            "grid_size": grid_size,
+            "n_batches": n_batches,
+            "batch_size": batch_size,
+            "n_candidates": n_candidates,
+            "n_workers": n_workers,
+            "metric": stage.metric,
+            "model": stage.model,
+            "fixed_pressure": fixed_pressure,
+            "seed": seed,
+        },
+        "seed_seconds": seed_seconds,
+        "persistent_seconds": persistent_seconds,
+        "speedup": seed_seconds / persistent_seconds,
+        "seed_candidates_per_sec": n_candidates / seed_seconds,
+        "persistent_candidates_per_sec": n_candidates / persistent_seconds,
+        "parity_seed_vs_persistent": seed_costs == persistent_costs,
+        "parity_serial_vs_persistent": serial_costs == persistent_costs,
+        "counters": counters_snapshot["counters"],
+        "timers": counters_snapshot["timers"],
+    }
+
+
+def write_bench_json(name: str, payload: dict, out_dir: Optional[Path] = None) -> Path:
+    """Persist a benchmark payload as ``benchmarks/out/BENCH_<name>.json``."""
+    out_dir = Path(__file__).parent / "out" if out_dir is None else Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+_BENCHES = {"parallel_eval": run_parallel_eval_bench}
+
+
+def main(argv=None) -> int:
+    """CLI: run a named perf benchmark, optionally writing BENCH_*.json."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench", choices=sorted(_BENCHES), default="parallel_eval",
+        help="which perf benchmark to run",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="write benchmarks/out/BENCH_<name>.json",
+    )
+    parser.add_argument("--grid", type=int, default=21, help="grid size")
+    parser.add_argument("--batches", type=int, default=16, help="batch count")
+    parser.add_argument("--batch-size", type=int, default=4, help="candidates per batch")
+    parser.add_argument("--workers", type=int, default=4, help="worker processes")
+    parser.add_argument("--out", type=Path, default=None, help="output directory")
+    args = parser.parse_args(argv)
+
+    result = _BENCHES[args.bench](
+        grid_size=args.grid,
+        n_batches=args.batches,
+        batch_size=args.batch_size,
+        n_workers=args.workers,
+    )
+    print(
+        f"{args.bench}: seed {result['seed_seconds']:.2f}s, persistent "
+        f"{result['persistent_seconds']:.2f}s, speedup "
+        f"{result['speedup']:.2f}x, parity="
+        f"{result['parity_seed_vs_persistent']}"
+    )
+    print(profiling.format_snapshot(
+        {"counters": result["counters"], "timers": result["timers"]}
+    ))
+    if args.json:
+        path = write_bench_json(args.bench, result, out_dir=args.out)
+        print(f"[artifact: {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,3 +80,10 @@ PRESSURE_INIT_STEP_RATIO = 0.25
 #: operating points are 5-46 kPa); 200 kPa is a generous packaging limit.
 PRESSURE_MIN = 1.0
 PRESSURE_MAX = 2e5
+
+#: Decimal places a pressure is rounded to before it keys a memoized result
+#: (thermal-result caches, LU caches, search memoizers).  1e-6 Pa resolution
+#: is ~1e-9 of the physical pressures above, far below PRESSURE_SEARCH_RTOL,
+#: so quantization never changes a search decision -- it only lets re-probes
+#: of epsilon-perturbed pressures hit the caches they logically should.
+PRESSURE_KEY_DECIMALS = 6

@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from .. import profiling
 from ..constants import (
     PRESSURE_INIT,
     PRESSURE_INIT_STEP_RATIO,
+    PRESSURE_KEY_DECIMALS,
     PRESSURE_MAX,
     PRESSURE_MIN,
     PRESSURE_SEARCH_RTOL,
@@ -60,15 +62,21 @@ class PressureSearchResult:
 
 
 class _Memo:
-    """Counting memoizer around the probe function."""
+    """Counting memoizer around the probe function.
+
+    Pressures are quantized (1e-6 Pa) before keying, matching the result
+    cache of :class:`~repro.cooling.system.CoolingSystem`: two probes that
+    differ by floating-point noise are one simulation, not two.
+    """
 
     def __init__(self, fn: Callable[[float], float]):
         self._fn = fn
         self._cache: Dict[float, float] = {}
 
     def __call__(self, p: float) -> float:
-        key = float(p)
+        key = round(float(p), PRESSURE_KEY_DECIMALS)
         if key not in self._cache:
+            profiling.increment("search.probes")
             self._cache[key] = float(self._fn(key))
         return self._cache[key]
 

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Union
 
-from ..constants import EDGE_CONDUCTANCE_FACTOR, INLET_TEMPERATURE
+from .. import profiling
+from ..constants import (
+    EDGE_CONDUCTANCE_FACTOR,
+    INLET_TEMPERATURE,
+    PRESSURE_KEY_DECIMALS,
+)
 from ..errors import ThermalError
 from ..geometry.grid import ChannelGrid
 from ..geometry.stack import Stack
@@ -105,13 +110,22 @@ class CoolingSystem:
         return (w_pump * self.r_sys) ** 0.5
 
     def evaluate(self, p_sys: float) -> ThermalResult:
-        """Simulate (or fetch the cached result) at one pressure drop."""
-        key = float(p_sys)
+        """Simulate (or fetch the cached result) at one pressure drop.
+
+        Pressures are quantized to :data:`~repro.constants.
+        PRESSURE_KEY_DECIMALS` decimal places (1e-6 Pa) before keying and
+        solving, so an epsilon-perturbed re-probe of a pressure the searches
+        already visited is a cache hit instead of a fresh simulation.
+        """
+        key = round(float(p_sys), PRESSURE_KEY_DECIMALS)
         cached = self._cache.get(key)
         if cached is None:
             cached = self.simulator.solve(key)
             self._cache[key] = cached
             self.n_simulations += 1
+            profiling.increment("cooling.simulations")
+        else:
+            profiling.increment("cooling.cache_hits")
         return cached
 
     def delta_t(self, p_sys: float) -> float:

@@ -10,6 +10,8 @@ essentially free on the flow side.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -17,6 +19,7 @@ import numpy as np
 from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import splu
 
+from .. import profiling
 from ..constants import EDGE_CONDUCTANCE_FACTOR
 from ..errors import FlowError
 from ..geometry.grid import ChannelGrid, PortKind
@@ -74,8 +77,55 @@ class FlowSolution:
         return residual
 
 
+#: Fields of a solved unit-pressure system shared through the topology cache.
+_UNIT_FIELDS = (
+    "edge_cells",
+    "inlet_idx",
+    "outlet_idx",
+    "g_cell",
+    "g_edge",
+    "_unit_pressures",
+    "_unit_edge_flows",
+    "_unit_inlet_flows",
+    "_unit_outlet_flows",
+    "_unit_q_sys",
+)
+
+_unit_cache_lock = threading.Lock()
+_unit_cache: "OrderedDict[tuple, dict]" = OrderedDict()
+_unit_cache_size = 64
+
+
+def set_unit_cache_size(size: int) -> int:
+    """Resize the topology-keyed unit-solution cache; 0 disables it.
+
+    Returns the previous size.  Shrinking evicts oldest entries immediately.
+    """
+    global _unit_cache_size
+    with _unit_cache_lock:
+        previous = _unit_cache_size
+        _unit_cache_size = max(int(size), 0)
+        while len(_unit_cache) > _unit_cache_size:
+            _unit_cache.popitem(last=False)
+    return previous
+
+
+def clear_unit_cache() -> None:
+    """Drop every cached unit solution (mainly for tests and benchmarks)."""
+    with _unit_cache_lock:
+        _unit_cache.clear()
+
+
 class FlowField:
     """Pressure/flow solver for one channel grid, reusable across pressures.
+
+    The assembled sparse system and its unit-pressure solution are memoized
+    in a module-level cache keyed by the network *topology* (liquid mask,
+    ports, geometry, coolant, edge factor): building a second ``FlowField``
+    for an identical network -- e.g. the matched-ports convention replicating
+    one grid across every channel layer, or the SA loop revisiting a
+    candidate -- skips assembly and factorization entirely.  Cached arrays
+    are marked read-only because they are shared between instances.
 
     Args:
         grid: The cooling network.
@@ -108,8 +158,43 @@ class FlowField:
             raise FlowError("network has no inlet; pressure problem is singular")
         if not grid.outlets():
             raise FlowError("network has no outlet; pressure problem is singular")
-        self._assemble()
-        self._solve_unit()
+        key = self._topology_key()
+        with _unit_cache_lock:
+            cached = _unit_cache.get(key)
+            if cached is not None:
+                _unit_cache.move_to_end(key)
+        if cached is not None:
+            profiling.increment("flow.unit_cache_hits")
+            for name in _UNIT_FIELDS:
+                setattr(self, name, cached[name])
+            return
+        with profiling.timer("flow.unit_solve"):
+            self._assemble()
+            self._solve_unit()
+        profiling.increment("flow.unit_solves")
+        entry = {name: getattr(self, name) for name in _UNIT_FIELDS}
+        for value in entry.values():
+            if isinstance(value, np.ndarray):
+                value.setflags(write=False)
+        with _unit_cache_lock:
+            if _unit_cache_size > 0:
+                _unit_cache[key] = entry
+                while len(_unit_cache) > _unit_cache_size:
+                    _unit_cache.popitem(last=False)
+
+    def _topology_key(self) -> tuple:
+        """Everything the unit solution depends on, hashable."""
+        grid = self.grid
+        return (
+            grid.nrows,
+            grid.ncols,
+            grid.cell_width,
+            self.channel_height,
+            self.edge_factor,
+            self.coolant,
+            grid.liquid.tobytes(),
+            tuple(sorted((p.kind.value, p.side.value, p.index) for p in grid.ports)),
+        )
 
     # ------------------------------------------------------------------
 

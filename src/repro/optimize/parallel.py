@@ -3,8 +3,23 @@
 The paper's server evaluates 64 neighboring network solutions simultaneously
 in each SA iteration.  :func:`evaluate_population` reproduces that pattern:
 score a batch of tree-parameter vectors, optionally across worker processes.
-Each worker rebuilds the candidate's cooling system from picklable inputs
-(case, plan, stage), so no shared state is needed.
+
+Workers are *persistent*: a :class:`PersistentEvaluationPool` ships the full
+evaluation context (case, plan, stage, problem) to each worker exactly once
+via the pool initializer, and every subsequent candidate costs only a tiny
+``(n_trees, 2)`` int array on the wire.  Pools are kept alive in a small
+module-level cache keyed by that context, so consecutive SA iterations --
+and rounds, which share a stage -- reuse the same warm workers instead of
+paying pool spin-up plus context re-pickling per batch.  Each worker's
+:class:`~repro.optimize.runner._CandidateEvaluator` also keeps its
+per-params cost cache across batches.
+
+Error discipline (shared by the serial and parallel paths): a
+:class:`~repro.errors.ReproError` means the candidate network is illegal or
+infeasible and scores ``inf``; any other exception is a genuine bug and
+surfaces as :class:`CandidateCrashError` carrying the offending parameters.
+The ``parallel.infeasible`` / ``parallel.crashed`` profiling counters keep
+the two populations distinguishable.
 
 The grouped Problem-2 metric is inherently sequential (later candidates
 re-use the group leader's optimal pressure), so it always evaluates serially;
@@ -13,16 +28,204 @@ the Problem-1 metrics parallelize freely.
 
 from __future__ import annotations
 
+import atexit
 import math
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import SearchError
+from .. import profiling
+from ..errors import ReproError, SearchError
 from ..iccad2015.cases import Case
 from ..networks.tree import TreePlan
 from .stages import METRIC_MIN_GRADIENT_CAPPED, StageConfig
+
+
+class CandidateCrashError(RuntimeError):
+    """An unexpected (non-:class:`~repro.errors.ReproError`) exception while
+    scoring a candidate.  Deliberately *not* a ``ReproError``: the SA loop
+    must not swallow it as just another infeasible network."""
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery
+# ---------------------------------------------------------------------------
+
+#: The evaluator owned by this worker process, installed once by
+#: :func:`_init_worker`.  ``None`` in the parent process.
+_WORKER_EVALUATOR = None
+
+
+def _init_worker(case, plan, stage, problem, fixed_pressure) -> None:
+    """Pool initializer: build this worker's evaluator exactly once."""
+    global _WORKER_EVALUATOR
+    from .runner import _CandidateEvaluator
+
+    _WORKER_EVALUATOR = _CandidateEvaluator(
+        case, plan, stage, problem, fixed_pressure
+    )
+
+
+def _score_candidate(evaluator, params: np.ndarray) -> float:
+    """Score one candidate with the shared error discipline.
+
+    Library errors (illegal geometry, infeasible constraints, stalled
+    searches) mean "this candidate is bad" and return ``inf``; anything else
+    is a programming error and is re-raised with the candidate parameters in
+    the message so a crashing point is reproducible.
+    """
+    params = np.asarray(params, dtype=int)
+    try:
+        return float(evaluator(params))
+    except ReproError:
+        return math.inf
+    except Exception as exc:
+        raise CandidateCrashError(
+            f"candidate params {params.tolist()} crashed: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+
+
+def _score_in_worker(params: np.ndarray):
+    """Worker entry point: score one candidate, return (cost, counters).
+
+    The worker's profiling counters are reset around each candidate so the
+    returned snapshot is a per-candidate delta the parent can merge into its
+    own profiler -- solver-reuse statistics survive the process boundary.
+    """
+    profiling.reset()
+    cost = _score_candidate(_WORKER_EVALUATOR, params)
+    return cost, profiling.snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Persistent pool
+# ---------------------------------------------------------------------------
+
+
+class PersistentEvaluationPool:
+    """A reusable worker pool bound to one evaluation context.
+
+    Args:
+        case / plan / stage / problem / fixed_pressure: As in the staged
+            flow (:mod:`repro.optimize.runner`); pickled to each worker once.
+        n_workers: Worker process count (>= 1).
+
+    Use as a context manager or call :meth:`close` explicitly; pools cached
+    by :func:`evaluate_population` are closed on eviction and at exit.
+    """
+
+    def __init__(
+        self,
+        case: Case,
+        plan: TreePlan,
+        stage: StageConfig,
+        problem: str,
+        fixed_pressure: Optional[float] = None,
+        n_workers: int = 2,
+    ):
+        if n_workers < 1:
+            raise SearchError(f"n_workers must be >= 1, got {n_workers}")
+        #: Strong references keep ``id()``-based cache keys valid.
+        self.context = (case, plan, stage, problem, fixed_pressure)
+        self.n_workers = int(n_workers)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_init_worker,
+            initargs=self.context,
+        )
+        self._closed = False
+        profiling.increment("parallel.pool_starts")
+
+    def evaluate(self, params_list: Sequence[np.ndarray]) -> List[float]:
+        """Score a batch of candidates; one cost per candidate, in order."""
+        if self._closed:
+            raise SearchError("persistent evaluation pool is closed")
+        payloads = [np.asarray(p, dtype=int) for p in params_list]
+        if not payloads:
+            return []
+        with profiling.timer("parallel.batch"):
+            try:
+                outcomes = list(self._executor.map(_score_in_worker, payloads))
+            except CandidateCrashError:
+                profiling.increment("parallel.crashed")
+                raise
+        costs = []
+        for cost, worker_snapshot in outcomes:
+            costs.append(float(cost))
+            profiling.merge(worker_snapshot)
+        profiling.increment("parallel.batches")
+        profiling.increment("parallel.candidates", len(costs))
+        profiling.increment(
+            "parallel.infeasible", sum(1 for c in costs if math.isinf(c))
+        )
+        return costs
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called."""
+        return self._closed
+
+    def __enter__(self) -> "PersistentEvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+#: Live pools kept warm across :func:`evaluate_population` calls.  Two slots
+#: cover the common shape of the staged flow (current stage plus the
+#: next-stage re-scorer) without hoarding idle processes.
+_POOL_CACHE_SIZE = 2
+_pool_cache: "OrderedDict[tuple, PersistentEvaluationPool]" = OrderedDict()
+
+
+def _cached_pool(
+    case: Case,
+    plan: TreePlan,
+    stage: StageConfig,
+    problem: str,
+    fixed_pressure: Optional[float],
+    n_workers: int,
+) -> PersistentEvaluationPool:
+    # Identity-based keys are safe because each cached pool holds strong
+    # references to its context objects, pinning their ids.
+    key = (id(case), id(plan), stage, problem, fixed_pressure, n_workers)
+    pool = _pool_cache.get(key)
+    if pool is not None and not pool.closed:
+        _pool_cache.move_to_end(key)
+        return pool
+    pool = PersistentEvaluationPool(
+        case, plan, stage, problem, fixed_pressure, n_workers=n_workers
+    )
+    _pool_cache[key] = pool
+    while len(_pool_cache) > _POOL_CACHE_SIZE:
+        _, evicted = _pool_cache.popitem(last=False)
+        evicted.close()
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every cached worker pool (also registered at interpreter exit)."""
+    while _pool_cache:
+        _, pool = _pool_cache.popitem(last=False)
+        pool.close()
+
+
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# Public entry point
+# ---------------------------------------------------------------------------
 
 
 def evaluate_population(
@@ -33,6 +236,7 @@ def evaluate_population(
     params_list: Sequence[np.ndarray],
     fixed_pressure: Optional[float] = None,
     n_workers: int = 1,
+    pool: Optional[PersistentEvaluationPool] = None,
 ) -> List[float]:
     """Score a batch of candidate parameter vectors.
 
@@ -41,37 +245,39 @@ def evaluate_population(
             flow (:mod:`repro.optimize.runner`).
         params_list: Candidate (n_trees, 2) arrays.
         n_workers: Worker processes; 1 evaluates serially in-process.
+        pool: An explicit :class:`PersistentEvaluationPool` to dispatch to
+            (its context must match the other arguments); by default a
+            module-cached pool for this context is created or reused.
 
     Returns:
         One cost per candidate (``inf`` for illegal/infeasible networks).
+        Unexpected worker exceptions propagate as
+        :class:`CandidateCrashError` -- they are bugs, not infeasibility.
     """
     if n_workers < 1:
         raise SearchError(f"n_workers must be >= 1, got {n_workers}")
     if not params_list:
         return []
-    if n_workers == 1 or stage.metric == METRIC_MIN_GRADIENT_CAPPED:
+    # The grouped metric is stateful across candidates and must stay serial
+    # no matter what was requested; otherwise go parallel when a pool was
+    # handed in or more than one worker was asked for.
+    if stage.metric == METRIC_MIN_GRADIENT_CAPPED or (
+        pool is None and n_workers == 1
+    ):
         from .runner import _CandidateEvaluator
 
         evaluator = _CandidateEvaluator(
             case, plan, stage, problem, fixed_pressure
         )
-        return [float(evaluator(params)) for params in params_list]
+        costs = [_score_candidate(evaluator, params) for params in params_list]
+        profiling.increment("parallel.candidates", len(costs))
+        profiling.increment(
+            "parallel.infeasible", sum(1 for c in costs if math.isinf(c))
+        )
+        return costs
 
-    payloads = [
-        (case, plan, stage, problem, fixed_pressure, np.asarray(p, dtype=int))
-        for p in params_list
-    ]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_score_one, payloads))
-
-
-def _score_one(payload) -> float:
-    """Worker entry point: build a fresh evaluator and score one candidate."""
-    case, plan, stage, problem, fixed_pressure, params = payload
-    from .runner import _CandidateEvaluator
-
-    evaluator = _CandidateEvaluator(case, plan, stage, problem, fixed_pressure)
-    try:
-        return float(evaluator(params))
-    except Exception:  # worker crashes must not kill the search
-        return math.inf
+    if pool is None:
+        pool = _cached_pool(
+            case, plan, stage, problem, fixed_pressure, n_workers
+        )
+    return pool.evaluate(params_list)

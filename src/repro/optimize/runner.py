@@ -394,7 +394,13 @@ def _make_batch_cost(
     n_workers: int,
     counter: list,
 ):
-    """A caching batch evaluator over :func:`evaluate_population`."""
+    """A caching batch evaluator over :func:`evaluate_population`.
+
+    Parallel dispatch goes through the module-level persistent-pool cache of
+    :mod:`repro.optimize.parallel`: every batch of the same stage (across SA
+    iterations and rounds) reuses one warm worker pool.
+    """
+    from .. import profiling
     from .parallel import evaluate_population
 
     cache: Dict[bytes, float] = {}
@@ -405,6 +411,9 @@ def _make_batch_cost(
             key = np.asarray(state, dtype=int).tobytes()
             if key not in cache:
                 missing.append((key, state))
+        profiling.increment(
+            "optimize.batch_cache_hits", len(states) - len(missing)
+        )
         if missing:
             costs = evaluate_population(
                 case,

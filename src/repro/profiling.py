@@ -1,0 +1,194 @@
+"""Lightweight named counters and wall-clock timers for the hot paths.
+
+The solver-reuse layers (flow unit-solution cache, thermal factorization
+reuse, cooling-system result memoization) and the parallel SA evaluation all
+report what they did through this module, so benchmarks can prove that an
+optimization actually removed work instead of guessing from wall clock alone:
+
+    from repro import profiling
+
+    profiling.reset()
+    ...  # run something
+    print(profiling.snapshot())
+    # {"counters": {"flow.unit_cache_hits": 12, ...},
+    #  "timers": {"thermal.factorize": {"count": 9, "seconds": 0.41}, ...}}
+
+Instrumentation is process-local: worker processes of
+:class:`repro.optimize.parallel.PersistentEvaluationPool` accumulate their
+own counters, which the pool can fetch and fold into the parent's profiler
+(:func:`merge`).  Overhead is one dict update plus a lock per event --
+negligible next to a sparse factorization -- and :func:`set_enabled` turns
+everything into no-ops for the truly paranoid.
+
+Well-known names (see ``docs/SOLVER_CACHES.md`` for the cache semantics):
+
+=============================  =============================================
+``flow.unit_solves``           sparse pressure systems assembled + factorized
+``flow.unit_cache_hits``       :class:`~repro.flow.network.FlowField` reuses
+``thermal.factorizations``     ``splu`` calls on the thermal operator
+``thermal.lu_cache_hits``      thermal solves that reused a factorization
+``thermal.solves``             thermal linear solves (triangular sweeps)
+``cooling.simulations``        distinct thermal simulations per network
+``cooling.cache_hits``         pressure probes served from the result cache
+``parallel.pool_starts``       persistent worker pools created
+``parallel.batches``           candidate batches dispatched
+``parallel.candidates``        candidates scored (parent-side count)
+``parallel.infeasible``        candidates scored ``inf`` (illegal/infeasible)
+``parallel.crashed``           candidates that raised unexpected exceptions
+=============================  =============================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Profiler:
+    """A thread-safe bag of named counters and accumulated timers."""
+
+    def __init__(self, enabled: bool = True):
+        self._lock = threading.Lock()
+        self.enabled = bool(enabled)
+        self._counters: Dict[str, int] = {}
+        self._timer_counts: Dict[str, int] = {}
+        self._timer_seconds: Dict[str, float] = {}
+
+    # -- events --------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (created at 0)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def add_time(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` of wall clock against the timer ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._timer_counts[name] = self._timer_counts.get(name, 0) + count
+            self._timer_seconds[name] = (
+                self._timer_seconds.get(name, 0.0) + float(seconds)
+            )
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Context manager timing its body into the timer ``name``."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # -- queries -------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def timer_seconds(self, name: str) -> float:
+        """Accumulated seconds of a timer (0.0 when never used)."""
+        with self._lock:
+            return self._timer_seconds.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy: ``{"counters": {...}, "timers": {...}}``."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "timers": {
+                    name: {
+                        "count": self._timer_counts[name],
+                        "seconds": self._timer_seconds[name],
+                    }
+                    for name in self._timer_counts
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.increment(name, value)
+        for name, stat in snapshot.get("timers", {}).items():
+            self.add_time(name, stat["seconds"], count=stat["count"])
+
+    def reset(self) -> None:
+        """Zero every counter and timer."""
+        with self._lock:
+            self._counters.clear()
+            self._timer_counts.clear()
+            self._timer_seconds.clear()
+
+
+#: The process-global profiler behind the module-level helpers.
+GLOBAL = Profiler()
+
+
+def increment(name: str, amount: int = 1) -> None:
+    """Add to a counter on the global profiler."""
+    GLOBAL.increment(name, amount)
+
+
+def add_time(name: str, seconds: float, count: int = 1) -> None:
+    """Record wall-clock seconds on the global profiler."""
+    GLOBAL.add_time(name, seconds, count)
+
+
+def timer(name: str):
+    """Time a ``with`` body on the global profiler."""
+    return GLOBAL.timer(name)
+
+
+def counter(name: str) -> int:
+    """Read one global counter."""
+    return GLOBAL.counter(name)
+
+
+def timer_seconds(name: str) -> float:
+    """Read one global timer's accumulated seconds."""
+    return GLOBAL.timer_seconds(name)
+
+
+def snapshot() -> dict:
+    """Snapshot the global profiler."""
+    return GLOBAL.snapshot()
+
+
+def merge(worker_snapshot: dict) -> None:
+    """Merge a worker snapshot into the global profiler."""
+    GLOBAL.merge(worker_snapshot)
+
+
+def reset() -> None:
+    """Zero the global profiler."""
+    GLOBAL.reset()
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Enable/disable global instrumentation; returns the previous state."""
+    previous = GLOBAL.enabled
+    GLOBAL.enabled = bool(enabled)
+    return previous
+
+
+def format_snapshot(snap: Optional[dict] = None) -> str:
+    """Human-readable one-line-per-entry rendering of a snapshot."""
+    snap = snapshot() if snap is None else snap
+    lines: List[str] = []
+    for name in sorted(snap.get("counters", {})):
+        lines.append(f"{name:<32s} {snap['counters'][name]:>12d}")
+    for name in sorted(snap.get("timers", {})):
+        stat = snap["timers"][name]
+        lines.append(
+            f"{name:<32s} {stat['count']:>12d} calls "
+            f"{stat['seconds']:>10.3f} s"
+        )
+    return "\n".join(lines)

@@ -16,6 +16,7 @@ because all local flow rates do.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -23,7 +24,8 @@ import numpy as np
 from scipy.sparse import coo_matrix, csc_matrix
 from scipy.sparse.linalg import splu
 
-from ..constants import NUSSELT_NUMBER
+from .. import profiling
+from ..constants import NUSSELT_NUMBER, PRESSURE_KEY_DECIMALS
 from ..errors import ThermalError
 from ..flow.conductance import hydraulic_diameter
 from ..materials import Coolant
@@ -200,7 +202,18 @@ class LinearThermalSystem:
 
     Shared back end of both simulators; subclass meshes provide the matrices
     and interpret the solution vector.
+
+    Solver reuse: on first use, ``K`` and ``A`` are aligned onto the union
+    sparsity pattern once, so assembling the operator at a new pressure is a
+    single fused-data sum instead of a full sparse addition.  Factorizations
+    are memoized per quantized pressure (:data:`~repro.constants.
+    PRESSURE_KEY_DECIMALS`), so re-solving at a pressure the searches already
+    probed only pays the cheap triangular sweeps.
     """
+
+    #: Factorizations retained per system (the pressure searches probe a few
+    #: dozen distinct pressures; an LRU this size never thrashes on them).
+    LU_CACHE_SIZE = 32
 
     def __init__(
         self,
@@ -214,6 +227,67 @@ class LinearThermalSystem:
         self.rhs_static = rhs_static
         self.rhs_advection = rhs_advection
         self.n_nodes = stiffness.shape[0]
+        self._k_aligned: Optional[csc_matrix] = None
+        self._a_aligned: Optional[csc_matrix] = None
+        self._lu_cache: "OrderedDict[float, object]" = OrderedDict()
+
+    # -- operator assembly with structure reuse -------------------------
+
+    def _build_aligned(self) -> None:
+        """Expand ``K`` and ``A`` onto their shared (union) sparsity pattern.
+
+        Both matrices are rebuilt from one concatenated COO triplet list, so
+        their CSC ``indices``/``indptr`` come out identical; the operator at
+        any pressure is then just ``K.data + P * A.data`` on that pattern.
+        """
+        k_coo = self.stiffness.tocoo()
+        a_coo = self.advection.tocoo()
+        rows = np.concatenate([k_coo.row, a_coo.row])
+        cols = np.concatenate([k_coo.col, a_coo.col])
+        shape = (self.n_nodes, self.n_nodes)
+        k_data = np.concatenate([k_coo.data, np.zeros(a_coo.nnz)])
+        a_data = np.concatenate([np.zeros(k_coo.nnz), a_coo.data])
+        self._k_aligned = coo_matrix((k_data, (rows, cols)), shape=shape).tocsc()
+        self._a_aligned = coo_matrix((a_data, (rows, cols)), shape=shape).tocsc()
+        # Identical triplet coordinates guarantee identical structure.
+        assert self._k_aligned.nnz == self._a_aligned.nnz
+
+    def _operator(self, p_sys: float) -> csc_matrix:
+        """``K + P A`` assembled on the cached shared sparsity pattern."""
+        if self._k_aligned is None:
+            self._build_aligned()
+        return csc_matrix(
+            (
+                self._k_aligned.data + p_sys * self._a_aligned.data,
+                self._a_aligned.indices,
+                self._a_aligned.indptr,
+            ),
+            shape=(self.n_nodes, self.n_nodes),
+        )
+
+    def _factorize(self, p_sys: float):
+        """A (cached) LU factorization of the operator at ``p_sys``."""
+        key = round(float(p_sys), PRESSURE_KEY_DECIMALS)
+        lu = self._lu_cache.get(key)
+        if lu is not None:
+            self._lu_cache.move_to_end(key)
+            profiling.increment("thermal.lu_cache_hits")
+            return lu
+        with profiling.timer("thermal.factorize"):
+            try:
+                lu = splu(self._operator(p_sys))
+            except RuntimeError as exc:
+                raise ThermalError(
+                    "thermal system is singular; some nodes may be thermally "
+                    "isolated from the coolant"
+                ) from exc
+        profiling.increment("thermal.factorizations")
+        self._lu_cache[key] = lu
+        while len(self._lu_cache) > self.LU_CACHE_SIZE:
+            self._lu_cache.popitem(last=False)
+        return lu
+
+    # -- solves ----------------------------------------------------------
 
     def solve(self, p_sys: float) -> np.ndarray:
         """Node temperatures at one system pressure drop."""
@@ -222,23 +296,18 @@ class LinearThermalSystem:
                 f"system pressure must be positive for a steady solution, "
                 f"got {p_sys}"
             )
-        matrix = (self.stiffness + p_sys * self.advection).tocsc()
+        lu = self._factorize(p_sys)
         rhs = self.rhs_static + p_sys * self.rhs_advection
-        try:
-            lu = splu(matrix)
-        except RuntimeError as exc:
-            raise ThermalError(
-                "thermal system is singular; some nodes may be thermally "
-                "isolated from the coolant"
-            ) from exc
-        temperatures = lu.solve(rhs)
+        with profiling.timer("thermal.solve"):
+            temperatures = lu.solve(rhs)
+        profiling.increment("thermal.solves")
         if not np.all(np.isfinite(temperatures)):
             raise ThermalError("thermal solve produced non-finite temperatures")
         return temperatures
 
     def system_matrix(self, p_sys: float) -> csc_matrix:
         """The assembled operator at ``p_sys`` (used by the transient solver)."""
-        return (self.stiffness + p_sys * self.advection).tocsc()
+        return self._operator(p_sys)
 
     def rhs(self, p_sys: float) -> np.ndarray:
         """Right-hand side (sources + inlet enthalpy) at ``p_sys``."""

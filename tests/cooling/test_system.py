@@ -76,6 +76,47 @@ class TestEvaluationCache:
         system.evaluate(1e4)
         assert system.n_simulations == 2
 
+    def test_epsilon_perturbed_pressure_is_cache_hit(self, case1_small):
+        """Pressures are quantized before keying: a float-noise re-probe of
+        a visited pressure must not pay a fresh simulation.  The seed keyed
+        the cache on the raw float, so ``1e4`` and ``1e4 + 1e-9`` simulated
+        twice."""
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        first = system.evaluate(1e4)
+        again = system.evaluate(1e4 + 1e-9)
+        assert system.n_simulations == 1
+        assert again is first
+
+    def test_quantization_preserves_meaningful_distinctions(self, case1_small):
+        """Pressures that differ by more than the 1e-6 Pa quantum (far below
+        the search rtol) still key distinct simulations."""
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        system.evaluate(1e4)
+        system.evaluate(1e4 + 1e-5)
+        assert system.n_simulations == 2
+
+    def test_cache_hit_counter(self, case1_small):
+        from repro import profiling
+
+        system = CoolingSystem.for_network(
+            case1_small.base_stack(),
+            case1_small.baseline_network(),
+            case1_small.coolant,
+        )
+        profiling.reset()
+        system.evaluate(2e4)
+        system.evaluate(2e4 + 1e-8)
+        assert profiling.counter("cooling.simulations") == 1
+        assert profiling.counter("cooling.cache_hits") == 1
+
 
 class TestHydraulicShortcuts:
     def test_w_pump_needs_no_simulation(self, case1_small):

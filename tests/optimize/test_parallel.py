@@ -5,13 +5,21 @@ import math
 import numpy as np
 import pytest
 
+from repro import profiling
 from repro.errors import SearchError
 from repro.iccad2015 import load_case
 from repro.optimize import SAConfig, optimize_problem1
 from repro.optimize.annealing import simulated_annealing_batch
-from repro.optimize.parallel import evaluate_population
+from repro.optimize.parallel import (
+    CandidateCrashError,
+    PersistentEvaluationPool,
+    _score_candidate,
+    evaluate_population,
+    shutdown_pools,
+)
 from repro.optimize.runner import PROBLEM_PUMPING_POWER
 from repro.optimize.stages import (
+    METRIC_FIXED_PRESSURE_GRADIENT,
     METRIC_LOWEST_FEASIBLE_POWER,
     METRIC_MIN_GRADIENT_CAPPED,
     StageConfig,
@@ -19,10 +27,21 @@ from repro.optimize.stages import (
 
 STAGE = StageConfig("s", 4, 1, 4, METRIC_LOWEST_FEASIBLE_POWER, "2rm")
 
+#: One-solve-per-candidate stage for the cheap parity/pool tests.
+FIXED_STAGE = StageConfig("f", 4, 1, 4, METRIC_FIXED_PRESSURE_GRADIENT, "2rm")
+FIXED_PRESSURE = 2e4
+
 
 @pytest.fixture(scope="module")
 def case():
     return load_case(1, grid_size=21)
+
+
+@pytest.fixture(autouse=True)
+def _clean_pools():
+    """Leave no warm worker pools behind any of these tests."""
+    yield
+    shutdown_pools()
 
 
 class TestEvaluatePopulation:
@@ -78,6 +97,148 @@ class TestEvaluatePopulation:
             evaluate_population(
                 case, plan, STAGE, PROBLEM_PUMPING_POWER, [plan.params()],
                 n_workers=0,
+            )
+
+    def test_parallel_bitwise_identical_with_infeasible(self, case):
+        """The parity criterion: n_workers=2 returns the exact floats the
+        serial path returns -- including ``inf`` for an illegal candidate --
+        not approximately-equal ones."""
+        plan = case.tree_plan()
+        rng = np.random.default_rng(3)
+        candidates = [plan.params()]
+        for _ in range(4):
+            jitter = 2 * rng.integers(-2, 3, size=candidates[-1].shape)
+            candidates.append(plan.clamp_params(candidates[-1] + jitter))
+        # A wrong-shaped candidate is illegal geometry (out-of-range values
+        # get clamped, but the tree count is structural): scores ``inf``.
+        candidates.append(np.zeros((plan.params().shape[0] + 1, 2), dtype=int))
+        serial = evaluate_population(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, candidates,
+            fixed_pressure=FIXED_PRESSURE, n_workers=1,
+        )
+        parallel = evaluate_population(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, candidates,
+            fixed_pressure=FIXED_PRESSURE, n_workers=2,
+        )
+        assert serial == parallel  # bitwise, no tolerance
+        assert math.isinf(serial[-1])
+        assert all(math.isfinite(c) for c in serial[:-1])
+
+
+class TestErrorDiscipline:
+    """ReproError means infeasible (inf); anything else must surface."""
+
+    class _InfeasibleEvaluator:
+        def __call__(self, params):
+            raise SearchError("constraint unachievable")
+
+    class _CrashingEvaluator:
+        def __call__(self, params):
+            raise ValueError("negative conductance")
+
+    def test_repro_error_scores_inf(self):
+        params = np.array([[3, 5]])
+        assert math.isinf(_score_candidate(self._InfeasibleEvaluator(), params))
+
+    def test_unexpected_error_surfaces_with_params(self):
+        params = np.array([[3, 5]])
+        with pytest.raises(CandidateCrashError) as excinfo:
+            _score_candidate(self._CrashingEvaluator(), params)
+        message = str(excinfo.value)
+        assert "[[3, 5]]" in message
+        assert "ValueError" in message
+        assert "negative conductance" in message
+        # The SA loop's ReproError handlers must not swallow it.
+        assert not isinstance(excinfo.value, (SearchError,))
+
+    def test_crash_propagates_from_worker(self, case, monkeypatch):
+        """A bug inside a worker process reaches the parent as
+        CandidateCrashError, not as a silent ``inf``."""
+        from repro.optimize import runner
+
+        class _Broken:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __call__(self, params):
+                raise ValueError("boom in worker")
+
+        # Workers are forked, so they inherit the patched symbol the pool
+        # initializer imports.
+        monkeypatch.setattr(runner, "_CandidateEvaluator", _Broken)
+        plan = case.tree_plan()
+        with PersistentEvaluationPool(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER,
+            fixed_pressure=FIXED_PRESSURE, n_workers=2,
+        ) as pool:
+            with pytest.raises(CandidateCrashError, match="boom in worker"):
+                pool.evaluate([plan.params()])
+
+    def test_infeasible_does_not_crash_worker(self, case):
+        """An illegal candidate in a worker is just ``inf``, no exception."""
+        plan = case.tree_plan()
+        bad = np.zeros((plan.params().shape[0] + 1, 2), dtype=int)
+        with PersistentEvaluationPool(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER,
+            fixed_pressure=FIXED_PRESSURE, n_workers=2,
+        ) as pool:
+            costs = pool.evaluate([plan.params(), bad])
+        assert math.isfinite(costs[0])
+        assert math.isinf(costs[1])
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_batches(self, case):
+        """Consecutive evaluate_population calls with one context share one
+        pool: a single spin-up, counters accumulating per batch."""
+        plan = case.tree_plan()
+        shutdown_pools()
+        profiling.reset()
+        batch = [plan.params(), plan.clamp_params(plan.params() + 2)]
+        for _ in range(3):
+            evaluate_population(
+                case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, batch,
+                fixed_pressure=FIXED_PRESSURE, n_workers=2,
+            )
+        assert profiling.counter("parallel.pool_starts") == 1
+        assert profiling.counter("parallel.batches") == 3
+        assert profiling.counter("parallel.candidates") == 6
+
+    def test_explicit_pool_and_close(self, case):
+        plan = case.tree_plan()
+        pool = PersistentEvaluationPool(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER,
+            fixed_pressure=FIXED_PRESSURE, n_workers=2,
+        )
+        costs = evaluate_population(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, [plan.params()],
+            fixed_pressure=FIXED_PRESSURE, n_workers=2, pool=pool,
+        )
+        assert len(costs) == 1 and math.isfinite(costs[0])
+        pool.close()
+        assert pool.closed
+        pool.close()  # idempotent
+        with pytest.raises(SearchError):
+            pool.evaluate([plan.params()])
+
+    def test_worker_counters_reach_parent(self, case):
+        """Solver activity inside workers shows up in the parent profiler."""
+        plan = case.tree_plan()
+        shutdown_pools()
+        profiling.reset()
+        evaluate_population(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER,
+            [plan.params(), plan.clamp_params(plan.params() + 2)],
+            fixed_pressure=FIXED_PRESSURE, n_workers=2,
+        )
+        assert profiling.counter("cooling.simulations") == 2
+        assert profiling.counter("thermal.solves") == 2
+
+    def test_bad_pool_workers(self, case):
+        plan = case.tree_plan()
+        with pytest.raises(SearchError):
+            PersistentEvaluationPool(
+                case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, n_workers=0
             )
 
 

@@ -1,0 +1,158 @@
+"""Seeded verification sweeps and golden physics pins.
+
+Two safety nets under the solver-reuse layers (the flow unit-solution cache,
+the thermal factorization reuse, the quantized result caches):
+
+* property tests run the independent checkers in :mod:`repro.verify` over
+  the deterministic network library at randomized pressures -- conservation
+  and bound violations catch a *wrong* cached solve wherever it hides;
+* golden tests pin quick-mode Table 2 statistics and concrete thermal
+  metrics to six significant digits -- a *drifted* cached solve cannot pass
+  even if it stays self-consistent.
+
+The golden values were computed at the commit that introduced the caches and
+must only ever change with an intentional physics change.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cooling import CoolingSystem
+from repro.flow import FlowField
+from repro.geometry import build_contest_stack
+from repro.iccad2015 import CASE_NUMBERS, load_case
+from repro.materials import WATER
+from repro.networks import sample_networks
+from repro.thermal import RC2Simulator
+from repro.verify import verify_flow_solution, verify_thermal_result
+
+#: The deterministic model-comparison library (straight / tree / manual).
+LIBRARY = sample_networks(21, 21, n_tree_variants=4, seed=2015)
+
+#: Six significant digits.
+GOLDEN_RTOL = 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Seeded verification properties
+# ---------------------------------------------------------------------------
+
+
+class TestVerifiedLibraryNetworks:
+    @given(
+        st.integers(0, len(LIBRARY) - 1),
+        st.floats(1e2, 1e6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flow_solutions_verify(self, index, p_sys):
+        """Every library network's flow solution passes the independent
+        checker at any pressure -- including solutions built from the
+        topology-cached unit solve."""
+        name, _, grid = LIBRARY[index]
+        solution = FlowField(grid, 2e-4, WATER).at_pressure(p_sys)
+        report = verify_flow_solution(solution)
+        assert report.ok, f"{name}: {report.violations}"
+
+    @given(
+        st.integers(0, len(LIBRARY) - 1),
+        st.floats(2e3, 2e5),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_thermal_results_verify(self, index, p_sys, seed):
+        """2RM results on library networks with randomized power maps pass
+        the energy-balance and temperature-bound checks -- including solves
+        that reused a cached factorization."""
+        import numpy as np
+
+        name, _, grid = LIBRARY[index]
+        rng = np.random.default_rng(seed)
+        nrows, ncols = grid.shape
+        power = rng.random((nrows, ncols))
+        power *= 2.0 / power.sum()
+        stack = build_contest_stack(
+            2, 2e-4, [power, power], lambda d: grid.copy(), nrows, ncols,
+            grid.cell_width,
+        )
+        result = RC2Simulator(stack, WATER, tile_size=3).solve(p_sys)
+        report = verify_thermal_result(result)
+        assert report.ok, f"{name}: {report.violations}"
+
+    @given(st.integers(0, len(LIBRARY) - 1), st.floats(1e3, 1e5))
+    @settings(max_examples=10, deadline=None)
+    def test_repeat_evaluation_verifies_and_matches(self, index, p_sys):
+        """Two independently-built systems agree bit for bit at the same
+        pressure: the caches return the same physics as a cold build."""
+        name, _, grid = LIBRARY[index]
+        a = FlowField(grid, 2e-4, WATER).at_pressure(p_sys)
+        b = FlowField(grid, 2e-4, WATER).at_pressure(p_sys)
+        assert a.q_sys == b.q_sys, name
+        assert (a.pressures == b.pressures).all(), name
+
+
+# ---------------------------------------------------------------------------
+# Golden pins
+# ---------------------------------------------------------------------------
+
+#: Quick-mode Table 2 statistics (grid 31), six significant digits:
+#: case -> (n_dies, channel_height, die_power, delta_t_star, t_max_star).
+TABLE2_GOLDEN = {
+    1: (2, 0.0002, 3.96025076, 15.0, 358.15),
+    2: (2, 0.0004, 3.48921851, 10.0, 358.15),
+    3: (2, 0.0004, 4.05445721, 15.0, 358.15),
+    4: (3, 0.0002, 4.09213979, 10.0, 358.15),
+    5: (2, 0.0004, 13.9589466, 10.0, 338.15),
+}
+
+#: Case 1 baseline network at P_sys = 20 kPa (grid 21), six significant
+#: digits per model: (delta_t, t_max, w_pump).
+PHYSICS_GOLDEN = {
+    "2rm": (6.91695261, 309.626868, 0.0623901083),
+    "4rm": (7.71083499, 310.102979, 0.0623901083),
+}
+
+
+class TestGoldenTable2:
+    @pytest.mark.parametrize("number", CASE_NUMBERS)
+    def test_case_statistics_pinned(self, number):
+        case = load_case(number, grid_size=31)
+        n_dies, h_c, die_power, dts, tms = TABLE2_GOLDEN[number]
+        assert case.n_dies == n_dies
+        assert case.channel_height == pytest.approx(h_c, rel=GOLDEN_RTOL)
+        assert case.die_power == pytest.approx(die_power, rel=GOLDEN_RTOL)
+        assert case.delta_t_star == pytest.approx(dts, rel=GOLDEN_RTOL)
+        assert case.t_max_star == pytest.approx(tms, rel=GOLDEN_RTOL)
+
+    def test_special_constraints_pinned(self):
+        assert load_case(3, grid_size=31).restricted
+        assert load_case(4, grid_size=31).matched_ports
+
+
+class TestGoldenPhysics:
+    @pytest.mark.parametrize("model", sorted(PHYSICS_GOLDEN))
+    def test_case1_baseline_metrics_pinned(self, model):
+        case = load_case(1, grid_size=21)
+        system = CoolingSystem.for_network(
+            case.base_stack(),
+            case.baseline_network(),
+            case.coolant,
+            model=model,
+        )
+        result = system.evaluate(2e4)
+        delta_t, t_max, w_pump = PHYSICS_GOLDEN[model]
+        assert result.delta_t == pytest.approx(delta_t, rel=GOLDEN_RTOL)
+        assert result.t_max == pytest.approx(t_max, rel=GOLDEN_RTOL)
+        assert result.w_pump == pytest.approx(w_pump, rel=GOLDEN_RTOL)
+
+    def test_r_sys_pinned(self):
+        case = load_case(1, grid_size=21)
+        system = CoolingSystem.for_network(
+            case.base_stack(),
+            case.baseline_network(),
+            case.coolant,
+            model="2rm",
+        )
+        assert system.r_sys == pytest.approx(6.41127273e9, rel=GOLDEN_RTOL)

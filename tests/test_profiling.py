@@ -1,0 +1,143 @@
+"""Unit tests for the profiling instrumentation module."""
+
+import threading
+
+import pytest
+
+from repro import profiling
+from repro.profiling import Profiler
+
+
+@pytest.fixture(autouse=True)
+def _clean_global():
+    """Every test starts and ends with a zeroed, enabled global profiler."""
+    profiling.reset()
+    profiling.set_enabled(True)
+    yield
+    profiling.reset()
+    profiling.set_enabled(True)
+
+
+class TestCounters:
+    def test_increment_and_read(self):
+        p = Profiler()
+        assert p.counter("x") == 0
+        p.increment("x")
+        p.increment("x", 4)
+        assert p.counter("x") == 5
+
+    def test_independent_names(self):
+        p = Profiler()
+        p.increment("a")
+        p.increment("b", 2)
+        assert (p.counter("a"), p.counter("b")) == (1, 2)
+
+    def test_thread_safety(self):
+        p = Profiler()
+
+        def bump():
+            for _ in range(1000):
+                p.increment("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert p.counter("hits") == 8000
+
+
+class TestTimers:
+    def test_add_time_accumulates(self):
+        p = Profiler()
+        p.add_time("solve", 0.25)
+        p.add_time("solve", 0.5, count=3)
+        assert p.timer_seconds("solve") == pytest.approx(0.75)
+        assert p.snapshot()["timers"]["solve"]["count"] == 4
+
+    def test_timer_context_manager(self):
+        p = Profiler()
+        with p.timer("work"):
+            pass
+        snap = p.snapshot()["timers"]["work"]
+        assert snap["count"] == 1
+        assert snap["seconds"] >= 0.0
+
+    def test_timer_records_on_exception(self):
+        p = Profiler()
+        with pytest.raises(ValueError):
+            with p.timer("work"):
+                raise ValueError("boom")
+        assert p.snapshot()["timers"]["work"]["count"] == 1
+
+
+class TestSnapshotMergeReset:
+    def test_snapshot_is_a_copy(self):
+        p = Profiler()
+        p.increment("x")
+        snap = p.snapshot()
+        p.increment("x")
+        assert snap["counters"]["x"] == 1
+        assert p.counter("x") == 2
+
+    def test_merge_folds_worker_snapshot(self):
+        parent, worker = Profiler(), Profiler()
+        parent.increment("solves", 2)
+        worker.increment("solves", 3)
+        worker.add_time("factorize", 0.1, count=2)
+        parent.merge(worker.snapshot())
+        assert parent.counter("solves") == 5
+        assert parent.timer_seconds("factorize") == pytest.approx(0.1)
+        assert parent.snapshot()["timers"]["factorize"]["count"] == 2
+
+    def test_merge_empty_snapshot(self):
+        p = Profiler()
+        p.merge({})
+        assert p.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_reset(self):
+        p = Profiler()
+        p.increment("x")
+        p.add_time("t", 1.0)
+        p.reset()
+        assert p.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestEnabled:
+    def test_disabled_profiler_is_noop(self):
+        p = Profiler(enabled=False)
+        p.increment("x")
+        p.add_time("t", 1.0)
+        with p.timer("t2"):
+            pass
+        assert p.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_set_enabled_round_trip(self):
+        assert profiling.set_enabled(False) is True
+        profiling.increment("x")
+        assert profiling.counter("x") == 0
+        assert profiling.set_enabled(True) is False
+        profiling.increment("x")
+        assert profiling.counter("x") == 1
+
+
+class TestModuleHelpers:
+    def test_global_helpers(self):
+        profiling.increment("g", 2)
+        with profiling.timer("gt"):
+            pass
+        profiling.add_time("gt", 0.5)
+        snap = profiling.snapshot()
+        assert snap["counters"]["g"] == 2
+        assert snap["timers"]["gt"]["count"] == 2
+        profiling.merge({"counters": {"g": 1}, "timers": {}})
+        assert profiling.counter("g") == 3
+
+    def test_format_snapshot(self):
+        profiling.increment("flow.unit_solves", 7)
+        profiling.add_time("thermal.factorize", 0.123, count=2)
+        text = profiling.format_snapshot()
+        assert "flow.unit_solves" in text
+        assert "7" in text
+        assert "thermal.factorize" in text
+        assert "2 calls" in text
