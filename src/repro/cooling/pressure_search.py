@@ -27,18 +27,18 @@ from .. import profiling
 from ..constants import (
     PRESSURE_INIT,
     PRESSURE_INIT_STEP_RATIO,
-    PRESSURE_KEY_DECIMALS,
     PRESSURE_MAX,
     PRESSURE_MIN,
     PRESSURE_SEARCH_RTOL,
+    quantize_key,
 )
 from ..errors import SearchError
 
 #: Consecutive flat right-moves before Algorithm 3 declares a plateau.
-_PLATEAU_MOVES = 3
+_PLATEAU_MOVES = 3  #: [unit: 1]
 
 #: Golden ratio section constant.
-_INV_PHI = 0.6180339887498949
+_INV_PHI = 0.6180339887498949  #: [unit: 1]
 
 
 @dataclass
@@ -74,7 +74,7 @@ class _Memo:
         self._cache: Dict[float, float] = {}
 
     def __call__(self, p: float) -> float:
-        key = round(float(p), PRESSURE_KEY_DECIMALS)
+        key = quantize_key(p)
         if key not in self._cache:
             profiling.increment("search.probes")
             self._cache[key] = float(self._fn(key))

@@ -15,7 +15,7 @@ from .. import profiling
 from ..constants import (
     EDGE_CONDUCTANCE_FACTOR,
     INLET_TEMPERATURE,
-    PRESSURE_KEY_DECIMALS,
+    quantize_key,
 )
 from ..errors import ThermalError
 from ..geometry.grid import ChannelGrid
@@ -117,7 +117,7 @@ class CoolingSystem:
         solving, so an epsilon-perturbed re-probe of a pressure the searches
         already visited is a cache hit instead of a fresh simulation.
         """
-        key = round(float(p_sys), PRESSURE_KEY_DECIMALS)
+        key = quantize_key(p_sys)
         cached = self._cache.get(key)
         if cached is None:
             cached = self.simulator.solve(key)

@@ -3,9 +3,20 @@
 Every error raised by the library derives from :class:`ReproError` so callers
 can catch library failures with a single ``except`` clause while still letting
 programming errors (``TypeError`` etc.) propagate.
+
+This module is also the one sanctioned *crash-translation boundary*
+(``repro-lint-scope: error-boundary``): :func:`crash_boundary` is the only
+place allowed to catch ``Exception``, converting anything that is not a
+:class:`ReproError` into a :class:`CandidateCrashError` so batch evaluators
+can tell "this candidate is infeasible" apart from "this code is broken"
+without ever swallowing a genuine bug.  Everywhere else, the R4 lint rule
+forbids broad excepts and builtin raises.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
 
 
 class ReproError(Exception):
@@ -48,3 +59,33 @@ class InfeasibleError(ReproError):
 
 class BenchmarkError(ReproError):
     """A benchmark case definition or file is invalid."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass was misconfigured or hit unparsable input."""
+
+
+class CandidateCrashError(RuntimeError):
+    """An unexpected (non-:class:`ReproError`) exception while scoring a
+    candidate.  Deliberately *not* a ``ReproError``: optimization loops must
+    not swallow it as just another infeasible network."""
+
+
+@contextmanager
+def crash_boundary(context: str) -> Iterator[None]:
+    """The sanctioned translation boundary around untrusted evaluation.
+
+    Lets :class:`ReproError` (infeasible/illegal inputs) and
+    :class:`CandidateCrashError` (already translated) propagate untouched;
+    any other exception is a programming error and is re-raised as
+    :class:`CandidateCrashError` with ``context`` in the message so the
+    crashing point stays reproducible across process boundaries.
+    """
+    try:
+        yield
+    except (ReproError, CandidateCrashError):
+        raise
+    except Exception as exc:
+        raise CandidateCrashError(
+            f"{context} crashed: {type(exc).__name__}: {exc}"
+        ) from exc

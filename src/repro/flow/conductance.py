@@ -21,7 +21,7 @@ def hydraulic_diameter(width: float, height: float) -> float:
     """Hydraulic diameter ``D_h = 4 A_c / perimeter`` of a rectangular duct.
 
     For a ``width x height`` rectangle this reduces to
-    ``2 w h / (w + h)``.
+    ``2 w h / (w + h)``.  [unit-return: m]
     """
     if width <= 0 or height <= 0:
         raise FlowError(
@@ -31,7 +31,9 @@ def hydraulic_diameter(width: float, height: float) -> float:
 
 
 def channel_cross_section(width: float, height: float) -> float:
-    """Cross-sectional area ``A_c`` of a rectangular channel."""
+    """Cross-sectional area ``A_c`` of a rectangular channel.
+    [unit-return: m^2]
+    """
     if width <= 0 or height <= 0:
         raise FlowError(
             f"channel dimensions must be positive, got {width} x {height}"
@@ -55,7 +57,7 @@ def cell_conductance(
         coolant: The working fluid.
 
     Returns:
-        Conductance in m^3 / (s Pa).
+        Conductance in m^3 / (s Pa).  [unit-return: m^3/(s Pa)]
     """
     if length <= 0:
         raise FlowError(f"distance must be positive, got {length}")
@@ -78,7 +80,7 @@ def edge_conductance(
     The paper states this conductance is smaller than a full cell-to-cell
     conductance without giving the value; we scale the cell conductance by
     ``factor`` (default :data:`~repro.constants.EDGE_CONDUCTANCE_FACTOR`)
-    and expose the knob for ablation.
+    and expose the knob for ablation.  [unit-return: m^3/(s Pa)]
     """
     if factor <= 0:
         raise FlowError(f"edge conductance factor must be positive, got {factor}")

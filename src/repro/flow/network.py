@@ -141,7 +141,7 @@ class FlowField:
         channel_height: float,
         coolant: Coolant,
         edge_factor: float = EDGE_CONDUCTANCE_FACTOR,
-    ):
+    ) -> None:
         if channel_height <= 0:
             raise FlowError(
                 f"channel height must be positive, got {channel_height}"

@@ -10,7 +10,8 @@ same case always yields the same map at any grid scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from types import MappingProxyType
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -96,73 +97,75 @@ def hotspot_power_map(
 #: Per-case hotspot layouts, keyed by case number; one list per die, bottom
 #: to top.  Layouts are invented but deterministic; their contrast levels
 #: follow the paper's hints (case 5 is "high and highly varied").
-CASE_HOTSPOTS = {
-    1: [
-        [
+CASE_HOTSPOTS: Mapping[int, Tuple[Tuple[Hotspot, ...], ...]] = MappingProxyType({
+    1: (
+        (
             Hotspot(0.30, 0.65, 0.085, 2.0),
             Hotspot(0.70, 0.30, 0.105, 1.0),
-        ],
-        [
+        ),
+        (
             Hotspot(0.50, 0.50, 0.115, 1.0),
             Hotspot(0.20, 0.20, 0.085, 0.8),
-        ],
-    ],
-    2: [
-        [
+        ),
+    ),
+    2: (
+        (
             Hotspot(0.25, 0.25, 0.09, 1.0),
             Hotspot(0.75, 0.75, 0.09, 1.0),
-        ],
-        [
+        ),
+        (
             Hotspot(0.50, 0.70, 0.10, 1.2),
-        ],
-    ],
-    3: [
-        [
+        ),
+    ),
+    3: (
+        (
             Hotspot(0.20, 0.75, 0.08, 1.5),
             Hotspot(0.75, 0.20, 0.10, 1.0),
-        ],
-        [
+        ),
+        (
             Hotspot(0.80, 0.80, 0.09, 1.0),
             Hotspot(0.15, 0.50, 0.08, 0.7),
-        ],
-    ],
-    4: [
-        [
+        ),
+    ),
+    4: (
+        (
             Hotspot(0.40, 0.60, 0.09, 1.2),
             Hotspot(0.70, 0.25, 0.08, 0.8),
-        ],
-        [
+        ),
+        (
             Hotspot(0.30, 0.30, 0.10, 1.0),
-        ],
-        [
+        ),
+        (
             Hotspot(0.60, 0.70, 0.10, 1.0),
-        ],
-    ],
-    5: [
-        [
+        ),
+    ),
+    5: (
+        (
             Hotspot(0.30, 0.70, 0.16, 3.0),
             Hotspot(0.65, 0.25, 0.15, 2.0),
             Hotspot(0.80, 0.80, 0.17, 1.0),
-        ],
-        [
+        ),
+        (
             Hotspot(0.45, 0.45, 0.16, 3.0),
             Hotspot(0.20, 0.20, 0.17, 1.5),
-        ],
-    ],
-}
+        ),
+    ),
+})
 
 #: Power split across dies (bottom to top); bottom dies run hotter.
-CASE_DIE_SPLIT = {
+CASE_DIE_SPLIT: Mapping[int, Tuple[float, ...]] = MappingProxyType({
     1: (0.55, 0.45),
     2: (0.55, 0.45),
     3: (0.55, 0.45),
     4: (0.40, 0.35, 0.25),
     5: (0.60, 0.40),
-}
+})
 
 #: Background (uniform) share of each case's power; case 5 concentrates
 #: nearly everything in hotspots.
-CASE_BACKGROUND = {1: 0.41, 2: 0.40, 3: 0.40, 4: 0.40, 5: 0.45}
+CASE_BACKGROUND: Mapping[int, float] = MappingProxyType(
+    {1: 0.41, 2: 0.40, 3: 0.40, 4: 0.40, 5: 0.45}
+)
 
 
 def case_power_maps(

@@ -1,0 +1,53 @@
+"""Domain-aware static analysis for the repro codebase.
+
+``python -m repro.lint [paths]`` runs five AST-based rules that encode the
+invariants the physics and the solver-reuse layers depend on:
+
+====  =================  ====================================================
+R1    units              ``[unit: ...]`` tags on physics constants; no
+                         adding/comparing incompatible units
+R2    cache-keys         floats only key caches through ``quantize_key``
+R3    pool-safety        worker-imported modules keep module state private,
+                         immutable, or behind lifecycle functions
+R4    error-discipline   ``ReproError`` subclasses everywhere; no broad
+                         excepts outside ``repro.errors.crash_boundary``
+R5    sparse-patterns    no densification, in-loop assembly, or
+                         unmemoized factorizations
+====  =================  ====================================================
+
+See ``docs/STATIC_ANALYSIS.md`` for the conventions each rule enforces and
+the suppression policy (``# repro-lint: disable=R<n>``, budgeted at zero).
+The analyzer is stdlib-only and safe to run anywhere, including CI.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    Analyzer,
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    Suppression,
+    all_rules,
+    collect_files,
+    register,
+)
+from .units import DIMENSIONLESS, Unit, compatible, format_unit, parse_unit
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "collect_files",
+    "register",
+    "Unit",
+    "DIMENSIONLESS",
+    "parse_unit",
+    "format_unit",
+    "compatible",
+]

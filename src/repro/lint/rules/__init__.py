@@ -1,0 +1,17 @@
+"""Rule modules; importing this package registers every rule.
+
+Adding a rule: create a module here with a :class:`~repro.lint.core.Rule`
+subclass decorated with :func:`~repro.lint.core.register`, then import it
+below.  Ids are ``R<n>``; keep them stable -- suppression comments and CI
+logs refer to them.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (import for registration side effect)
+    cache_keys,
+    error_discipline,
+    pool_safety,
+    sparse_patterns,
+    units_rule,
+)

@@ -1,0 +1,255 @@
+"""R2 -- cache-key hygiene.
+
+Raw floats must never key a cache: two probes that differ by floating-point
+noise would miss each other, silently doubling solver work (or worse,
+unbounded cache growth).  The sanctioned path is
+:func:`repro.constants.quantize_key`, which rounds to
+``PRESSURE_KEY_DECIMALS`` before the float touches a key.
+
+The rule recognizes *key contexts*:
+
+* assignments to a name containing ``key``,
+* subscripts on receivers whose name contains ``cache`` or ``memo``,
+* ``.get`` / ``.setdefault`` / ``.pop`` first arguments on such receivers,
+* ``in`` / ``not in`` membership tests against such receivers,
+* arguments of ``hash(...)``,
+
+and inside them flags ``round(...)`` calls (ad-hoc quantization),
+``float(...)`` calls, float literals, and names whose enclosing-function
+parameter annotation is ``float`` / ``Optional[float]``.  Anything already
+wrapped in ``quantize_key(...)`` -- or reduced to an int via ``int(...)`` /
+``id(...)`` / ``len(...)`` -- passes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional
+
+from ..core import FileContext, Finding, Rule, register
+from ..symbols import Project
+
+_KEY_NAME_RE = re.compile(r"(^|_)key(_|s$|$)", re.IGNORECASE)
+_CACHE_NAME_RE = re.compile(r"cache|memo", re.IGNORECASE)
+
+#: Calls whose result is a safe (non-float) key component.
+_SAFE_CALLS = {"quantize_key", "int", "id", "len", "str", "repr", "tuple"}
+
+#: Keyed-access methods whose first argument is a key.
+_KEY_METHODS = {"get", "setdefault", "pop"}
+
+
+def _expr_name(node: ast.expr) -> Optional[str]:
+    """The trailing identifier of a Name/Attribute chain (``self._cache``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _float_annotation(annotation: Optional[ast.expr]) -> bool:
+    """Whether an annotation spells ``float`` or ``Optional[float]``."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return "float" in annotation.value
+    if isinstance(annotation, ast.Subscript):
+        base = _expr_name(annotation.value)
+        if base in ("Optional", "Union"):
+            for sub in ast.walk(annotation.slice):
+                if isinstance(sub, ast.Name) and sub.id == "float":
+                    return True
+    return False
+
+
+@register
+class CacheKeyRule(Rule):
+    """R2: raw floats in cache keys must go through ``quantize_key``."""
+
+    id = "R2"
+    name = "cache-keys"
+    description = (
+        "floats used as cache/dict keys (or hashed) must be quantized via "
+        "repro.constants.quantize_key, never round()/float()/raw"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        yield from self._walk(ctx, ctx.tree.body, {})
+
+    # -- traversal -------------------------------------------------------
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        body: List[ast.stmt],
+        float_params: Dict[str, bool],
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = {
+                    arg.arg: True
+                    for arg in (
+                        stmt.args.posonlyargs
+                        + stmt.args.args
+                        + stmt.args.kwonlyargs
+                    )
+                    if _float_annotation(arg.annotation)
+                }
+                yield from self._walk(ctx, stmt.body, params)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._walk(ctx, stmt.body, float_params)
+                continue
+            yield from self._check_stmt(ctx, stmt, float_params)
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    yield from self._walk(ctx, [child], float_params)
+                elif isinstance(child, ast.excepthandler):
+                    yield from self._walk(ctx, child.body, float_params)
+
+    def _check_stmt(
+        self,
+        ctx: FileContext,
+        stmt: ast.stmt,
+        float_params: Dict[str, bool],
+    ) -> Iterator[Finding]:
+        # Key contexts from assignments: ``key = ...`` / ``self.key = ...``.
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                name = _expr_name(target)
+                if name is not None and _KEY_NAME_RE.search(name):
+                    yield from self._scan_key_expr(
+                        ctx, stmt.value, float_params, f"key {name!r}"
+                    )
+        # Every expression directly attached to this statement (nested
+        # statements are visited on their own): subscripts, .get(), in, hash().
+        for child in ast.iter_child_nodes(stmt):
+            if not isinstance(child, ast.expr):
+                continue
+            for node in ast.walk(child):
+                if isinstance(node, ast.expr):
+                    yield from self._check_expr(ctx, node, float_params)
+
+    def _check_expr(
+        self,
+        ctx: FileContext,
+        node: ast.expr,
+        float_params: Dict[str, bool],
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Subscript):
+            receiver = _expr_name(node.value)
+            if receiver is not None and _CACHE_NAME_RE.search(receiver):
+                yield from self._scan_key_expr(
+                    ctx, node.slice, float_params, f"{receiver}[...] key"
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _KEY_METHODS
+                and node.args
+            ):
+                receiver = _expr_name(func.value)
+                if receiver is not None and _CACHE_NAME_RE.search(receiver):
+                    yield from self._scan_key_expr(
+                        ctx,
+                        node.args[0],
+                        float_params,
+                        f"{receiver}.{func.attr}() key",
+                    )
+            elif (
+                isinstance(func, ast.Name)
+                and func.id == "hash"
+                and node.args
+            ):
+                yield from self._scan_key_expr(
+                    ctx, node.args[0], float_params, "hash() argument"
+                )
+        elif isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    receiver = _expr_name(comparator)
+                    if receiver is not None and _CACHE_NAME_RE.search(
+                        receiver
+                    ):
+                        yield from self._scan_key_expr(
+                            ctx,
+                            node.left,
+                            float_params,
+                            f"membership test against {receiver}",
+                        )
+
+    # -- the actual float hunt -------------------------------------------
+
+    def _scan_key_expr(
+        self,
+        ctx: FileContext,
+        expr: ast.expr,
+        float_params: Dict[str, bool],
+        where: str,
+    ) -> Iterator[Finding]:
+        for node in self._iter_unsafe(expr):
+            if isinstance(node, ast.Call):
+                callee = _expr_name(node.func) or "<call>"
+                if callee == "round":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"ad-hoc round() quantization in {where}; use "
+                        f"repro.constants.quantize_key() instead",
+                    )
+                elif callee == "float":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"raw float(...) in {where}; wrap it in "
+                        f"quantize_key() before keying",
+                    )
+            elif isinstance(node, ast.Constant) and isinstance(
+                node.value, float
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"float literal {node.value!r} in {where}; quantize or "
+                    f"use an exact (int/str) key",
+                )
+            elif isinstance(node, ast.Name) and float_params.get(node.id):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"float-typed name {node.id!r} in {where}; wrap it in "
+                    f"quantize_key()",
+                )
+
+    def _iter_unsafe(self, expr: ast.expr) -> Iterator[ast.expr]:
+        """Walk a key expression, pruning safely-wrapped subtrees."""
+        if isinstance(expr, ast.Call):
+            callee = _expr_name(expr.func)
+            if callee in _SAFE_CALLS:
+                return
+            if callee in ("round", "float"):
+                yield expr  # flagged as a whole; no need to descend
+                return
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr) and child is not expr.func:
+                    yield from self._iter_unsafe(child)
+            return
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                yield from self._iter_unsafe(element)
+            return
+        if isinstance(expr, ast.IfExp):
+            yield from self._iter_unsafe(expr.body)
+            yield from self._iter_unsafe(expr.orelse)
+            return
+        yield expr
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                yield from self._iter_unsafe(child)

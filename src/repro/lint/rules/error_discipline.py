@@ -1,0 +1,136 @@
+"""R4 -- error discipline.
+
+The library's contract (see ``repro.errors``): every failure the library can
+anticipate is a :class:`~repro.errors.ReproError` subclass, so callers can
+catch library failures precisely while genuine bugs keep propagating.  Two
+anti-patterns break that contract:
+
+* ``except Exception`` / bare ``except`` -- swallows programming errors
+  together with domain errors.  The one sanctioned crash-translation
+  boundary lives in ``repro.errors.crash_boundary`` (which converts
+  unexpected exceptions into :class:`~repro.errors.CandidateCrashError`);
+  everything else must catch specific exception types.
+* ``raise ValueError(...)`` & friends -- builtin exceptions from library
+  code are indistinguishable from interpreter errors.  Raise the matching
+  ``ReproError`` subclass instead.
+
+``repro.errors`` itself (or a module whose docstring declares
+``repro-lint-scope: error-boundary``) is exempt: it is where the boundary
+is implemented.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import FileContext, Finding, Rule, register
+from ..symbols import Project
+
+#: The module allowed to implement the except-Exception boundary.
+BOUNDARY_MODULES = ("repro.errors",)
+
+#: Builtin exceptions library code must not raise (ReproError instead).
+DISALLOWED_RAISES = frozenset({
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "RuntimeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "AttributeError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OSError",
+    "IOError",
+    "EOFError",
+    "AssertionError",
+    "StopIteration",
+    "SystemError",
+    "BufferError",
+})
+
+#: Catch-all exception names flagged in handlers.
+BROAD_CATCHES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(node: Optional[ast.expr]) -> Iterator[str]:
+    """Plain names of the exception classes in an except clause."""
+    if node is None:
+        return
+    if isinstance(node, ast.Tuple):
+        for element in node.elts:
+            yield from _exception_names(element)
+    elif isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+
+
+@register
+class ErrorDisciplineRule(Rule):
+    """R4: no broad excepts, no builtin raises -- ReproError everywhere."""
+
+    id = "R4"
+    name = "error-discipline"
+    description = (
+        "no bare/``except Exception`` handlers outside repro.errors' "
+        "crash_boundary; raise ReproError subclasses, not builtins"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        if (
+            ctx.module in BOUNDARY_MODULES
+            or "error-boundary" in ctx.scopes
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(ctx, node)
+            elif isinstance(node, ast.Raise):
+                yield from self._check_raise(ctx, node)
+
+    def _check_handler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                ctx,
+                node,
+                "bare except swallows every error including bugs; catch "
+                "specific exceptions (ReproError for library failures) or "
+                "use repro.errors.crash_boundary",
+            )
+            return
+        for name in _exception_names(node.type):
+            if name in BROAD_CATCHES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"except {name} mixes domain errors with genuine bugs; "
+                    f"catch ReproError (infeasible/illegal inputs) and let "
+                    f"repro.errors.crash_boundary translate the rest",
+                )
+
+    def _check_raise(
+        self, ctx: FileContext, node: ast.Raise
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        name: Optional[str] = None
+        if isinstance(exc, ast.Call):
+            func = exc.func
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in DISALLOWED_RAISES:
+            yield self.finding(
+                ctx,
+                node,
+                f"raise {name} from library code; raise the matching "
+                f"ReproError subclass from repro.errors instead",
+            )

@@ -1,0 +1,226 @@
+"""R3 -- worker-pool safety.
+
+Modules in the import closure of ``repro.optimize.parallel`` execute inside
+persistent worker processes.  Module-level mutable state there is replicated
+per worker and silently diverges from the parent unless it follows the
+sanctioned lifecycle pattern (installed by the pool initializer, or managed
+through explicit ``set_*`` / ``clear_*`` / ``reset*`` / ``shutdown*``
+functions of the defining module).  The rule enforces three invariants on
+worker-scoped files (plus any file whose docstring declares
+``repro-lint-scope: worker``):
+
+* **R3a**: ``global`` writes are only allowed inside sanctioned lifecycle
+  functions (``_init_worker*``, ``set_*``, ``clear_*``, ``reset*``,
+  ``shutdown*``, ``configure*``).
+* **R3b**: module-level mutable containers (dict/list/set literals or
+  constructor calls) must be private (``_name``); public module constants
+  must be immutable -- wrap lookup tables in ``types.MappingProxyType`` or
+  use tuples/frozensets.
+* **R3c**: state owned by *another* module must never be mutated directly
+  (no ``othermod.NAME = ...``, no ``imported_dict[k] = v``, no
+  ``imported_list.append(...)``); go through the owner's lifecycle
+  functions instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional, Set
+
+from ..core import FileContext, Finding, Rule, register
+from ..symbols import Project
+
+_SANCTIONED_FN_RE = re.compile(
+    r"^_?(init|set|clear|reset|shutdown|configure)[A-Za-z0-9_]*$"
+)
+
+#: Constructor names producing mutable containers.
+_MUTABLE_CALLS = {
+    "dict",
+    "list",
+    "set",
+    "OrderedDict",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "bytearray",
+}
+
+#: Constructor names producing immutable views/containers.
+_IMMUTABLE_CALLS = {"MappingProxyType", "frozenset", "tuple"}
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "remove",
+    "discard",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "sort",
+    "reverse",
+}
+
+
+def _is_mutable_rhs(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set)):
+        return True
+    if isinstance(node, (ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in _IMMUTABLE_CALLS:
+            return False
+        if name in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+@register
+class PoolSafetyRule(Rule):
+    """R3: worker-imported modules must keep module state disciplined."""
+
+    id = "R3"
+    name = "pool-safety"
+    description = (
+        "modules imported by worker pools: global writes only in lifecycle "
+        "functions, no public mutable module state, no cross-module mutation"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        if not project.in_worker_scope(ctx):
+            return
+        symbols = project.modules[ctx.module]
+        imported_names: Set[str] = set(symbols.imported_names)
+        imported_modules: Set[str] = set(symbols.imported_modules)
+
+        yield from self._check_module_state(ctx)
+        yield from self._check_globals(ctx)
+        yield from self._check_cross_module(
+            ctx, imported_names, imported_modules
+        )
+
+    # -- R3b: public mutable module constants ---------------------------
+
+    def _check_module_state(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ctx.tree.body:
+            targets = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            if value is None or not _is_mutable_rhs(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("_"):
+                    continue  # private worker-local state is the pattern
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"public mutable module state {name!r} in a "
+                    f"worker-imported module; make it private (_{name}) or "
+                    f"immutable (types.MappingProxyType / tuple / frozenset)",
+                )
+
+    # -- R3a: global writes outside lifecycle functions ------------------
+
+    def _check_globals(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if _SANCTIONED_FN_RE.match(node.name):
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Global):
+                    yield self.finding(
+                        ctx,
+                        sub,
+                        f"function {node.name!r} writes module globals "
+                        f"({', '.join(sub.names)}) outside the sanctioned "
+                        f"initializer pattern (_init_worker*/set_*/clear_*/"
+                        f"reset*/shutdown*)",
+                    )
+
+    # -- R3c: mutating another module's state ----------------------------
+
+    def _check_cross_module(
+        self,
+        ctx: FileContext,
+        imported_names: Set[str],
+        imported_modules: Set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            # othermod.NAME = ... / del othermod.NAME
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for target in targets:
+                    owner = self._foreign_owner(
+                        target, imported_names, imported_modules
+                    )
+                    if owner is not None:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"mutation of state owned by module/import "
+                            f"{owner!r}; use its lifecycle functions instead",
+                        )
+            # imported.append(...) etc.
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr not in _MUTATING_METHODS:
+                    continue
+                owner = self._foreign_owner(
+                    node.func.value, imported_names, imported_modules
+                )
+                if owner is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f".{node.func.attr}() mutates state owned by "
+                        f"module/import {owner!r}; use its lifecycle "
+                        f"functions instead",
+                    )
+
+    def _foreign_owner(
+        self,
+        target: ast.expr,
+        imported_names: Set[str],
+        imported_modules: Set[str],
+    ) -> Optional[str]:
+        """Name of the foreign module/import a target mutates, if any."""
+        # imported_name[...] = / imported_name.method()
+        if isinstance(target, ast.Subscript):
+            return self._foreign_owner(
+                target.value, imported_names, imported_modules
+            )
+        if isinstance(target, ast.Name):
+            if target.id in imported_names:
+                return target.id
+            return None
+        # module.attr = ... or module.attr[...] = ...
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            if target.value.id in imported_modules:
+                return target.value.id
+        return None

@@ -1,0 +1,230 @@
+"""Unit algebra for the R1 (units) lint rule.
+
+A *unit expression* is the tiny language used by ``[unit: ...]`` tags::
+
+    Pa            W/(m K)         m^3/s        J/(m^3 K)
+    Pa s          kg m^-1 s^-2    1            W/K
+
+Grammar (whitespace and ``*`` both mean multiplication, ``/`` divides by the
+single factor that follows it, ``^`` or ``**`` raise to an integer power)::
+
+    expr   := factor { ("*" | "/" | " ") factor }
+    factor := atom [ ("^" | "**") signed_int ]
+    atom   := NAME | "1" | "(" expr ")"
+
+Units are compared *dimensionally*: derived SI units (W, J, N, Pa, Hz) are
+expanded onto the base dimensions (m, kg, s, K, A, mol, cd) before equality
+is tested, so ``W/(m K)`` and ``kg m s^-3 K^-1`` are the same unit.  Symbols
+the table does not know (e.g. ``cell``) act as opaque base dimensions of
+their own, which keeps counts and other bookkeeping quantities from mixing
+with physical ones.
+"""
+
+from __future__ import annotations
+
+import re
+from types import MappingProxyType
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..errors import LintError
+
+#: Base SI dimensions (plus anything unknown, which becomes its own base).
+BASE_DIMENSIONS = ("m", "kg", "s", "K", "A", "mol", "cd")
+
+#: Derived symbols expanded to base-dimension exponent maps.
+DERIVED: Mapping[str, Dict[str, int]] = MappingProxyType({
+    "Hz": {"s": -1},
+    "N": {"kg": 1, "m": 1, "s": -2},
+    "Pa": {"kg": 1, "m": -1, "s": -2},
+    "J": {"kg": 1, "m": 2, "s": -2},
+    "W": {"kg": 1, "m": 2, "s": -3},
+    "V": {"kg": 1, "m": 2, "s": -3, "A": -1},
+    "C": {"A": 1, "s": 1},
+})
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<int>[+-]?\d+)"
+    r"|(?P<pow>\^|\*\*)"
+    r"|(?P<op>[*/()])"
+    r")"
+)
+
+
+class Unit:
+    """An immutable map of base dimension -> integer exponent."""
+
+    __slots__ = ("dims", "_key")
+
+    def __init__(self, dims: Dict[str, int]) -> None:
+        self.dims: Dict[str, int] = {k: v for k, v in dims.items() if v != 0}
+        self._key: Tuple[Tuple[str, int], ...] = tuple(
+            sorted(self.dims.items())
+        )
+
+    def __mul__(self, other: "Unit") -> "Unit":
+        merged = dict(self.dims)
+        for sym, exp in other.dims.items():
+            merged[sym] = merged.get(sym, 0) + exp
+        return Unit(merged)
+
+    def __truediv__(self, other: "Unit") -> "Unit":
+        return self * other ** -1
+
+    def __pow__(self, exponent: int) -> "Unit":
+        return Unit({sym: exp * exponent for sym, exp in self.dims.items()})
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Unit) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    @property
+    def dimensionless(self) -> bool:
+        """True for the empty (pure-number) unit."""
+        return not self.dims
+
+    def __repr__(self) -> str:
+        return f"Unit({format_unit(self)!r})"
+
+
+DIMENSIONLESS = Unit({})
+
+
+def _expand(symbol: str) -> Unit:
+    """One symbol as a base-dimension unit (derived symbols expanded)."""
+    if symbol in DERIVED:
+        return Unit(DERIVED[symbol])
+    return Unit({symbol: 1})
+
+
+def _tokenize(text: str) -> Iterator[Tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            raise LintError(
+                f"bad unit expression {text!r}: cannot tokenize at {text[pos:]!r}"
+            )
+        pos = match.end()
+        for kind in ("name", "int", "pow", "op"):
+            value = match.group(kind)
+            if value is not None:
+                yield kind, value
+                break
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens: List[Tuple[str, str]] = list(_tokenize(text))
+        self.pos = 0
+
+    def peek(self) -> Optional[Tuple[str, str]]:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def take(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise LintError(f"bad unit expression {self.text!r}: truncated")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Unit:
+        unit = self.expr()
+        trailing = self.peek()
+        if trailing is not None:
+            raise LintError(
+                f"bad unit expression {self.text!r}: trailing {trailing[1]!r}"
+            )
+        return unit
+
+    def expr(self) -> Unit:
+        unit = self.factor()
+        while True:
+            token = self.peek()
+            if token is None:
+                return unit
+            kind, value = token
+            if kind == "op" and value == "*":
+                self.take()
+                unit = unit * self.factor()
+            elif kind == "op" and value == "/":
+                self.take()
+                unit = unit / self.factor()
+            elif kind in ("name", "int") or (kind == "op" and value == "("):
+                unit = unit * self.factor()  # implicit multiplication
+            else:
+                return unit
+
+    def factor(self) -> Unit:
+        unit = self.atom()
+        token = self.peek()
+        if token is not None and token[0] == "pow":
+            self.take()
+            kind, value = self.take()
+            if kind != "int":
+                raise LintError(
+                    f"bad unit expression {self.text!r}: exponent must be an "
+                    f"integer, got {value!r}"
+                )
+            unit = unit ** int(value)
+        return unit
+
+    def atom(self) -> Unit:
+        kind, value = self.take()
+        if kind == "name":
+            return _expand(value)
+        if kind == "int":
+            if value in ("1", "+1"):
+                return DIMENSIONLESS
+            raise LintError(
+                f"bad unit expression {self.text!r}: the only bare number "
+                f"allowed is 1 (dimensionless), got {value!r}"
+            )
+        if kind == "op" and value == "(":
+            unit = self.expr()
+            token = self.take()
+            if token != ("op", ")"):
+                raise LintError(
+                    f"bad unit expression {self.text!r}: unbalanced parentheses"
+                )
+            return unit
+        raise LintError(
+            f"bad unit expression {self.text!r}: unexpected {value!r}"
+        )
+
+
+def parse_unit(text: str) -> Unit:
+    """Parse a ``[unit: ...]`` tag body into a :class:`Unit`.
+
+    Raises:
+        LintError: On a malformed expression.
+    """
+    text = text.strip()
+    if not text:
+        raise LintError("empty unit expression")
+    return _Parser(text).parse()
+
+
+def format_unit(unit: Unit) -> str:
+    """Render a unit in canonical base-dimension form (``kg m^-1 s^-2``)."""
+    if unit.dimensionless:
+        return "1"
+    known = [d for d in BASE_DIMENSIONS if d in unit.dims]
+    other = sorted(set(unit.dims) - set(BASE_DIMENSIONS))
+    parts = []
+    for sym in known + other:
+        exp = unit.dims[sym]
+        parts.append(sym if exp == 1 else f"{sym}^{exp}")
+    return " ".join(parts)
+
+
+def compatible(a: Unit, b: Unit) -> bool:
+    """Whether two quantities may be added/subtracted/compared."""
+    return a == b

@@ -13,6 +13,8 @@ property values matching 3D-ICE and standard heat-transfer references
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
 
 from .errors import GeometryError
 
@@ -23,9 +25,8 @@ class Solid:
 
     Attributes:
         name: Human readable identifier.
-        thermal_conductivity: ``k`` in W/(m K).
-        volumetric_heat_capacity: ``rho * c_p`` in J/(m^3 K); used only by the
-            transient extension.
+        thermal_conductivity: ``k``.  [unit: W/(m K)]
+        volumetric_heat_capacity: ``rho * c_p`` (transient only).  [unit: J/(m^3 K)]
     """
 
     name: str
@@ -51,9 +52,9 @@ class Coolant:
 
     Attributes:
         name: Human readable identifier.
-        thermal_conductivity: ``k_liquid`` in W/(m K) (Eq. 5).
-        volumetric_heat_capacity: ``C_v = rho * c_p`` in J/(m^3 K) (Eq. 6).
-        dynamic_viscosity: ``mu`` in Pa s (Eq. 1).
+        thermal_conductivity: ``k_liquid`` (Eq. 5).  [unit: W/(m K)]
+        volumetric_heat_capacity: ``C_v = rho * c_p`` (Eq. 6).  [unit: J/(m^3 K)]
+        dynamic_viscosity: ``mu`` (Eq. 1).  [unit: Pa s]
     """
 
     name: str
@@ -122,11 +123,14 @@ WATER = Coolant(
     dynamic_viscosity=6.53e-4,
 )
 
-#: All stock solids by name, for file I/O round trips.
-SOLIDS = {m.name: m for m in (SILICON, BEOL, COPPER, SILICON_DIOXIDE, TIM)}
+#: All stock solids by name, for file I/O round trips.  Read-only so worker
+#: processes can never diverge from the parent's material library.
+SOLIDS: Mapping[str, Solid] = MappingProxyType(
+    {m.name: m for m in (SILICON, BEOL, COPPER, SILICON_DIOXIDE, TIM)}
+)
 
-#: All stock coolants by name.
-COOLANTS = {WATER.name: WATER}
+#: All stock coolants by name (read-only, see :data:`SOLIDS`).
+COOLANTS: Mapping[str, Coolant] = MappingProxyType({WATER.name: WATER})
 
 
 def solid_by_name(name: str) -> Solid:

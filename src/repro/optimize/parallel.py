@@ -37,16 +37,23 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .. import profiling
-from ..errors import ReproError, SearchError
+from ..constants import quantize_key
+from ..errors import (
+    CandidateCrashError,
+    ReproError,
+    SearchError,
+    crash_boundary,
+)
 from ..iccad2015.cases import Case
 from ..networks.tree import TreePlan
 from .stages import METRIC_MIN_GRADIENT_CAPPED, StageConfig
 
-
-class CandidateCrashError(RuntimeError):
-    """An unexpected (non-:class:`~repro.errors.ReproError`) exception while
-    scoring a candidate.  Deliberately *not* a ``ReproError``: the SA loop
-    must not swallow it as just another infeasible network."""
+__all__ = [
+    "CandidateCrashError",
+    "PersistentEvaluationPool",
+    "evaluate_population",
+    "shutdown_pools",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -78,14 +85,10 @@ def _score_candidate(evaluator, params: np.ndarray) -> float:
     """
     params = np.asarray(params, dtype=int)
     try:
-        return float(evaluator(params))
+        with crash_boundary(f"candidate params {params.tolist()}"):
+            return float(evaluator(params))
     except ReproError:
         return math.inf
-    except Exception as exc:
-        raise CandidateCrashError(
-            f"candidate params {params.tolist()} crashed: "
-            f"{type(exc).__name__}: {exc}"
-        ) from exc
 
 
 def _score_in_worker(params: np.ndarray):
@@ -197,8 +200,13 @@ def _cached_pool(
     n_workers: int,
 ) -> PersistentEvaluationPool:
     # Identity-based keys are safe because each cached pool holds strong
-    # references to its context objects, pinning their ids.
-    key = (id(case), id(plan), stage, problem, fixed_pressure, n_workers)
+    # references to its context objects, pinning their ids.  The pressure is
+    # quantized like every other float cache key in the repo, so an
+    # epsilon-perturbed context reuses the warm pool.
+    quantized_pressure = (
+        None if fixed_pressure is None else quantize_key(fixed_pressure)
+    )
+    key = (id(case), id(plan), stage, problem, quantized_pressure, n_workers)
     pool = _pool_cache.get(key)
     if pool is not None and not pool.closed:
         _pool_cache.move_to_end(key)

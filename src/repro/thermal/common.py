@@ -18,14 +18,14 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csc_matrix
 from scipy.sparse.linalg import splu
 
 from .. import profiling
-from ..constants import NUSSELT_NUMBER, PRESSURE_KEY_DECIMALS
+from ..constants import NUSSELT_NUMBER, quantize_key
 from ..errors import ThermalError
 from ..flow.conductance import hydraulic_diameter
 from ..materials import Coolant
@@ -35,6 +35,7 @@ def series_conductance(g_a: float, g_b: float) -> float:
     """Two thermal conductances in series (Eqs. 5 and 7).
 
     Returns 0 if either path is blocked (zero conductance).
+    [unit-return: W/K]
     """
     if g_a <= 0 or g_b <= 0:
         return 0.0
@@ -47,7 +48,9 @@ def h_conv(
     channel_height: float,
     nusselt: float = NUSSELT_NUMBER,
 ) -> float:
-    """Convective heat transfer coefficient ``h = Nu k_liquid / D_h``."""
+    """Convective heat transfer coefficient ``h = Nu k_liquid / D_h``.
+    [unit-return: W/(m^2 K)]
+    """
     d_h = hydraulic_diameter(channel_width, channel_height)
     return nusselt * coolant.thermal_conductivity / d_h
 
@@ -59,14 +62,18 @@ def convective_conductance(
     channel_height: float,
     nusselt: float = NUSSELT_NUMBER,
 ) -> float:
-    """Wall-to-coolant conductance ``g_sl* = h A`` (the Eq. 5 building block)."""
+    """Wall-to-coolant conductance ``g_sl* = h A`` (the Eq. 5 building block).
+    [unit-return: W/K]
+    """
     if area < 0:
         raise ThermalError(f"wall area must be non-negative, got {area}")
     return h_conv(coolant, channel_width, channel_height, nusselt) * area
 
 
 def slab_half_conductance(k: float, area: float, thickness: float) -> float:
-    """Conductance from a slab's center plane to its face, ``k A / (t/2)``."""
+    """Conductance from a slab's center plane to its face, ``k A / (t/2)``.
+    [unit-return: W/K]
+    """
     if thickness <= 0:
         raise ThermalError(f"thickness must be positive, got {thickness}")
     return k * area / (0.5 * thickness)
@@ -149,7 +156,7 @@ def assemble_advection(
 class ConductanceBuilder:
     """Accumulates pairwise conductances into a sparse stiffness matrix ``K``."""
 
-    def __init__(self, n_nodes: int):
+    def __init__(self, n_nodes: int) -> None:
         self.n_nodes = n_nodes
         self._rows: list = []
         self._cols: list = []
@@ -221,7 +228,7 @@ class LinearThermalSystem:
         advection: csc_matrix,
         rhs_static: np.ndarray,
         rhs_advection: np.ndarray,
-    ):
+    ) -> None:
         self.stiffness = stiffness
         self.advection = advection
         self.rhs_static = rhs_static
@@ -265,9 +272,9 @@ class LinearThermalSystem:
             shape=(self.n_nodes, self.n_nodes),
         )
 
-    def _factorize(self, p_sys: float):
+    def _factorize(self, p_sys: float) -> Any:
         """A (cached) LU factorization of the operator at ``p_sys``."""
-        key = round(float(p_sys), PRESSURE_KEY_DECIMALS)
+        key = quantize_key(p_sys)
         lu = self._lu_cache.get(key)
         if lu is not None:
             self._lu_cache.move_to_end(key)

@@ -5,8 +5,8 @@ thermal management techniques (e.g., DVFS and adjustable flow rates) to
 handle dynamic die power".  This module implements that loop on top of the
 transient extension: a controller observes the peak temperature at a control
 period and adjusts the pump pressure; the plant integrates backward-Euler
-between control decisions (re-factorizing only when the pressure actually
-changes, which keeps the loop cheap).
+between control decisions (LU factorizations are memoized per commanded
+pressure, so revisited pump levels never re-factorize).
 
 Two standard controllers are provided: a hysteresis (bang-bang) controller
 switching between two pump levels, and a clamped proportional-integral
@@ -15,15 +15,22 @@ controller tracking a peak-temperature setpoint.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional
 
 import numpy as np
 from scipy.sparse import diags
 from scipy.sparse.linalg import splu
 
+from ..constants import quantize_key
 from ..errors import ThermalError
 from .result import ThermalResult
+
+#: Backward-Euler LU factorizations kept per controlled run.  A bang-bang
+#: controller alternates between two pressures and a PI controller converges
+#: onto a few, so a handful of slots makes re-commanded pressures free.
+_CONTROL_LU_CACHE_SIZE = 8  #: [unit: 1]
 
 
 class HysteresisController:
@@ -35,7 +42,7 @@ class HysteresisController:
 
     def __init__(
         self, p_low: float, p_high: float, t_low: float, t_high: float
-    ):
+    ) -> None:
         if not 0 < p_low <= p_high:
             raise ThermalError(
                 f"need 0 < p_low <= p_high, got ({p_low}, {p_high})"
@@ -72,7 +79,7 @@ class PIController:
         p_min: float,
         p_max: float,
         period: float,
-    ):
+    ) -> None:
         if not 0 < p_min < p_max:
             raise ThermalError(f"need 0 < p_min < p_max, got ({p_min}, {p_max})")
         if period <= 0:
@@ -172,9 +179,26 @@ def run_controlled(
     state = np.full(steady.system.n_nodes, steady.inlet_temperature)
 
     p_current = float(p_initial)
-    lu = None
-    lu_pressure = None
     energy_pump = 0.0
+
+    # Backward-Euler operator ``K + P A + C/dt`` factorized once per distinct
+    # commanded pressure.  The capacitance diagonal never changes, so it is
+    # assembled exactly once, outside the control loop.
+    c_diag = diags(c_over_dt).tocsc()
+    lu_cache: "OrderedDict[float, object]" = OrderedDict()
+
+    def lu_for(pressure: float) -> Any:
+        key = quantize_key(pressure)
+        lu = lu_cache.get(key)
+        if lu is None:
+            matrix = steady.system.system_matrix(pressure)
+            lu = splu((matrix.tocsc() + c_diag))
+            lu_cache[key] = lu
+            while len(lu_cache) > _CONTROL_LU_CACHE_SIZE:
+                lu_cache.popitem(last=False)
+        else:
+            lu_cache.move_to_end(key)
+        return lu
 
     times = [0.0]
     result0 = steady._package(max(p_current, 1e-9), state.copy())
@@ -191,10 +215,7 @@ def run_controlled(
                 f"controller commanded non-positive pressure {commanded}"
             )
         p_current = commanded
-        if lu is None or p_current != lu_pressure:
-            matrix = steady.system.system_matrix(p_current)
-            lu = splu((matrix + diags(c_over_dt)).tocsc())
-            lu_pressure = p_current
+        lu = lu_for(p_current)
         rhs_adv = p_current * steady.system.rhs_advection
         for _ in range(steps_per_period):
             time += dt

@@ -21,7 +21,7 @@ from ..geometry.region import Rect
 class Tiling:
     """A ragged-edge square tiling of a 2D cell grid."""
 
-    def __init__(self, nrows: int, ncols: int, tile_size: int):
+    def __init__(self, nrows: int, ncols: int, tile_size: int) -> None:
         if tile_size < 1:
             raise ThermalError(f"tile size must be >= 1, got {tile_size}")
         if nrows < 1 or ncols < 1:

@@ -24,7 +24,7 @@ paper's inner-loop network evaluation affordable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -77,7 +77,7 @@ class RC2Simulator:
         nusselt: float = NUSSELT_NUMBER,
         top_bc: Optional[Tuple[float, float]] = None,
         tsv_material=None,
-    ):
+    ) -> None:
         if tile_size < 1:
             raise ThermalError(f"tile size must be >= 1, got {tile_size}")
         self.stack = stack
@@ -269,7 +269,7 @@ class RC2Simulator:
             t.tile_heights()[:, None] * t.tile_widths()[None, :]
         ).astype(float) * w * w
 
-        def material_of(layer):
+        def material_of(layer: Any) -> Any:
             return (
                 layer.wall_material
                 if isinstance(layer, ChannelLayer)

@@ -18,7 +18,7 @@ Accuracy matches 3D-ICE-style models; speed is what the 2RM model then buys.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -79,7 +79,7 @@ class RC4Simulator:
         liquid_conduction: bool = False,
         top_bc: Optional[Tuple[float, float]] = None,
         tsv_material=None,
-    ):
+    ) -> None:
         self.stack = stack
         self.coolant = coolant
         self.edge_factor = float(edge_factor)
@@ -338,7 +338,9 @@ class RC4Simulator:
         )
 
 
-def _pair_slices(ids: np.ndarray, liq: np.ndarray):
+def _pair_slices(
+    ids: np.ndarray, liq: np.ndarray
+) -> "Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]":
     """Yield (ids_a, ids_b, liq_a, liq_b) for east and south neighbor pairs."""
     yield ids[:, :-1], ids[:, 1:], liq[:, :-1], liq[:, 1:]
     yield ids[:-1, :], ids[1:, :], liq[:-1, :], liq[1:, :]

@@ -62,7 +62,7 @@ class TransientSimulator:
             flow-rate control is listed as future work in the paper).
     """
 
-    def __init__(self, steady, p_sys: float):
+    def __init__(self, steady, p_sys: float) -> None:
         if p_sys <= 0:
             raise ThermalError(f"system pressure must be positive, got {p_sys}")
         self.steady = steady

@@ -1,0 +1,25 @@
+"""Fixture: R1-clean module -- everything tagged and dimensionally sound.
+
+repro-lint-scope: units
+"""
+
+LENGTH = 2.0  #: [unit: m]
+WIDTH = 3.0  #: [unit: m]
+PRESSURE = 1.5e4  #: [unit: Pa]
+SAFETY_FACTOR = 1.2  #: [unit: 1]
+
+PERIMETER = LENGTH + WIDTH
+
+
+def area(length: float = LENGTH, width: float = WIDTH) -> float:
+    """Rectangle area.  [unit-return: m^2]"""
+    return length * width
+
+
+def force(pressure: float = PRESSURE) -> float:
+    """Force on the default area.  [unit-return: N]"""
+    return pressure * area()
+
+
+def wide_enough(width: float = WIDTH) -> bool:
+    return width > SAFETY_FACTOR * LENGTH

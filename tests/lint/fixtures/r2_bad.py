@@ -1,0 +1,15 @@
+"""Fixture: R2 violations -- raw floats keying a cache."""
+
+_cache = {}
+
+
+def lookup(p: float):
+    key = round(p, 6)  # ad-hoc round() quantization
+    if p in _cache:  # raw float membership test
+        return _cache[p]  # raw float subscript key
+    _cache[key] = p
+    return p
+
+
+def hashed(p: float):
+    return hash(float(p))  # float(...) feeding hash()

@@ -1,0 +1,16 @@
+"""Fixture: R2-clean module -- every float key goes through quantize_key."""
+
+from repro.constants import quantize_key
+
+_cache = {}
+
+
+def lookup(p: float):
+    key = quantize_key(p)
+    if key not in _cache:
+        _cache[key] = p
+    return _cache[key]
+
+
+def exact(n: int, name: str):
+    return _cache.get((n, name))

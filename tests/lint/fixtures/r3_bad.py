@@ -1,0 +1,19 @@
+"""Fixture: R3 violations -- undisciplined module state in worker scope.
+
+repro-lint-scope: worker
+"""
+
+import repro.profiling as prof
+from repro.materials import SOLIDS
+
+TABLE = {"a": 1}  # public mutable module state
+
+
+def bump(value):
+    global TABLE  # global write outside the lifecycle pattern
+    TABLE = value
+
+
+def poke():
+    prof.counters = {}  # assigning another module's attribute
+    SOLIDS.update({})  # mutating an imported object in place

@@ -1,0 +1,26 @@
+"""Fixture: R3-clean module -- sanctioned worker-state lifecycle.
+
+repro-lint-scope: worker
+"""
+
+from types import MappingProxyType
+
+TABLE = MappingProxyType({"a": 1})
+NAMES = ("a", "b")
+
+_state = None
+_registry = {}
+
+
+def _init_worker(value):
+    global _state
+    _state = value
+
+
+def reset_state():
+    global _state
+    _state = None
+
+
+def current():
+    return _state

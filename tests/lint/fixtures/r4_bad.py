@@ -1,0 +1,21 @@
+"""Fixture: R4 violations -- broad excepts and builtin raises."""
+
+
+def swallow_everything():
+    try:
+        return 1
+    except Exception:  # broad catch
+        return 2
+
+
+def swallow_harder():
+    try:
+        return 1
+    except:  # bare except
+        return 2
+
+
+def shout(value):
+    if value < 0:
+        raise ValueError("builtin exception from library code")
+    return value

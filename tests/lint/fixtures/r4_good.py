@@ -1,0 +1,25 @@
+"""Fixture: R4-clean module -- ReproError discipline."""
+
+from repro.errors import FlowError, ReproError, crash_boundary
+
+
+def careful():
+    try:
+        return 1
+    except ReproError:
+        return 2
+
+
+def translate():
+    with crash_boundary("fixture evaluation"):
+        return 1
+
+
+def shout(value):
+    if value < 0:
+        raise FlowError("domain error with a domain type")
+    return value
+
+
+def unfinished():
+    raise NotImplementedError  # explicitly allowed

@@ -1,0 +1,21 @@
+"""Fixture: R5 violations -- dense conversions and in-loop factorization."""
+
+from scipy.sparse import csr_matrix
+from scipy.sparse.linalg import splu, spsolve
+
+
+def densify(matrix):
+    return matrix.toarray()  # O(n^2) densification
+
+
+def solve_naive(matrix, rhs):
+    return spsolve(matrix, rhs)  # throws the factorization away
+
+
+def loop_assembly(blocks, rhs):
+    out = []
+    for block in blocks:
+        mat = csr_matrix(block)  # constructor inside the loop
+        lu = splu(mat.tocsc())  # factorization + conversion inside the loop
+        out.append(lu.solve(rhs))
+    return out

@@ -1,0 +1,27 @@
+"""The repository's own source tree must be lint-clean, suppression-free.
+
+This is the acceptance gate CI enforces: ``python -m repro.lint src`` exits
+0 with zero findings and zero suppressions.
+"""
+
+from pathlib import Path
+
+from repro.lint import Analyzer
+from repro.lint.__main__ import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_cli_exits_zero_on_repo_source(capsys):
+    assert main([str(REPO_SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "0 errors, 0 warnings, 0 suppressed" in out
+
+
+def test_repo_source_has_no_suppressions_at_all():
+    report = Analyzer().run([str(REPO_SRC)])
+    assert report.findings == []
+    assert report.suppressed == []
+    assert report.unused_suppressions == []
+    # Sanity: the run actually covered the tree.
+    assert report.files_checked > 50

@@ -1,0 +1,94 @@
+"""Each lint rule flags its bad fixture and passes its good one."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Analyzer
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_rule(rule_id, filename):
+    return Analyzer(select=[rule_id]).run([str(FIXTURES / filename)])
+
+
+BAD_FIXTURES = [
+    ("R1", "r1_bad.py", 3),
+    ("R2", "r2_bad.py", 4),
+    ("R3", "r3_bad.py", 4),
+    ("R4", "r4_bad.py", 3),
+    ("R5", "r5_bad.py", 5),
+]
+
+GOOD_FIXTURES = [
+    ("R1", "r1_good.py"),
+    ("R2", "r2_good.py"),
+    ("R3", "r3_good.py"),
+    ("R4", "r4_good.py"),
+    ("R5", "r5_good.py"),
+]
+
+
+@pytest.mark.parametrize("rule_id,filename,expected", BAD_FIXTURES)
+def test_bad_fixture_is_flagged(rule_id, filename, expected):
+    report = run_rule(rule_id, filename)
+    assert len(report.findings) == expected
+    assert all(f.rule == rule_id for f in report.findings)
+    assert all(f.severity == "error" for f in report.findings)
+
+
+@pytest.mark.parametrize("rule_id,filename", GOOD_FIXTURES)
+def test_good_fixture_is_clean(rule_id, filename):
+    report = run_rule(rule_id, filename)
+    assert report.findings == []
+    assert report.suppressed == []
+
+
+def test_r1_distinguishes_coverage_from_mixing():
+    report = run_rule("R1", "r1_bad.py")
+    messages = [f.message for f in report.findings]
+    assert any("no [unit: ...] tag" in m for m in messages)
+    assert any("incompatible units in arithmetic" in m for m in messages)
+    assert any("incompatible units in comparison" in m for m in messages)
+
+
+def test_r2_names_the_sanctioned_helper():
+    report = run_rule("R2", "r2_bad.py")
+    assert any("quantize_key" in f.message for f in report.findings)
+
+
+def test_r4_covers_all_three_shapes():
+    report = run_rule("R4", "r4_bad.py")
+    messages = " | ".join(f.message for f in report.findings)
+    assert "bare except" in messages
+    assert "except Exception" in messages
+    assert "raise ValueError" in messages
+
+
+def test_r5_flags_every_anti_pattern_kind():
+    report = run_rule("R5", "r5_bad.py")
+    messages = " | ".join(f.message for f in report.findings)
+    assert ".toarray()" in messages
+    assert "spsolve" in messages
+    assert "splu() inside a loop" in messages
+    assert "csr_matrix() inside a loop" in messages
+    assert ".tocsc() format conversion inside a loop" in messages
+
+
+def test_findings_are_sorted_and_deduplicated():
+    report = Analyzer().run([str(FIXTURES)])
+    keys = [(f.path, f.line, f.col, f.rule, f.message) for f in report.findings]
+    assert keys == sorted(keys)
+    assert len(keys) == len(set(keys))
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(LintError):
+        Analyzer(select=["R99"])
+
+
+def test_missing_path_rejected():
+    with pytest.raises(LintError):
+        Analyzer(select=["R4"]).run([str(FIXTURES / "does_not_exist.py")])

@@ -1,0 +1,120 @@
+"""Suppression comments, the suppression budget, and stale reporting."""
+
+import textwrap
+
+from repro.lint import Analyzer
+from repro.lint.__main__ import main
+
+SUPPRESSED_SRC = textwrap.dedent(
+    """\
+    def swallow():
+        try:
+            return 1
+        except Exception:  # repro-lint: disable=R4
+            return 2
+    """
+)
+
+BLOCK_SUPPRESSED_SRC = textwrap.dedent(
+    """\
+    def swallow():
+        try:
+            return 1
+        # repro-lint: disable=R4
+        except Exception:
+            return 2
+    """
+)
+
+STALE_SRC = textwrap.dedent(
+    """\
+    # repro-lint: disable=R2,R5
+    VALUE = 3
+    """
+)
+
+
+def test_same_line_suppression_moves_finding(tmp_path):
+    path = tmp_path / "suppressed.py"
+    path.write_text(SUPPRESSED_SRC)
+    report = Analyzer(select=["R4"]).run([str(path)])
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+    assert report.suppressed[0].rule == "R4"
+    assert report.unused_suppressions == []
+
+
+def test_line_above_suppression_also_matches(tmp_path):
+    path = tmp_path / "block.py"
+    path.write_text(BLOCK_SUPPRESSED_SRC)
+    report = Analyzer(select=["R4"]).run([str(path)])
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_budget_defaults_to_zero(tmp_path):
+    path = tmp_path / "suppressed.py"
+    path.write_text(SUPPRESSED_SRC)
+    report = Analyzer(select=["R4"]).run([str(path)])
+    # One suppression in use: over the default budget, within a budget of 1.
+    assert report.exit_code(max_suppressions=0) == 1
+    assert report.exit_code(max_suppressions=1) == 0
+
+
+def test_stale_suppression_is_reported_but_not_fatal(tmp_path):
+    path = tmp_path / "stale.py"
+    path.write_text(STALE_SRC)
+    report = Analyzer().run([str(path)])
+    assert report.findings == []
+    assert len(report.unused_suppressions) == 1
+    assert report.unused_suppressions[0].rules == ("R2", "R5")
+    assert report.exit_code() == 0
+
+
+def test_unsuppressed_finding_fails_regardless_of_budget(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text("def f():\n    raise ValueError('x')\n")
+    report = Analyzer(select=["R4"]).run([str(path)])
+    assert len(report.findings) == 1
+    assert report.exit_code(max_suppressions=100) == 1
+
+
+class TestCli:
+    def test_budget_flag_controls_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "suppressed.py"
+        path.write_text(SUPPRESSED_SRC)
+        assert main([str(path), "--select", "R4"]) == 1
+        assert (
+            main([str(path), "--select", "R4", "--max-suppressions", "1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "suppressions in use: 1" in out
+
+    def test_stale_suppressions_are_printed(self, tmp_path, capsys):
+        path = tmp_path / "stale.py"
+        path.write_text(STALE_SRC)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stale suppression" in out
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.py"
+        path.write_text("")
+        assert main([str(path), "--select", "R99"]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.py"
+        path.write_text("def f():\n    raise ValueError('x')\n")
+        assert main([str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["findings"][0]["rule"] == "R4"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5"):
+            assert rule_id in out

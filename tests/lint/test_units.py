@@ -1,0 +1,81 @@
+"""Unit-expression algebra of the R1 lint rule."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.units import (
+    DIMENSIONLESS,
+    Unit,
+    compatible,
+    format_unit,
+    parse_unit,
+)
+
+
+class TestParsing:
+    def test_base_symbol(self):
+        assert parse_unit("m") == Unit({"m": 1})
+
+    def test_dimensionless(self):
+        assert parse_unit("1").dimensionless
+        assert parse_unit("1") == DIMENSIONLESS
+
+    def test_implicit_multiplication(self):
+        assert parse_unit("Pa s") == parse_unit("Pa * s")
+
+    def test_division_binds_single_factor(self):
+        # W/(m K) needs the parens; W/m K means (W/m) * K.
+        assert parse_unit("W/m K") == parse_unit("W K / m")
+        assert parse_unit("W/(m K)") != parse_unit("W/m K")
+
+    def test_powers(self):
+        assert parse_unit("m^3") == Unit({"m": 3})
+        assert parse_unit("m**3") == Unit({"m": 3})
+        assert parse_unit("s^-2") == Unit({"s": -2})
+
+    def test_unknown_symbol_is_opaque_dimension(self):
+        cells = parse_unit("cell/s")
+        assert cells == Unit({"cell": 1, "s": -1})
+        assert not compatible(cells, parse_unit("1/s"))
+
+    @pytest.mark.parametrize(
+        "bad", ["", "m^x", "2 m", "(m", "m)", "m^", "m/"]
+    )
+    def test_malformed_expressions_raise(self, bad):
+        with pytest.raises(LintError):
+            parse_unit(bad)
+
+
+class TestDerivedUnits:
+    def test_watt_expands_to_base_dimensions(self):
+        assert parse_unit("W") == parse_unit("kg m^2 s^-3")
+
+    def test_thermal_conductivity_equivalence(self):
+        assert compatible(parse_unit("W/(m K)"), parse_unit("kg m s^-3 K^-1"))
+
+    def test_pascal_second_is_kg_per_m_s(self):
+        assert parse_unit("Pa s") == parse_unit("kg/(m s)")
+
+    def test_joule_is_newton_meter(self):
+        assert parse_unit("J") == parse_unit("N m")
+
+
+class TestAlgebra:
+    def test_multiplication_cancels(self):
+        q = parse_unit("m^3/s")
+        per_pressure = parse_unit("1/Pa")
+        assert q * per_pressure == parse_unit("m^3/(s Pa)")
+
+    def test_division_and_power_round_trip(self):
+        u = parse_unit("W/K")
+        assert (u / u).dimensionless
+        assert u ** 2 / u == u
+        assert u ** 0 == DIMENSIONLESS
+
+    def test_hash_consistency(self):
+        assert hash(parse_unit("Pa")) == hash(parse_unit("kg m^-1 s^-2"))
+
+    def test_format_round_trips_through_parse(self):
+        for text in ("W/(m K)", "m^3/(s Pa)", "J/(m^3 K)", "1"):
+            unit = parse_unit(text)
+            assert parse_unit(format_unit(unit)) == unit
