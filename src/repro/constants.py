@@ -81,6 +81,28 @@ PRESSURE_INIT_STEP_RATIO = 0.25  #: [unit: 1]
 PRESSURE_MIN = 1.0  #: [unit: Pa]
 PRESSURE_MAX = 2e5  #: [unit: Pa]
 
+# ---------------------------------------------------------------------------
+# Parallel-pool resilience (repro.optimize.parallel)
+# ---------------------------------------------------------------------------
+
+#: Per-batch no-progress timeout of the persistent evaluation pool: if no
+#: candidate completes for this long the batch is declared hung.  Generous --
+#: a single 4RM candidate on a contest-size case stays well under a minute.
+CANDIDATE_TIMEOUT = 600.0  #: [unit: s]
+
+#: Batch retries (after the first attempt) before a pool failure propagates.
+POOL_MAX_RETRIES = 2  #: [unit: 1]
+
+#: First retry backoff; doubles per retry up to :data:`POOL_BACKOFF_MAX`.
+POOL_BACKOFF_BASE = 0.05  #: [unit: s]
+
+#: Ceiling on the exponential retry backoff.
+POOL_BACKOFF_MAX = 2.0  #: [unit: s]
+
+#: Consecutive failed batches after which a pool permanently degrades to
+#: serial in-process evaluation (correctness over throughput).
+POOL_DEGRADE_AFTER = 3  #: [unit: 1]
+
 #: Decimal places a pressure is rounded to before it keys a memoized result
 #: (thermal-result caches, LU caches, search memoizers).  1e-6 Pa resolution
 #: is ~1e-9 of the physical pressures above, far below PRESSURE_SEARCH_RTOL,

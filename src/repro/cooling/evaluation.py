@@ -26,6 +26,7 @@ from ..constants import (
     PRESSURE_MIN,
     PRESSURE_SEARCH_RTOL,
 )
+from ..faults import SITE_COOLING_PROBLEM1, SITE_COOLING_PROBLEM2, inject
 from .pressure_search import (
     golden_section_minimize,
     min_pressure_for_peak,
@@ -96,6 +97,7 @@ def evaluate_problem1(
     peak-temperature constraint is still violated (``h`` is monotone, so a
     binary search suffices), and re-checks both constraints at the new point.
     """
+    inject(SITE_COOLING_PROBLEM1)
     before = system.n_simulations
     search = minimize_pressure_for_gradient(
         system.delta_t,
@@ -141,6 +143,7 @@ def evaluate_problem2(
     pressure meeting ``T_max*``; the gradient is minimized there -- directly
     at ``P*`` when ``f`` is still falling, else by golden-section search.
     """
+    inject(SITE_COOLING_PROBLEM2)
     before = system.n_simulations
     p_cap = system.p_sys_for_power(w_pump_star)
     if p_cap <= p_min:

@@ -65,6 +65,31 @@ class LintError(ReproError):
     """The static-analysis pass was misconfigured or hit unparsable input."""
 
 
+class PoolError(ReproError):
+    """A parallel evaluation pool failed as a whole (not one candidate)."""
+
+
+class WorkerTimeoutError(PoolError):
+    """A worker batch made no progress within the configured timeout."""
+
+
+class WorkerLostError(PoolError):
+    """A worker process died (crash, kill, OOM) mid-batch."""
+
+
+class FaultConfigError(ReproError):
+    """A fault-injection plan references an unknown site/kind or bad knobs."""
+
+
+class InjectedFaultError(ReproError):
+    """A deliberate fault raised by :mod:`repro.faults` as a *library* error.
+
+    Being a :class:`ReproError`, evaluation loops treat it exactly like a
+    genuinely infeasible candidate -- which is the point: chaos tests use it
+    to prove the infeasible path, not the crash path.
+    """
+
+
 class CandidateCrashError(RuntimeError):
     """An unexpected (non-:class:`ReproError`) exception while scoring a
     candidate.  Deliberately *not* a ``ReproError``: optimization loops must

@@ -11,17 +11,19 @@ essentially free on the flow side.
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csc_matrix
-from scipy.sparse.linalg import splu
+from scipy.sparse.linalg import MatrixRankWarning, splu
 
 from .. import profiling
 from ..constants import EDGE_CONDUCTANCE_FACTOR
 from ..errors import FlowError
+from ..faults import SITE_FLOW_MATRIX, SITE_FLOW_PRESSURES, corrupt
 from ..geometry.grid import ChannelGrid, PortKind
 from ..materials import Coolant
 from .conductance import cell_conductance, edge_conductance
@@ -205,6 +207,17 @@ class FlowField:
         g_edge = edge_conductance(
             w, self.channel_height, w, self.coolant, self.edge_factor
         )
+        # Guard the assembly inputs: a degenerate channel geometry or broken
+        # coolant viscosity surfaces here as a named FlowError instead of an
+        # opaque singular-factorization failure downstream.
+        for label, g in (("cell", g_cell), ("inlet/outlet edge", g_edge)):
+            if not np.isfinite(g) or g <= 0.0:
+                raise FlowError(
+                    f"non-finite or non-positive {label} conductance {g!r} "
+                    f"for channel (cell_width={w}, "
+                    f"channel_height={self.channel_height}, "
+                    f"coolant={self.coolant.name!r})"
+                )
         self.g_cell = g_cell
         self.g_edge = g_edge
 
@@ -252,14 +265,30 @@ class FlowField:
     def _solve_unit(self) -> None:
         rhs = np.zeros(self.n)
         np.add.at(rhs, self.inlet_idx, self.g_edge)  # P_in = 1 Pa
+        matrix = corrupt(SITE_FLOW_MATRIX, self._matrix)
+        # SuperLU reports an exactly singular system as RuntimeError, but
+        # near-singular/ill-conditioned factorizations only *warn*
+        # (MatrixRankWarning) and alternative backends (umfpack) raise
+        # ValueError/ArithmeticError -- promote them all to a typed
+        # FlowError so a degenerate candidate network never escapes as a
+        # backend-specific exception.
         try:
-            lu = splu(self._matrix)
-        except RuntimeError as exc:  # singular matrix
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", MatrixRankWarning)
+                lu = splu(matrix)
+            pressures = lu.solve(rhs)
+        except (
+            RuntimeError,
+            ValueError,
+            ArithmeticError,
+            MatrixRankWarning,
+        ) as exc:
             raise FlowError(
-                "pressure system is singular; the network likely contains "
-                "liquid regions not connected to any port"
+                "pressure system is singular or could not be factorized; "
+                "the network likely contains liquid regions not connected "
+                "to any port"
             ) from exc
-        pressures = lu.solve(rhs)
+        pressures = corrupt(SITE_FLOW_PRESSURES, pressures)
         if not np.all(np.isfinite(pressures)):
             raise FlowError("pressure solve produced non-finite values")
         self._unit_pressures = pressures

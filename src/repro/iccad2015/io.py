@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import BenchmarkError
+from ..faults import SITE_IO_POWER_MAP, corrupt
 from ..geometry.grid import ChannelGrid, Port, PortKind, Side
 from ..geometry.region import Rect
 from .cases import Case
@@ -119,8 +120,37 @@ def write_floorplan(power_maps: Sequence[np.ndarray], path: PathLike) -> None:
     Path(path).write_text(buf.getvalue())
 
 
+def _validate_power_map(arr: np.ndarray, die: str, path: PathLike) -> None:
+    """Reject power densities no thermal solve can make sense of.
+
+    This is the load boundary: a NaN/Inf/negative cell power must become a
+    typed :class:`~repro.errors.BenchmarkError` here instead of propagating
+    into (and silently corrupting) the thermal system's RHS.
+    """
+    bad = ~np.isfinite(arr)
+    if bad.any():
+        r, c = np.argwhere(bad)[0]
+        raise BenchmarkError(
+            f"floorplan {path} die {die}: non-finite power density "
+            f"{arr[r, c]!r} at cell ({r}, {c})"
+        )
+    negative = arr < 0.0
+    if negative.any():
+        r, c = np.argwhere(negative)[0]
+        raise BenchmarkError(
+            f"floorplan {path} die {die}: negative power density "
+            f"{arr[r, c]!r} at cell ({r}, {c}); cell powers are heat "
+            f"sources and must be >= 0"
+        )
+
+
 def read_floorplan(path: PathLike) -> List[np.ndarray]:
-    """Read per-die power maps written by :func:`write_floorplan`."""
+    """Read per-die power maps written by :func:`write_floorplan`.
+
+    Power densities are validated at this boundary: NaN, Inf, and negative
+    values raise :class:`~repro.errors.BenchmarkError` naming the die and
+    cell.
+    """
     maps: List[np.ndarray] = []
     lines = [
         line
@@ -145,6 +175,8 @@ def read_floorplan(path: PathLike) -> List[np.ndarray]:
                 f"floorplan die {header[1]}: ragged rows "
                 f"(shape {arr.shape}, expected ({nrows}, {ncols}))"
             )
+        arr = corrupt(SITE_IO_POWER_MAP, arr)
+        _validate_power_map(arr, header[1], path)
         maps.append(arr)
         i += 1 + nrows
     if not maps:

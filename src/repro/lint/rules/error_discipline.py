@@ -16,7 +16,11 @@ anti-patterns break that contract:
 
 ``repro.errors`` itself (or a module whose docstring declares
 ``repro-lint-scope: error-boundary``) is exempt: it is where the boundary
-is implemented.
+is implemented.  ``repro.faults`` and its submodules are likewise
+sanctioned: its injection sites must be able to *raise* builtin exceptions
+on purpose (the ``raise-crash`` fault kind simulates exactly the untyped
+programming error this rule exists to keep out of library code, so the
+chaos suite can prove ``crash_boundary`` translates it).
 """
 
 from __future__ import annotations
@@ -27,8 +31,19 @@ from typing import Iterator, Optional
 from ..core import FileContext, Finding, Rule, register
 from ..symbols import Project
 
-#: The module allowed to implement the except-Exception boundary.
-BOUNDARY_MODULES = ("repro.errors",)
+#: Modules allowed to implement sanctioned boundaries: ``repro.errors``
+#: hosts the one except-Exception crash translator, ``repro.faults`` raises
+#: builtin exceptions *deliberately* at its injection sites.  Submodules
+#: are covered too (prefix match).
+BOUNDARY_MODULES = ("repro.errors", "repro.faults")
+
+
+def _is_boundary_module(module: str) -> bool:
+    """Whether ``module`` (or a parent package) is a sanctioned boundary."""
+    return any(
+        module == boundary or module.startswith(boundary + ".")
+        for boundary in BOUNDARY_MODULES
+    )
 
 #: Builtin exceptions library code must not raise (ReproError instead).
 DISALLOWED_RAISES = frozenset({
@@ -81,10 +96,7 @@ class ErrorDisciplineRule(Rule):
     )
 
     def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
-        if (
-            ctx.module in BOUNDARY_MODULES
-            or "error-boundary" in ctx.scopes
-        ):
+        if _is_boundary_module(ctx.module) or "error-boundary" in ctx.scopes:
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.ExceptHandler):

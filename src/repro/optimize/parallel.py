@@ -24,26 +24,47 @@ the two populations distinguishable.
 The grouped Problem-2 metric is inherently sequential (later candidates
 re-use the group leader's optimal pressure), so it always evaluates serially;
 the Problem-1 metrics parallelize freely.
+
+Resilience (see ``docs/ROBUSTNESS.md``): batches run with a no-progress
+timeout, bounded exponential-backoff retries that replace dead or hung
+worker processes, and -- after enough consecutive pool failures -- a
+permanent degradation to serial in-process evaluation.  Pool-level failures
+surface as :class:`~repro.errors.PoolError` subclasses; per-candidate
+results already collected before a failure are kept, so retries only redo
+the missing work.
 """
 
 from __future__ import annotations
 
 import atexit
 import math
+import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .. import profiling
-from ..constants import quantize_key
+from .. import faults, profiling
+from ..constants import (
+    CANDIDATE_TIMEOUT,
+    POOL_BACKOFF_BASE,
+    POOL_BACKOFF_MAX,
+    POOL_DEGRADE_AFTER,
+    POOL_MAX_RETRIES,
+    quantize_key,
+)
 from ..errors import (
     CandidateCrashError,
+    PoolError,
     ReproError,
     SearchError,
+    WorkerLostError,
+    WorkerTimeoutError,
     crash_boundary,
 )
+from ..faults import SITE_PARALLEL_DISPATCH, SITE_PARALLEL_WORKER
 from ..iccad2015.cases import Case
 from ..networks.tree import TreePlan
 from .stages import METRIC_MIN_GRADIENT_CAPPED, StageConfig
@@ -51,6 +72,9 @@ from .stages import METRIC_MIN_GRADIENT_CAPPED, StageConfig
 __all__ = [
     "CandidateCrashError",
     "PersistentEvaluationPool",
+    "PoolError",
+    "WorkerLostError",
+    "WorkerTimeoutError",
     "evaluate_population",
     "shutdown_pools",
 ]
@@ -65,11 +89,15 @@ __all__ = [
 _WORKER_EVALUATOR = None
 
 
-def _init_worker(case, plan, stage, problem, fixed_pressure) -> None:
+def _init_worker(
+    case, plan, stage, problem, fixed_pressure, fault_plan=None
+) -> None:
     """Pool initializer: build this worker's evaluator exactly once."""
     global _WORKER_EVALUATOR
     from .runner import _CandidateEvaluator
 
+    if fault_plan is not None:
+        faults.set_active_plan(fault_plan)
     _WORKER_EVALUATOR = _CandidateEvaluator(
         case, plan, stage, problem, fixed_pressure
     )
@@ -97,8 +125,19 @@ def _score_in_worker(params: np.ndarray):
     The worker's profiling counters are reset around each candidate so the
     returned snapshot is a per-candidate delta the parent can merge into its
     own profiler -- solver-reuse statistics survive the process boundary.
+
+    The ``parallel.worker`` injection site lives here -- and only here, so
+    worker-death faults can never fire in the parent's serial-degradation
+    path.  An injected :class:`~repro.errors.ReproError` scores ``inf``
+    like any infeasible candidate; an injected untyped crash is translated
+    by :func:`~repro.errors.crash_boundary` and propagates.
     """
     profiling.reset()
+    try:
+        with crash_boundary(f"fault injection at {SITE_PARALLEL_WORKER}"):
+            faults.inject(SITE_PARALLEL_WORKER)
+    except ReproError:
+        return math.inf, profiling.snapshot()
     cost = _score_candidate(_WORKER_EVALUATOR, params)
     return cost, profiling.snapshot()
 
@@ -115,6 +154,17 @@ class PersistentEvaluationPool:
         case / plan / stage / problem / fixed_pressure: As in the staged
             flow (:mod:`repro.optimize.runner`); pickled to each worker once.
         n_workers: Worker process count (>= 1).
+        timeout: No-progress timeout per batch in seconds: the batch fails
+            with :class:`~repro.errors.WorkerTimeoutError` when no candidate
+            completes for this long (each completion resets the clock).
+        max_retries: Batch retries (after the first attempt) before a pool
+            failure propagates to the caller.
+        backoff_base: First retry backoff in seconds; doubles per retry up
+            to :data:`~repro.constants.POOL_BACKOFF_MAX`.
+        degrade_after: Consecutive failed batches after which the pool
+            permanently falls back to serial in-process evaluation.
+        fault_plan: Optional :class:`~repro.faults.FaultPlan` shipped to
+            every worker (chaos testing); workers re-arm it on (re)spawn.
 
     Use as a context manager or call :meth:`close` explicitly; pools cached
     by :func:`evaluate_population` are closed on eviction and at exit.
@@ -128,37 +178,61 @@ class PersistentEvaluationPool:
         problem: str,
         fixed_pressure: Optional[float] = None,
         n_workers: int = 2,
+        timeout: float = CANDIDATE_TIMEOUT,
+        max_retries: int = POOL_MAX_RETRIES,
+        backoff_base: float = POOL_BACKOFF_BASE,
+        degrade_after: int = POOL_DEGRADE_AFTER,
+        fault_plan=None,
     ):
         if n_workers < 1:
             raise SearchError(f"n_workers must be >= 1, got {n_workers}")
+        if timeout <= 0:
+            raise SearchError(f"timeout must be > 0, got {timeout}")
+        if max_retries < 0:
+            raise SearchError(f"max_retries must be >= 0, got {max_retries}")
+        if degrade_after < 1:
+            raise SearchError(
+                f"degrade_after must be >= 1, got {degrade_after}"
+            )
         #: Strong references keep ``id()``-based cache keys valid.
         self.context = (case, plan, stage, problem, fixed_pressure)
+        self.fault_plan = fault_plan
         self.n_workers = int(n_workers)
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            initializer=_init_worker,
-            initargs=self.context,
-        )
+        self.timeout = float(timeout)
+        self.max_retries = int(max_retries)
+        self.backoff_base = float(backoff_base)
+        self.degrade_after = int(degrade_after)
+        self._consecutive_failures = 0
+        self._degraded = False
+        self._serial_evaluator = None
+        self._spawn_executor()
         self._closed = False
         profiling.increment("parallel.pool_starts")
 
+    def _spawn_executor(self) -> None:
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_init_worker,
+            initargs=self.context + (self.fault_plan,),
+        )
+
     def evaluate(self, params_list: Sequence[np.ndarray]) -> List[float]:
-        """Score a batch of candidates; one cost per candidate, in order."""
+        """Score a batch of candidates; one cost per candidate, in order.
+
+        Pool-level failures (hang, worker death) are retried with backoff
+        and worker replacement; after ``degrade_after`` consecutive failures
+        the batch -- and every later one -- completes serially in-process.
+        A :class:`~repro.errors.PoolError` escapes only when retries are
+        exhausted before degradation kicks in.
+        """
         if self._closed:
             raise SearchError("persistent evaluation pool is closed")
         payloads = [np.asarray(p, dtype=int) for p in params_list]
         if not payloads:
             return []
+        faults.inject(SITE_PARALLEL_DISPATCH)
         with profiling.timer("parallel.batch"):
-            try:
-                outcomes = list(self._executor.map(_score_in_worker, payloads))
-            except CandidateCrashError:
-                profiling.increment("parallel.crashed")
-                raise
-        costs = []
-        for cost, worker_snapshot in outcomes:
-            costs.append(float(cost))
-            profiling.merge(worker_snapshot)
+            costs = self._evaluate_resilient(payloads)
         profiling.increment("parallel.batches")
         profiling.increment("parallel.candidates", len(costs))
         profiling.increment(
@@ -166,10 +240,148 @@ class PersistentEvaluationPool:
         )
         return costs
 
+    # -- resilience ----------------------------------------------------
+
+    def _evaluate_resilient(
+        self, payloads: List[np.ndarray]
+    ) -> List[float]:
+        results: Dict[int, float] = {}
+        retries = 0
+        while len(results) < len(payloads):
+            pending = [i for i in range(len(payloads)) if i not in results]
+            if self._degraded:
+                self._evaluate_serial(payloads, pending, results)
+                continue
+            try:
+                self._collect_parallel(payloads, pending, results)
+                self._consecutive_failures = 0
+            except PoolError:
+                self._consecutive_failures += 1
+                profiling.increment("parallel.pool_failures")
+                if self._consecutive_failures >= self.degrade_after:
+                    self._degrade()
+                elif retries >= self.max_retries:
+                    # Leave the pool usable for the next batch: replace the
+                    # (dead or hung) workers before propagating.
+                    self._restart_executor()
+                    raise
+                else:
+                    profiling.increment("parallel.retries")
+                    time.sleep(
+                        min(
+                            self.backoff_base * (2.0 ** retries),
+                            POOL_BACKOFF_MAX,
+                        )
+                    )
+                    retries += 1
+                    self._restart_executor()
+        return [results[i] for i in range(len(payloads))]
+
+    def _collect_parallel(
+        self,
+        payloads: List[np.ndarray],
+        pending: List[int],
+        results: Dict[int, float],
+    ) -> None:
+        """One parallel attempt at the ``pending`` candidates.
+
+        Completed candidates land in ``results`` even when the attempt
+        fails part-way, so a retry only redoes the missing ones.
+        """
+        futures = {
+            self._executor.submit(_score_in_worker, payloads[i]): i
+            for i in pending
+        }
+        try:
+            remaining = set(futures)
+            while remaining:
+                done, _ = wait(
+                    remaining,
+                    timeout=self.timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    profiling.increment("parallel.timeouts")
+                    raise WorkerTimeoutError(
+                        f"no candidate completed within {self.timeout:g} s "
+                        f"({len(remaining)} of {len(futures)} still pending)"
+                    )
+                for future in done:
+                    remaining.discard(future)
+                    index = futures[future]
+                    try:
+                        cost, worker_snapshot = future.result()
+                    except BrokenProcessPool as exc:
+                        profiling.increment("parallel.worker_lost")
+                        raise WorkerLostError(
+                            f"worker process died while scoring candidate "
+                            f"{index}"
+                        ) from exc
+                    except CandidateCrashError:
+                        profiling.increment("parallel.crashed")
+                        raise
+                    results[index] = float(cost)
+                    profiling.merge(worker_snapshot)
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def _evaluate_serial(
+        self,
+        payloads: List[np.ndarray],
+        pending: List[int],
+        results: Dict[int, float],
+    ) -> None:
+        """Degraded path: score the pending candidates in-process."""
+        if self._serial_evaluator is None:
+            from .runner import _CandidateEvaluator
+
+            case, plan, stage, problem, fixed_pressure = self.context
+            self._serial_evaluator = _CandidateEvaluator(
+                case, plan, stage, problem, fixed_pressure
+            )
+        for index in pending:
+            results[index] = _score_candidate(
+                self._serial_evaluator, payloads[index]
+            )
+            profiling.increment("parallel.serial_fallback")
+
+    def _degrade(self) -> None:
+        """Permanently switch to serial evaluation (correctness first)."""
+        if self._degraded:
+            return
+        self._degraded = True
+        profiling.increment("parallel.degraded")
+        self._terminate_workers()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def _restart_executor(self) -> None:
+        """Replace every worker process with a fresh one."""
+        self._terminate_workers()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._spawn_executor()
+        profiling.increment("parallel.worker_replacements")
+
+    def _terminate_workers(self) -> None:
+        """Forcibly kill worker processes (hung workers ignore shutdown)."""
+        processes = getattr(self._executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool has fallen back to serial evaluation."""
+        return self._degraded
+
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
+        """Shut the worker processes down (idempotent).
+
+        Workers are terminated, not joined: a hung worker must not be able
+        to stall interpreter exit.
+        """
         if not self._closed:
             self._closed = True
+            self._terminate_workers()
             self._executor.shutdown(wait=False, cancel_futures=True)
 
     @property
@@ -202,17 +414,34 @@ def _cached_pool(
     # Identity-based keys are safe because each cached pool holds strong
     # references to its context objects, pinning their ids.  The pressure is
     # quantized like every other float cache key in the repo, so an
-    # epsilon-perturbed context reuses the warm pool.
+    # epsilon-perturbed context reuses the warm pool.  The ambient fault
+    # plan (chaos runs) joins the key so a plan change never reuses workers
+    # armed with a stale schedule.
+    fault_plan = faults.active_plan()
     quantized_pressure = (
         None if fixed_pressure is None else quantize_key(fixed_pressure)
     )
-    key = (id(case), id(plan), stage, problem, quantized_pressure, n_workers)
+    key = (
+        id(case),
+        id(plan),
+        stage,
+        problem,
+        quantized_pressure,
+        n_workers,
+        None if fault_plan is None else id(fault_plan),
+    )
     pool = _pool_cache.get(key)
     if pool is not None and not pool.closed:
         _pool_cache.move_to_end(key)
         return pool
     pool = PersistentEvaluationPool(
-        case, plan, stage, problem, fixed_pressure, n_workers=n_workers
+        case,
+        plan,
+        stage,
+        problem,
+        fixed_pressure,
+        n_workers=n_workers,
+        fault_plan=fault_plan,
     )
     _pool_cache[key] = pool
     while len(_pool_cache) > _POOL_CACHE_SIZE:

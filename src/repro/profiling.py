@@ -35,6 +35,15 @@ Well-known names (see ``docs/SOLVER_CACHES.md`` for the cache semantics):
 ``parallel.candidates``        candidates scored (parent-side count)
 ``parallel.infeasible``        candidates scored ``inf`` (illegal/infeasible)
 ``parallel.crashed``           candidates that raised unexpected exceptions
+``parallel.pool_failures``     batch attempts lost to a pool-level failure
+``parallel.timeouts``          batches that hit the no-progress timeout
+``parallel.worker_lost``       batches that lost a worker process
+``parallel.retries``           batch retries after a pool failure
+``parallel.worker_replacements``  worker sets killed and respawned
+``parallel.degraded``          pools that fell back to serial evaluation
+``parallel.serial_fallback``   candidates scored on the degraded path
+``faults.injected``            faults fired by :mod:`repro.faults` (also
+                               split per kind: ``faults.injected.<kind>``)
 =============================  =============================================
 """
 

@@ -28,6 +28,7 @@ from ..constants import (
     NUSSELT_NUMBER,
 )
 from ..errors import GeometryError, ThermalError
+from ..faults import SITE_THERMAL_RC4, corrupt
 from ..flow.network import FlowField
 from ..geometry.layers import ChannelLayer, SolidLayer, SourceLayer
 from ..geometry.stack import Stack
@@ -277,7 +278,9 @@ class RC4Simulator:
 
     def solve(self, p_sys: float) -> ThermalResult:
         """Steady temperatures at system pressure drop ``p_sys`` (Pa)."""
-        temperatures = self.system.solve(p_sys)
+        temperatures = corrupt(SITE_THERMAL_RC4, self.system.solve(p_sys))
+        if not np.all(np.isfinite(temperatures)):
+            raise ThermalError("4RM solve produced non-finite temperatures")
         return self._package(p_sys, temperatures)
 
     def node_capacitances(self) -> np.ndarray:

@@ -161,3 +161,55 @@ class TestPeakSearch:
         h = self._h()
         result = min_pressure_for_peak(h, t_max_star=320.0, p_lo=1e2)
         assert result.evaluations > 2
+
+
+class TestErrorPaths:
+    """Violated shape assumptions surface as typed SearchError, never hangs.
+
+    The searches assume the Section 4.1 curve shapes (uni-modal gradient,
+    monotone decreasing peak).  When a caller hands them something else --
+    a degenerate bracket, a curve that rises with pressure -- the contract
+    is a :class:`~repro.errors.SearchError` or an honest infeasible result
+    within the probe budget, never an unbounded loop or a bare exception.
+    """
+
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [(0.0, 1e4), (-1e3, 1e4), (1e4, 1e4), (1e5, 1e3)],
+        ids=["zero-lo", "negative-lo", "empty", "inverted"],
+    )
+    def test_golden_section_rejects_degenerate_bracket(self, lo, hi):
+        with pytest.raises(SearchError, match="lo < hi"):
+            golden_section_minimize(unimodal(), lo, hi)
+
+    def test_peak_search_monotonicity_violation_hits_budget(self):
+        # h *rises* with pressure, violating the monotone-decreasing
+        # assumption: the doubling phase can never bracket a crossing and
+        # must die on the probe budget instead of doubling forever.
+        def rising(p):
+            return 300.0 + p / 1e3
+
+        with pytest.raises(SearchError, match="peak-temperature"):
+            min_pressure_for_peak(
+                rising,
+                t_max_star=250.0,
+                p_lo=1e3,
+                p_max=1e12,
+                max_evaluations=10,
+            )
+
+    def test_algorithm3_nonmonotone_curve_never_lies(self):
+        # An oscillating gradient curve breaks uni-modality outright.  The
+        # search may spend its budget (typed error) or conclude the target
+        # is unreachable -- but it must never hang or report feasibility
+        # the curve does not support.
+        def oscillating(p):
+            return 9.0 + math.sin(math.log(p) * 7.0)
+
+        try:
+            result = minimize_pressure_for_gradient(
+                oscillating, target=7.0, p_init=1e3, max_evaluations=50
+            )
+        except SearchError:
+            return
+        assert not result.feasible

@@ -1,0 +1,57 @@
+"""Shared machinery for the chaos suite: isolation and a hang watchdog.
+
+Every test runs with a clean injection state, clean solver caches, and no
+warm worker pools, so a fault armed by one test can never leak into the
+next.  The :func:`deadline` watchdog converts a hang -- the one failure
+mode the suite exists to rule out -- into an ordinary test failure instead
+of a stuck CI job.
+"""
+
+import _thread
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro import profiling
+from repro.faults import clear_active_plan
+from repro.flow.network import clear_unit_cache
+from repro.optimize.parallel import shutdown_pools
+
+
+@pytest.fixture(autouse=True)
+def _isolate():
+    clear_active_plan()
+    profiling.reset()
+    clear_unit_cache()
+    yield
+    clear_active_plan()
+    shutdown_pools()
+    clear_unit_cache()
+    profiling.reset()
+
+
+@contextmanager
+def deadline(seconds):
+    """Fail (never hang) when the body runs longer than ``seconds``.
+
+    A daemon timer interrupts the main thread, which surfaces here as
+    ``KeyboardInterrupt`` and is converted to ``pytest.fail``.
+    """
+    timer = threading.Timer(seconds, _thread.interrupt_main)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    except KeyboardInterrupt:
+        pytest.fail(
+            f"operation hung: exceeded the {seconds:g}s chaos watchdog"
+        )
+    finally:
+        timer.cancel()
+
+
+@pytest.fixture
+def watchdog():
+    """The :func:`deadline` context manager, as a fixture."""
+    return deadline

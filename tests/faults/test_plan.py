@@ -1,0 +1,188 @@
+"""FaultPlan semantics: determinism, scheduling knobs, pickling, validation."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultConfigError, InjectedFaultError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    KNOWN_KINDS,
+    KNOWN_SITES,
+    SITE_COOLING_PROBLEM1,
+    SITE_FLOW_MATRIX,
+    SITE_PARALLEL_WORKER,
+    SITE_THERMAL_RC2,
+    active_plan,
+    clear_active_plan,
+    corrupt,
+    inject,
+    set_active_plan,
+)
+
+ARRAY = np.arange(6.0)
+
+
+def nan_pattern(plan, hits):
+    """Which of ``hits`` consecutive site hits the plan corrupted."""
+    return [
+        bool(np.isnan(plan.transform(SITE_THERMAL_RC2, ARRAY)).any())
+        for _ in range(hits)
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_replays_identically(self):
+        spec = FaultSpec(site=SITE_THERMAL_RC2, kind="nan", rate=0.5)
+        first = nan_pattern(FaultPlan([spec], seed=11), 50)
+        second = nan_pattern(FaultPlan([spec], seed=11), 50)
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(site=SITE_THERMAL_RC2, kind="nan", rate=0.5)
+        assert nan_pattern(FaultPlan([spec], seed=11), 50) != nan_pattern(
+            FaultPlan([spec], seed=12), 50
+        )
+
+    def test_rate_statistics(self):
+        spec = FaultSpec(site=SITE_THERMAL_RC2, kind="nan", rate=0.3)
+        plan = FaultPlan([spec], seed=5)
+        fired = sum(nan_pattern(plan, 1000))
+        assert plan.fired() == fired
+        assert 230 <= fired <= 370
+
+    def test_rate_one_always_fires(self):
+        spec = FaultSpec(site=SITE_THERMAL_RC2, kind="nan")
+        assert all(nan_pattern(FaultPlan([spec], seed=0), 20))
+
+
+class TestScheduling:
+    def test_max_fires_caps_total(self):
+        plan = FaultPlan(
+            [FaultSpec(site=SITE_THERMAL_RC2, kind="nan", max_fires=3)]
+        )
+        pattern = nan_pattern(plan, 10)
+        assert pattern == [True] * 3 + [False] * 7
+        assert plan.fired() == 3
+        assert plan.hits() == 10
+
+    def test_after_skips_initial_hits(self):
+        plan = FaultPlan(
+            [FaultSpec(site=SITE_THERMAL_RC2, kind="nan", after=4)]
+        )
+        assert nan_pattern(plan, 6) == [False] * 4 + [True] * 2
+
+    def test_untouched_hits_return_value_unchanged(self):
+        plan = FaultPlan(
+            [FaultSpec(site=SITE_THERMAL_RC2, kind="nan", after=1)]
+        )
+        out = plan.transform(SITE_THERMAL_RC2, ARRAY)
+        assert out is ARRAY
+
+    def test_other_sites_not_counted(self):
+        plan = FaultPlan([FaultSpec(site=SITE_THERMAL_RC2, kind="nan")])
+        plan.transform(SITE_FLOW_MATRIX, ARRAY)
+        assert plan.hits() == 0
+
+    def test_raise_infeasible_is_typed(self):
+        plan = FaultPlan(
+            [FaultSpec(site=SITE_COOLING_PROBLEM1, kind="raise-infeasible")]
+        )
+        with pytest.raises(InjectedFaultError, match="cooling"):
+            plan.fire(SITE_COOLING_PROBLEM1)
+
+
+class TestPickling:
+    def test_roundtrip_rearms_counters(self):
+        spec = FaultSpec(site=SITE_THERMAL_RC2, kind="nan", rate=0.5)
+        plan = FaultPlan([spec], seed=21)
+        before = nan_pattern(plan, 30)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.specs == plan.specs
+        assert clone.seed == plan.seed
+        assert clone.fired() == 0
+        # A respawned worker replays the same schedule from the top.
+        assert nan_pattern(clone, 30) == before
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "spec,match",
+        [
+            (FaultSpec(site="nope", kind="nan"), "unknown site"),
+            (FaultSpec(site=SITE_THERMAL_RC2, kind="nope"), "unknown kind"),
+            (
+                FaultSpec(site=SITE_THERMAL_RC2, kind="worker-death"),
+                "cannot attach",
+            ),
+            (
+                FaultSpec(site=SITE_COOLING_PROBLEM1, kind="singular-system"),
+                "cannot attach",
+            ),
+            (FaultSpec(site=SITE_THERMAL_RC2, kind="nan", rate=1.5), "rate"),
+            (
+                FaultSpec(site=SITE_THERMAL_RC2, kind="nan", max_fires=0),
+                "max_fires",
+            ),
+            (FaultSpec(site=SITE_THERMAL_RC2, kind="nan", after=-1), "after"),
+            (
+                FaultSpec(site=SITE_THERMAL_RC2, kind="slow", delay=-0.1),
+                "delay",
+            ),
+        ],
+    )
+    def test_bad_spec_rejected(self, spec, match):
+        with pytest.raises(FaultConfigError, match=match):
+            FaultPlan([spec])
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(FaultConfigError, match="no specs"):
+            FaultPlan([])
+
+    def test_every_kind_names_allowed_sites(self):
+        for kind, sites in KNOWN_KINDS.items():
+            assert sites, kind
+            assert sites <= frozenset(KNOWN_SITES)
+
+
+class TestInjectorScoping:
+    def test_hooks_are_noops_without_plan(self):
+        assert active_plan() is None
+        assert corrupt(SITE_THERMAL_RC2, ARRAY) is ARRAY
+        assert inject(SITE_PARALLEL_WORKER) is None
+
+    def test_context_manager_installs_and_restores(self):
+        plan = FaultPlan([FaultSpec(site=SITE_THERMAL_RC2, kind="nan")])
+        with FaultInjector(plan) as active:
+            assert active is plan
+            assert active_plan() is plan
+            assert np.isnan(corrupt(SITE_THERMAL_RC2, ARRAY)).any()
+        assert active_plan() is None
+
+    def test_nesting_restores_outer_plan(self):
+        outer = FaultPlan([FaultSpec(site=SITE_THERMAL_RC2, kind="nan")])
+        inner = FaultPlan([FaultSpec(site=SITE_THERMAL_RC2, kind="inf")])
+        with FaultInjector(outer):
+            with FaultInjector(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+    def test_restored_on_exception(self):
+        plan = FaultPlan([FaultSpec(site=SITE_THERMAL_RC2, kind="nan")])
+        with pytest.raises(RuntimeError, match="boom"):
+            with FaultInjector(plan):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_set_and_clear_return_previous(self):
+        plan = FaultPlan([FaultSpec(site=SITE_THERMAL_RC2, kind="nan")])
+        assert set_active_plan(plan) is None
+        assert set_active_plan(None) is plan
+        set_active_plan(plan)
+        assert clear_active_plan() is plan
+        assert clear_active_plan() is None

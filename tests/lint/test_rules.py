@@ -92,3 +92,44 @@ def test_unknown_rule_id_rejected():
 def test_missing_path_rejected():
     with pytest.raises(LintError):
         Analyzer(select=["R4"]).run([str(FIXTURES / "does_not_exist.py")])
+
+
+class TestR4BoundaryModules:
+    """R4 sanctions the error-boundary packages by *module path*.
+
+    ``repro.errors`` and ``repro.faults`` deliberately raise builtin
+    exceptions (the crash boundary, the ``raise-crash`` fault kind); any
+    sibling module with the same code must still be flagged.  Module names
+    are resolved by walking up through ``__init__.py`` parents, so the test
+    builds a real package tree.
+    """
+
+    BODY = 'def f():\n    raise RuntimeError("deliberate")\n'
+
+    def _make_tree(self, root, package):
+        path = root
+        for part in package.split("."):
+            path = path / part
+            path.mkdir()
+            (path / "__init__.py").write_text("")
+        mod = path / "mod.py"
+        mod.write_text(self.BODY)
+        return mod
+
+    @pytest.mark.parametrize("package", ["repro.faults", "repro.errors"])
+    def test_boundary_package_is_sanctioned(self, tmp_path, package):
+        mod = self._make_tree(tmp_path, package)
+        report = Analyzer(select=["R4"]).run([str(mod)])
+        assert report.findings == []
+
+    def test_non_boundary_sibling_is_flagged(self, tmp_path):
+        mod = self._make_tree(tmp_path, "repro.chaos")
+        report = Analyzer(select=["R4"]).run([str(mod)])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "R4"
+
+    def test_prefix_lookalike_is_flagged(self, tmp_path):
+        # "repro.faultsextra" must not ride on the "repro.faults" sanction.
+        mod = self._make_tree(tmp_path, "repro.faultsextra")
+        report = Analyzer(select=["R4"]).run([str(mod)])
+        assert len(report.findings) == 1

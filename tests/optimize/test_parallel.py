@@ -241,6 +241,60 @@ class TestPersistentPool:
                 case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, n_workers=0
             )
 
+    def test_shutdown_pools_closes_cached(self, case):
+        from repro.optimize import parallel
+
+        plan = case.tree_plan()
+        shutdown_pools()
+        evaluate_population(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, [plan.params()],
+            fixed_pressure=FIXED_PRESSURE, n_workers=2,
+        )
+        cached = list(parallel._pool_cache.values())
+        assert cached and all(not p.closed for p in cached)
+        shutdown_pools()
+        assert not parallel._pool_cache
+        assert all(p.closed for p in cached)
+
+    def test_closed_cached_pool_is_replaced(self, case):
+        """Closing a cached pool out from under the cache must not poison
+        later calls: the next evaluation builds a fresh pool."""
+        from repro.optimize import parallel
+
+        plan = case.tree_plan()
+        shutdown_pools()
+        profiling.reset()
+        batch = [plan.params()]
+        kwargs = dict(fixed_pressure=FIXED_PRESSURE, n_workers=2)
+        first = evaluate_population(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, batch, **kwargs
+        )
+        for pool in parallel._pool_cache.values():
+            pool.close()
+        second = evaluate_population(
+            case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER, batch, **kwargs
+        )
+        assert second == first
+        assert profiling.counter("parallel.pool_starts") == 2
+
+    def test_cache_eviction_closes_oldest(self, case):
+        """The cache is bounded: overflowing it closes (not leaks) the
+        least-recently-used pool's workers."""
+        from repro.optimize import parallel
+
+        plan = case.tree_plan()
+        shutdown_pools()
+        pools = []
+        for pressure in (1e4, 2e4, 3e4):
+            evaluate_population(
+                case, plan, FIXED_STAGE, PROBLEM_PUMPING_POWER,
+                [plan.params()], fixed_pressure=pressure, n_workers=2,
+            )
+            pools.append(next(reversed(parallel._pool_cache.values())))
+        assert len(parallel._pool_cache) == parallel._POOL_CACHE_SIZE
+        assert pools[0].closed
+        assert not pools[1].closed and not pools[2].closed
+
 
 class TestBatchSA:
     def test_optimizes_quadratic(self):
