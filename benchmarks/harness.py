@@ -14,7 +14,6 @@ profiling counters), giving future PRs a machine-readable perf trajectory.
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -26,6 +25,7 @@ import numpy as np
 
 from repro import profiling
 from repro.analysis import format_table, result_row
+from repro.checkpoint import atomic_write_json
 from repro.analysis.tables import improvement_percent
 from repro.errors import ReproError
 from repro.iccad2015 import CASE_NUMBERS, load_case
@@ -319,11 +319,15 @@ def run_parallel_eval_bench(
 
 
 def write_bench_json(name: str, payload: dict, out_dir: Optional[Path] = None) -> Path:
-    """Persist a benchmark payload as ``benchmarks/out/BENCH_<name>.json``."""
+    """Persist a benchmark payload as ``benchmarks/out/BENCH_<name>.json``.
+
+    Written atomically (temp file + ``os.replace``) so a benchmark killed
+    mid-write never leaves a torn artifact for trend tooling to half-parse.
+    """
     out_dir = Path(__file__).parent / "out" if out_dir is None else Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(path, payload)
     return path
 
 

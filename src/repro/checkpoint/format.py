@@ -1,0 +1,152 @@
+"""The on-disk checkpoint format: header + CRC-validated pickle payload.
+
+A checkpoint file is one ASCII JSON header line followed by a pickled
+payload::
+
+    {"crc32": ..., "magic": "repro-checkpoint", "payload_bytes": ...,
+     "fingerprint": "...", "version": 1}\\n
+    <pickle bytes>
+
+The header carries everything needed to *reject* a file before a single
+payload byte is interpreted:
+
+* ``magic`` -- rules out arbitrary files handed to ``--resume``;
+* ``version`` -- schema version, bumped whenever the payload layout
+  changes, so an old binary never misreads a new checkpoint (or vice
+  versa);
+* ``fingerprint`` -- hash of the run configuration (case, stages, problem,
+  seed...); a checkpoint from a different setup must never silently seed a
+  resume;
+* ``payload_bytes`` + ``crc32`` -- length and CRC of the payload, so a
+  truncated or bit-flipped file fails loudly.
+
+Every rejection path raises a typed
+:class:`~repro.errors.CheckpointError`.  Writes go through
+:func:`repro.checkpoint.atomic.atomic_write_bytes`, so a crash mid-write
+leaves the previous checkpoint intact.
+
+This module is a sanctioned R4 error boundary (``repro-lint-scope:
+error-boundary``): unpickling attacker- or corruption-shaped bytes can
+raise nearly anything (``UnpicklingError``, ``EOFError``,
+``AttributeError``...), and the one ``except Exception`` below exists to
+translate all of it into :class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import zlib
+from pathlib import Path
+from typing import Any, Union
+
+from .. import profiling
+from ..errors import CheckpointError
+from .atomic import atomic_write_bytes
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "fingerprint_of",
+    "read_checkpoint",
+    "write_checkpoint",
+]
+
+#: File-type marker of the header line.
+CHECKPOINT_MAGIC = "repro-checkpoint"
+
+#: Schema version of the pickled payload (bump on any layout change).
+CHECKPOINT_VERSION = 1
+
+
+def fingerprint_of(**fields: Any) -> str:
+    """A stable hex fingerprint of a run configuration.
+
+    Fields are rendered by ``repr`` in sorted key order and hashed with
+    SHA-256; any field whose ``repr`` is stable across processes (ints,
+    strings, tuples, dataclasses with value fields) fingerprints reliably.
+    """
+    canonical = ";".join(
+        f"{key}={fields[key]!r}" for key in sorted(fields)
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def write_checkpoint(
+    path: Union[str, Path], payload: Any, fingerprint: str
+) -> Path:
+    """Serialize ``payload`` and atomically write a checkpoint file."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    header = json.dumps(
+        {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "payload_bytes": len(blob),
+            "crc32": zlib.crc32(blob),
+        },
+        sort_keys=True,
+    )
+    final = atomic_write_bytes(path, header.encode("ascii") + b"\n" + blob)
+    profiling.increment("checkpoint.saves")
+    return final
+
+
+def read_checkpoint(path: Union[str, Path], fingerprint: str) -> Any:
+    """Validate and deserialize a checkpoint written by :func:`write_checkpoint`.
+
+    Raises:
+        CheckpointError: missing/unreadable file, bad magic, schema version
+            skew, fingerprint mismatch, payload length mismatch (partial
+            write), CRC mismatch (corruption), or an unpicklable payload.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+
+    header_line, separator, blob = raw.partition(b"\n")
+    if not separator:
+        raise CheckpointError(
+            f"{path}: not a checkpoint (no header/payload separator)"
+        )
+    try:
+        header = json.loads(header_line.decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"{path}: not a checkpoint (unparsable header)"
+        ) from exc
+    if not isinstance(header, dict) or header.get("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path}: not a repro checkpoint file")
+    version = header.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: schema version {version!r} does not match this "
+            f"build's version {CHECKPOINT_VERSION}; re-run without --resume"
+        )
+    if header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"{path}: checkpoint is from a different run setup (case, "
+            f"stages, problem, seed, or batch shape changed); refusing to "
+            f"resume from mismatched state"
+        )
+    if header.get("payload_bytes") != len(blob):
+        raise CheckpointError(
+            f"{path}: payload is {len(blob)} bytes but the header recorded "
+            f"{header.get('payload_bytes')!r} (partial or truncated write)"
+        )
+    if header.get("crc32") != zlib.crc32(blob):
+        raise CheckpointError(
+            f"{path}: payload CRC mismatch (corrupted checkpoint)"
+        )
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:  # the sanctioned corruption-translation boundary
+        raise CheckpointError(
+            f"{path}: payload passed CRC but failed to deserialize: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    profiling.increment("checkpoint.loads")
+    return payload

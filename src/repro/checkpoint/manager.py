@@ -1,0 +1,118 @@
+"""The run-side checkpoint policy: where, how often, and when to stop.
+
+A :class:`CheckpointManager` owns one checkpoint file (``run.ckpt`` inside
+the chosen directory), the run fingerprint it must match, the iteration
+cadence, and the cooperative-interrupt contract with the run supervisor:
+
+* **Boundaries always persist** -- the runner calls :meth:`save` after
+  every SA round, stage, and direction.
+* **Iterations persist on cadence** -- the SA engines call
+  :meth:`maybe_save` once per iteration with a *factory* so the (cheap but
+  not free) state snapshot is only built when a write is actually due.
+* **Interrupts flush first** -- when the supervisor's ``interrupt_check``
+  reports a stop request, the next hook writes a final checkpoint and then
+  raises :class:`~repro.errors.RunInterrupted`, so the process always exits
+  with its latest state on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Optional, Union
+
+from ..constants import CHECKPOINT_EVERY_ITERATIONS
+from ..errors import CheckpointError, RunInterrupted
+from .format import read_checkpoint, write_checkpoint
+from .state import RunState
+
+__all__ = ["CHECKPOINT_FILENAME", "CheckpointManager"]
+
+#: Name of the checkpoint file inside the checkpoint directory.
+CHECKPOINT_FILENAME = "run.ckpt"
+
+
+class CheckpointManager:
+    """Policy wrapper around one checkpoint file.
+
+    Args:
+        directory: Directory holding the checkpoint (created on first save).
+        fingerprint: Run-configuration fingerprint every save stamps and
+            every load verifies (see :func:`repro.checkpoint.fingerprint_of`).
+        every_iterations: Iteration cadence for :meth:`maybe_save`; ``None``
+            uses :data:`~repro.constants.CHECKPOINT_EVERY_ITERATIONS`.
+        interrupt_check: Optional zero-argument callable polled after every
+            persisted hook; when it returns True the manager raises
+            :class:`~repro.errors.RunInterrupted` (after flushing).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fingerprint: str,
+        every_iterations: Optional[int] = None,
+        interrupt_check: Optional[Callable[[], bool]] = None,
+    ):
+        if every_iterations is not None and every_iterations < 1:
+            raise CheckpointError(
+                f"checkpoint cadence must be >= 1 iteration, "
+                f"got {every_iterations}"
+            )
+        self.directory = Path(directory)
+        self.path = self.directory / CHECKPOINT_FILENAME
+        self.fingerprint = fingerprint
+        self.every_iterations = (
+            CHECKPOINT_EVERY_ITERATIONS
+            if every_iterations is None
+            else int(every_iterations)
+        )
+        self.interrupt_check = interrupt_check
+        self._iterations_since_save = 0
+
+    # -- loading -------------------------------------------------------
+
+    def load(self) -> Optional[RunState]:
+        """The validated :class:`RunState` on disk, or ``None`` when absent.
+
+        A missing file means "fresh run" (so ``--resume`` is safe to pass
+        unconditionally); anything present but invalid raises
+        :class:`~repro.errors.CheckpointError`.
+        """
+        if not self.path.exists():
+            return None
+        state = read_checkpoint(self.path, self.fingerprint)
+        if not isinstance(state, RunState):
+            raise CheckpointError(
+                f"{self.path}: payload is {type(state).__name__}, "
+                f"expected RunState"
+            )
+        return state
+
+    # -- saving --------------------------------------------------------
+
+    def save(self, state: RunState) -> None:
+        """Persist ``state`` now (boundary checkpoint), then honor interrupts."""
+        write_checkpoint(self.path, state, self.fingerprint)
+        self._iterations_since_save = 0
+        self._raise_if_interrupted()
+
+    def maybe_save(self, state_factory: Callable[[], RunState]) -> None:
+        """Iteration hook: persist on cadence or when a stop is requested.
+
+        ``state_factory`` is only invoked when a write actually happens.
+        """
+        self._iterations_since_save += 1
+        due = self._iterations_since_save >= self.every_iterations
+        if due or self._interrupt_requested():
+            self.save(state_factory())
+
+    # -- interrupts ----------------------------------------------------
+
+    def _interrupt_requested(self) -> bool:
+        return self.interrupt_check is not None and bool(self.interrupt_check())
+
+    def _raise_if_interrupted(self) -> None:
+        if self._interrupt_requested():
+            raise RunInterrupted(
+                f"run stopped on request; resume from {self.path}",
+                checkpoint_path=str(self.path),
+            )

@@ -1,0 +1,139 @@
+"""Resume-state dataclasses for the staged SA design flow.
+
+The hierarchy mirrors the nesting of Algorithm 1 exactly::
+
+    RunState                      one run_staged_flow invocation
+    +-- completed: [DirectionRecord]   finished flow directions
+    +-- direction: DirectionCursor     the direction in flight
+        +-- reports: [StageReport]     finished stages of that direction
+        +-- stage: StageCursor         the stage in flight
+            +-- round_*: per-round bests of finished rounds
+            +-- sa: SACursor           the SA round in flight (engine state
+                                       incl. the np.random bit-generator)
+
+Everything here is a plain picklable dataclass; the SA engine's cursor
+(:class:`repro.optimize.annealing.SACursor`) is carried opaquely so this
+module never imports the optimize layer.  All evaluator-side caches and
+counters ride along so a resumed run replays *bitwise* -- same costs, same
+plans, and the same simulation counts (a resumed evaluation hits the
+restored cache exactly where the uninterrupted run hit its live one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "DirectionCursor",
+    "DirectionRecord",
+    "EvaluatorState",
+    "RunState",
+    "StageCursor",
+]
+
+
+@dataclass
+class EvaluatorState:
+    """Snapshot of one ``_CandidateEvaluator`` (cache + counters).
+
+    Attributes:
+        cache: params-bytes -> cost memo.
+        simulations: Thermal simulations the evaluator has spent.
+        group_counter: Problem 2 grouped-evaluation position.
+        group_pressure: Problem 2 group leader's donated pressure, Pa.
+    """
+
+    cache: Dict[bytes, float] = field(default_factory=dict)
+    simulations: int = 0
+    group_counter: int = 0
+    group_pressure: Optional[float] = None
+
+
+@dataclass
+class StageCursor:
+    """Progress inside one stage of one direction.
+
+    Attributes:
+        stage_index: Index into the stage schedule.
+        entry_params: Tree parameters the stage started from.
+        round_index: Next SA round to run (rounds before it are complete).
+        round_states / round_costs / round_histories: Per-round bests of the
+            completed rounds, in round order.
+        evaluator: Serial-path evaluator snapshot (shared across rounds).
+        batch_evals: Candidate evaluations spent by completed rounds'
+            batch evaluators (batch mode only).
+        active_batch_cache: The in-flight round's batch cost cache
+            (batch mode only; ``None`` between rounds).
+        active_batch_evals: Evaluations spent by the in-flight round's
+            batch evaluator.
+        sa: Mid-round SA engine cursor (``None`` at a round boundary).
+    """
+
+    stage_index: int
+    entry_params: Any
+    round_index: int = 0
+    round_states: List[Any] = field(default_factory=list)
+    round_costs: List[float] = field(default_factory=list)
+    round_histories: List[Any] = field(default_factory=list)
+    evaluator: EvaluatorState = field(default_factory=EvaluatorState)
+    batch_evals: int = 0
+    active_batch_cache: Optional[Dict[bytes, float]] = None
+    active_batch_evals: int = 0
+    sa: Optional[Any] = None
+
+
+@dataclass
+class DirectionCursor:
+    """Progress inside one global flow direction.
+
+    Attributes:
+        d_index: Index into the ``directions`` sequence (not the direction
+            value -- resumes must line up positionally with the seeds).
+        fixed_pressure: Stage-1 reference pressure, Pa (``None`` when the
+            schedule has no fixed-pressure stage).
+        params: Tree parameters entering stage ``stage_index``.
+        stage_index: Next stage to run.
+        reports: ``StageReport`` objects of the completed stages.
+        sims_so_far: Simulations accumulated in this direction up to the
+            start of stage ``stage_index`` (reference pressure + completed
+            stages + their re-scoring).
+        stage: In-flight stage cursor (``None`` at a stage boundary).
+    """
+
+    d_index: int
+    fixed_pressure: Optional[float]
+    params: Any
+    stage_index: int = 0
+    reports: List[Any] = field(default_factory=list)
+    sims_so_far: int = 0
+    stage: Optional[StageCursor] = None
+
+
+@dataclass
+class DirectionRecord:
+    """One finished direction: its index and full ``OptimizationResult``."""
+
+    d_index: int
+    result: Any
+
+
+@dataclass
+class RunState:
+    """Everything ``run_staged_flow`` needs to resume bitwise.
+
+    Attributes:
+        completed: Finished directions, in completion order.
+        direction: The direction in flight (``None`` between directions).
+        profiling: ``repro.profiling`` snapshot at save time; merged back
+            into the (fresh) process profiler on resume so counters keep
+            their run-level meaning across the crash.
+    """
+
+    completed: List[DirectionRecord] = field(default_factory=list)
+    direction: Optional[DirectionCursor] = None
+    profiling: Dict[str, Any] = field(default_factory=dict)
+
+    def completed_indices(self) -> List[int]:
+        """The ``d_index`` values of the finished directions."""
+        return [record.d_index for record in self.completed]

@@ -9,11 +9,18 @@ Subcommands mirror the library's main entry points::
     repro render    --network-file design.txt
 
 (also available as ``python -m repro ...``).
+
+Long ``optimize`` runs are supervised when ``--checkpoint-dir`` is given:
+SIGINT/SIGTERM flush a final checkpoint before the process exits with
+:data:`EXIT_INTERRUPTED` (75), and ``--resume`` picks the run back up --
+bitwise -- from whatever the checkpoint captured (see
+:mod:`repro.checkpoint`).
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -26,11 +33,58 @@ from .analysis import (
 )
 from .analysis.model_compare import aggregate_by
 from .cooling import CoolingSystem, evaluate_problem1, evaluate_problem2
-from .errors import ReproError
+from .errors import ReproError, RunInterrupted
 from .iccad2015 import load_case, read_network, write_network
 from .networks import serpentine_network
 from .optimize import optimize_problem1, optimize_problem2
 from .thermal import RC2Simulator, RC4Simulator
+
+#: Exit code of a supervised run stopped by SIGINT/SIGTERM after flushing
+#: its checkpoint (EX_TEMPFAIL: rerun with ``--resume`` to continue).
+EXIT_INTERRUPTED = 75
+
+
+class RunSupervisor:
+    """Translates SIGINT/SIGTERM into a cooperative stop flag.
+
+    Used as a context manager around a checkpointed run: while active, the
+    first SIGINT/SIGTERM sets :meth:`stop_requested` instead of killing the
+    process, the checkpoint layer polls the flag after every write and
+    raises :class:`~repro.errors.RunInterrupted` once it is set -- so the
+    process always exits *after* its latest state reached disk.  A second
+    SIGINT (e.g. an impatient Ctrl-C) falls through to Python's default
+    ``KeyboardInterrupt`` behavior.  Previous handlers are restored on exit.
+    """
+
+    SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self) -> None:
+        self._stop = False
+        self._previous: dict = {}
+
+    def stop_requested(self) -> bool:
+        """True once a stop signal arrived (the ``interrupt_check`` hook)."""
+        return self._stop
+
+    def _handle(self, signum, frame) -> None:
+        if self._stop and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        self._stop = True
+        print(
+            "stop requested; flushing checkpoint at the next safe point "
+            "(interrupt again to abort hard)",
+            file=sys.stderr,
+        )
+
+    def __enter__(self) -> "RunSupervisor":
+        for signum in self.SIGNALS:
+            self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -42,6 +96,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     try:
         args.handler(args)
+    except RunInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -99,6 +156,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="tree-parameter initialization",
     )
     p.add_argument("--out", help="write the winning network to this file")
+    p.add_argument(
+        "--checkpoint-dir",
+        help="write crash-safe checkpoints here; SIGINT/SIGTERM flush a "
+        f"final one and exit with code {EXIT_INTERRUPTED}",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir (bitwise; "
+        "a missing checkpoint just starts fresh)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also checkpoint every N SA iterations (default: "
+        "repro.constants.CHECKPOINT_EVERY_ITERATIONS)",
+    )
     p.set_defaults(handler=_cmd_optimize)
 
     p = sub.add_parser("evaluate", help="evaluate a network file")
@@ -156,16 +232,33 @@ def _cmd_simulate(args) -> None:
 
 
 def _cmd_optimize(args) -> None:
+    if args.resume and not args.checkpoint_dir:
+        raise ReproError("--resume needs --checkpoint-dir")
     case = load_case(args.case, grid_size=args.grid)
     optimizer = optimize_problem1 if args.problem == 1 else optimize_problem2
-    result = optimizer(
-        case,
-        quick=args.quick,
-        directions=tuple(args.directions),
-        seed=args.seed,
-        n_workers=args.workers,
-        initialization=args.init,
-    )
+    if args.checkpoint_dir:
+        with RunSupervisor() as supervisor:
+            result = optimizer(
+                case,
+                quick=args.quick,
+                directions=tuple(args.directions),
+                seed=args.seed,
+                n_workers=args.workers,
+                initialization=args.init,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                checkpoint_every=args.checkpoint_every,
+                interrupt_check=supervisor.stop_requested,
+            )
+    else:
+        result = optimizer(
+            case,
+            quick=args.quick,
+            directions=tuple(args.directions),
+            seed=args.seed,
+            n_workers=args.workers,
+            initialization=args.init,
+        )
     ev = result.evaluation
     status = "feasible" if ev.feasible else "INFEASIBLE"
     print(f"{case}  problem {args.problem}  [{status}]")

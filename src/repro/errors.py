@@ -77,6 +77,35 @@ class WorkerLostError(PoolError):
     """A worker process died (crash, kill, OOM) mid-batch."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint file cannot be trusted for resume.
+
+    Raised by :mod:`repro.checkpoint` whenever a file is not a checkpoint at
+    all, was written by a different schema version, carries a payload whose
+    CRC does not match (truncated/corrupted write), or fingerprints a
+    different run setup (other case, stage list, seed...).  The contract is
+    strict: a resume either restores the exact recorded state or fails with
+    this error -- never a silent wrong-state resume.
+    """
+
+
+class RunInterrupted(ReproError):
+    """A supervised run stopped on request after flushing a checkpoint.
+
+    Raised from inside the staged flow when the run supervisor (SIGINT /
+    SIGTERM handler in :mod:`repro.cli`, or any ``interrupt_check``
+    callback) asked the run to stop; the final checkpoint has already been
+    written when this propagates, so the run can be resumed later.
+
+    Attributes:
+        checkpoint_path: Where the final checkpoint was flushed.
+    """
+
+    def __init__(self, message: str, checkpoint_path: "str | None" = None):
+        super().__init__(message)
+        self.checkpoint_path = checkpoint_path
+
+
 class FaultConfigError(ReproError):
     """A fault-injection plan references an unknown site/kind or bad knobs."""
 

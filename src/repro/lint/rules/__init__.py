@@ -11,6 +11,7 @@ from __future__ import annotations
 from . import (  # noqa: F401  (import for registration side effect)
     cache_keys,
     error_discipline,
+    persistence,
     pool_safety,
     sparse_patterns,
     units_rule,

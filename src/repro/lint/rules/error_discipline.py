@@ -20,7 +20,11 @@ is implemented.  ``repro.faults`` and its submodules are likewise
 sanctioned: its injection sites must be able to *raise* builtin exceptions
 on purpose (the ``raise-crash`` fault kind simulates exactly the untyped
 programming error this rule exists to keep out of library code, so the
-chaos suite can prove ``crash_boundary`` translates it).
+chaos suite can prove ``crash_boundary`` translates it).  ``repro.checkpoint``
+is the third boundary: its reader must translate *any* unpickling failure of
+an untrusted byte payload into a typed
+:class:`~repro.errors.CheckpointError`, which requires one ``except
+Exception`` around ``pickle.loads``.
 """
 
 from __future__ import annotations
@@ -33,9 +37,10 @@ from ..symbols import Project
 
 #: Modules allowed to implement sanctioned boundaries: ``repro.errors``
 #: hosts the one except-Exception crash translator, ``repro.faults`` raises
-#: builtin exceptions *deliberately* at its injection sites.  Submodules
-#: are covered too (prefix match).
-BOUNDARY_MODULES = ("repro.errors", "repro.faults")
+#: builtin exceptions *deliberately* at its injection sites, and
+#: ``repro.checkpoint`` translates arbitrary unpickling failures into typed
+#: ``CheckpointError``s.  Submodules are covered too (prefix match).
+BOUNDARY_MODULES = ("repro.errors", "repro.faults", "repro.checkpoint")
 
 
 def _is_boundary_module(module: str) -> bool:

@@ -9,7 +9,7 @@ evaluation by lowest feasible pumping power (Algorithm 2).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..iccad2015.cases import Case
 from .runner import (
@@ -30,6 +30,10 @@ def optimize_problem1(
     n_workers: int = 1,
     batch_size=None,
     initialization: str = "uniform",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: Optional[int] = None,
+    interrupt_check: Optional[Callable[[], bool]] = None,
 ) -> OptimizationResult:
     """Run the full Problem 1 design flow on one benchmark case.
 
@@ -42,6 +46,9 @@ def optimize_problem1(
         seed: Base RNG seed.
         quick: Use the reduced laptop-scale schedule.
         leaves_per_tree: Tree band size.
+        checkpoint_dir / resume / checkpoint_every / interrupt_check:
+            Crash-safe checkpointing controls, forwarded to
+            :func:`~repro.optimize.runner.run_staged_flow`.
 
     Returns:
         The best design found, with its final 4RM evaluation.
@@ -58,4 +65,8 @@ def optimize_problem1(
         n_workers=n_workers,
         batch_size=batch_size,
         initialization=initialization,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        checkpoint_every=checkpoint_every,
+        interrupt_check=interrupt_check,
     )

@@ -11,7 +11,7 @@ optimal pressure), and the fixed-pressure warm-up stage is dropped.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..iccad2015.cases import Case
 from .runner import (
@@ -32,6 +32,10 @@ def optimize_problem2(
     n_workers: int = 1,
     batch_size=None,
     initialization: str = "uniform",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: Optional[int] = None,
+    interrupt_check: Optional[Callable[[], bool]] = None,
 ) -> OptimizationResult:
     """Run the full Problem 2 design flow on one benchmark case.
 
@@ -51,4 +55,8 @@ def optimize_problem2(
         n_workers=n_workers,
         batch_size=batch_size,
         initialization=initialization,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        checkpoint_every=checkpoint_every,
+        interrupt_check=interrupt_check,
     )

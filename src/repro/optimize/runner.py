@@ -6,6 +6,20 @@ different seeds), re-score the per-round bests with the *next* stage's metric
 and carry the winner forward; the final network is evaluated with the 4RM
 reference model.  The problems differ only in the cost metric and the final
 evaluator, both injected here.
+
+Two run-level disciplines live here:
+
+* **Seeding** -- every (direction, stage, round) derives its own
+  ``np.random.SeedSequence`` child via spawn keys (:func:`_round_seed`), so
+  rounds are statistically independent and the engine RNG state that
+  checkpoints capture is well-defined.
+* **Checkpoint/resume** -- with ``checkpoint_dir`` set, the flow persists a
+  crash-safe checkpoint (see :mod:`repro.checkpoint`) after every direction,
+  stage, and round, plus every few SA iterations inside a round; with
+  ``resume=True`` it restores the checkpoint and finishes the run with
+  *bitwise identical* results (final score, selected plan, and simulation
+  count) to an uninterrupted run -- evaluator caches, grouped-evaluation
+  state, and the SA bit-generator state all ride along.
 """
 
 from __future__ import annotations
@@ -16,6 +30,16 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import profiling
+from ..checkpoint import (
+    CheckpointManager,
+    DirectionCursor,
+    DirectionRecord,
+    EvaluatorState,
+    RunState,
+    StageCursor,
+    fingerprint_of,
+)
 from ..cooling.evaluation import (
     EvaluationResult,
     evaluate_problem1,
@@ -32,7 +56,13 @@ from ..errors import (
 from ..geometry.grid import ChannelGrid
 from ..iccad2015.cases import Case
 from ..networks.tree import TreePlan
-from .annealing import SAConfig, simulated_annealing, simulated_annealing_batch
+from .annealing import (
+    SAConfig,
+    SACursor,
+    SAObserver,
+    simulated_annealing,
+    simulated_annealing_batch,
+)
 from .moves import perturb_tree_params
 from .stages import (
     METRIC_FIXED_PRESSURE_GRADIENT,
@@ -100,6 +130,24 @@ class _CandidateEvaluator:
         self._group_counter = 0
         self._group_pressure: Optional[float] = None
         self._base_stack = case.base_stack()
+
+    # ------------------------------------------------------------------
+
+    def state_snapshot(self) -> EvaluatorState:
+        """A checkpointable copy of the memo cache and scoring counters."""
+        return EvaluatorState(
+            cache=dict(self._cache),
+            simulations=self.simulations,
+            group_counter=self._group_counter,
+            group_pressure=self._group_pressure,
+        )
+
+    def restore_state(self, state: EvaluatorState) -> None:
+        """Restore a :meth:`state_snapshot`; resumed scoring replays bitwise."""
+        self._cache = dict(state.cache)
+        self.simulations = state.simulations
+        self._group_counter = state.group_counter
+        self._group_pressure = state.group_pressure
 
     # ------------------------------------------------------------------
 
@@ -184,6 +232,52 @@ class _CandidateEvaluator:
         return result.delta_t
 
 
+def _round_seed(
+    seed: int, d_index: int, s_index: int, round_i: int
+) -> np.random.SeedSequence:
+    """The (direction, stage, round) child seed, via SeedSequence spawning.
+
+    A ``SeedSequence`` constructed with ``spawn_key=(d, s, r)`` is exactly
+    the ``r``-th spawn of the ``s``-th spawn of the ``d``-th spawn of
+    ``SeedSequence(seed)`` -- nested ``.spawn()`` without the statefulness,
+    so a resumed run reconstructs the identical child without replaying the
+    parent's spawn counter.  Children are statistically independent streams
+    (unlike the additive ``seed + 17 * stage + round`` arithmetic this
+    replaced, which could collide across stages and rounds).
+    """
+    return np.random.SeedSequence(
+        seed, spawn_key=(d_index, s_index, round_i)
+    )
+
+
+def _run_fingerprint(
+    case: Case,
+    stages: Sequence[StageConfig],
+    problem: str,
+    directions: Sequence[int],
+    seed: int,
+    leaves_per_tree: int,
+    effective_batch: int,
+    initialization: str,
+) -> str:
+    """Fingerprint of everything that shapes the search trajectory.
+
+    Worker count is deliberately absent: given a fixed batch size the
+    trajectory does not depend on how many processes score a batch, so a
+    checkpoint may be resumed with different parallelism.
+    """
+    return fingerprint_of(
+        case=(case.number, case.nrows, case.ncols, case.cell_width),
+        stages=tuple(stages),
+        problem=problem,
+        directions=tuple(int(d) for d in directions),
+        seed=int(seed),
+        leaves_per_tree=int(leaves_per_tree),
+        effective_batch=int(effective_batch),
+        initialization=initialization,
+    )
+
+
 def run_staged_flow(
     case: Case,
     stages: Sequence[StageConfig],
@@ -194,6 +288,10 @@ def run_staged_flow(
     n_workers: int = 1,
     batch_size: Optional[int] = None,
     initialization: str = "uniform",
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: Optional[int] = None,
+    interrupt_check: Optional[Callable[[], bool]] = None,
 ) -> OptimizationResult:
     """Run the full staged SA flow and return the best design found.
 
@@ -204,7 +302,8 @@ def run_staged_flow(
             :data:`PROBLEM_THERMAL_GRADIENT`.
         directions: Global flow direction indices to attempt (the paper tries
             all eight and keeps the best).
-        seed: Base RNG seed; rounds and directions derive distinct streams.
+        seed: Base RNG seed; directions, stages and rounds derive
+            independent ``SeedSequence`` children (see :func:`_round_seed`).
         leaves_per_tree: Band size of the tree plan.
         n_workers: Worker processes for neighbor evaluation (the paper used
             64); 1 evaluates in-process.
@@ -215,14 +314,56 @@ def run_staged_flow(
         initialization: ``"uniform"`` (the paper's pre-search init) or
             ``"power_aware"`` (branch positions seeded from per-band power;
             see :func:`repro.networks.tree.power_aware_initialization`).
+        checkpoint_dir: Directory for crash-safe run checkpoints; ``None``
+            disables checkpointing entirely.
+        resume: Restore the checkpoint in ``checkpoint_dir`` when one
+            exists; a checkpoint from a different setup raises
+            :class:`~repro.errors.CheckpointError`.  The resumed run's final
+            result is bitwise identical to an uninterrupted run.
+        checkpoint_every: SA iterations between mid-round checkpoints
+            (default :data:`~repro.constants.CHECKPOINT_EVERY_ITERATIONS`);
+            round/stage/direction boundaries always checkpoint.
+        interrupt_check: Polled after every checkpoint write; returning True
+            stops the run with :class:`~repro.errors.RunInterrupted` *after*
+            the latest state is flushed (the CLI supervisor wires its
+            SIGINT/SIGTERM flag in here).
     """
     if problem not in (PROBLEM_PUMPING_POWER, PROBLEM_THERMAL_GRADIENT):
         raise SearchError(f"unknown problem {problem!r}")
     if not directions:
         raise SearchError("need at least one direction")
-    best: Optional[OptimizationResult] = None
-    total_sims = 0
+    effective_batch = (
+        batch_size
+        if batch_size is not None
+        else (n_workers if n_workers > 1 else 1)
+    )
+
+    manager: Optional[CheckpointManager] = None
+    state: Optional[RunState] = None
+    if checkpoint_dir is not None:
+        manager = CheckpointManager(
+            checkpoint_dir,
+            _run_fingerprint(
+                case, stages, problem, directions, seed, leaves_per_tree,
+                effective_batch, initialization,
+            ),
+            every_iterations=checkpoint_every,
+            interrupt_check=interrupt_check,
+        )
+        if resume:
+            state = manager.load()
+    if state is not None:
+        profiling.merge(state.profiling)
+        profiling.increment("checkpoint.resumes")
+    else:
+        state = RunState()
+
+    results: Dict[int, OptimizationResult] = {
+        record.d_index: record.result for record in state.completed
+    }
     for d_index, direction in enumerate(directions):
+        if d_index in results:
+            continue
         plan = case.tree_plan(
             direction=direction, leaves_per_tree=leaves_per_tree
         )
@@ -236,16 +377,36 @@ def run_staged_flow(
                 f"unknown initialization {initialization!r}; "
                 "use 'uniform' or 'power_aware'"
             )
+        cursor = None
+        if state.direction is not None and state.direction.d_index == d_index:
+            cursor = state.direction
         result = _run_one_direction(
             case,
             plan,
             stages,
             problem,
-            seed + 1000 * d_index,
+            seed=seed,
+            d_index=d_index,
             n_workers=n_workers,
-            batch_size=batch_size,
+            effective_batch=effective_batch,
+            manager=manager,
+            run_state=state,
+            cursor=cursor,
         )
-        total_sims += result.total_simulations
+        results[d_index] = result
+        state.completed.append(DirectionRecord(d_index=d_index, result=result))
+        state.direction = None
+        if manager is not None:
+            state.profiling = profiling.snapshot()
+            manager.save(state)
+
+    total_sims = sum(
+        results[d_index].total_simulations
+        for d_index in range(len(directions))
+    )
+    best: Optional[OptimizationResult] = None
+    for d_index in range(len(directions)):
+        result = results[d_index]
         if best is None or result.evaluation.score < best.evaluation.score:
             best = result
     assert best is not None
@@ -259,81 +420,146 @@ def _run_one_direction(
     stages: Sequence[StageConfig],
     problem: str,
     seed: int,
+    d_index: int,
     n_workers: int = 1,
-    batch_size: Optional[int] = None,
+    effective_batch: int = 1,
+    manager: Optional[CheckpointManager] = None,
+    run_state: Optional[RunState] = None,
+    cursor: Optional[DirectionCursor] = None,
 ) -> OptimizationResult:
-    effective_batch = (
-        batch_size
-        if batch_size is not None
-        else (n_workers if n_workers > 1 else 1)
-    )
-    params = plan.params()
-    reports: List[StageReport] = []
-    total_sims = 0
+    if run_state is None:
+        run_state = RunState()
+    if cursor is None:
+        params = plan.params()
+        fixed_pressure: Optional[float] = None
+        pre_sims = 0
+        if any(s.metric == METRIC_FIXED_PRESSURE_GRADIENT for s in stages):
+            fixed_pressure, pre_sims = _reference_pressure(
+                case, plan, stages[0], problem
+            )
+        cursor = DirectionCursor(
+            d_index=d_index,
+            fixed_pressure=fixed_pressure,
+            params=params,
+            sims_so_far=pre_sims,
+        )
+        run_state.direction = cursor
+        _save_boundary(manager, run_state)
+    else:
+        run_state.direction = cursor
 
-    fixed_pressure = None
-    if any(s.metric == METRIC_FIXED_PRESSURE_GRADIENT for s in stages):
-        fixed_pressure, sims = _reference_pressure(case, plan, stages[0], problem)
-        total_sims += sims
+    fixed_pressure = cursor.fixed_pressure
+    reports: List[StageReport] = cursor.reports
+    params = np.asarray(cursor.params)
 
-    for s_index, stage in enumerate(stages):
+    for s_index in range(cursor.stage_index, len(stages)):
+        stage = stages[s_index]
+        stage_cursor = cursor.stage
+        if stage_cursor is None or stage_cursor.stage_index != s_index:
+            stage_cursor = StageCursor(stage_index=s_index, entry_params=params)
+            cursor.stage = stage_cursor
+        params = np.asarray(stage_cursor.entry_params)
         evaluator = _CandidateEvaluator(
             case, plan, stage, problem, fixed_pressure
         )
+        evaluator.restore_state(stage_cursor.evaluator)
 
         def neighbor(state: np.ndarray, rng: np.random.Generator) -> np.ndarray:
             return plan.clamp_params(
                 perturb_tree_params(state, stage.step, rng)
             )
 
-        round_bests: List[Tuple[np.ndarray, float]] = []
-        round_histories: List[object] = []
-        batch_evals = [0]
-        for round_i in range(stage.rounds):
+        for round_i in range(stage_cursor.round_index, stage.rounds):
+            sa_cursor: Optional[SACursor] = stage_cursor.sa
             config = SAConfig(
                 iterations=stage.iterations,
-                seed=seed + 17 * s_index + round_i,
+                seed=_round_seed(seed, d_index, s_index, round_i),
                 stall_limit=max(stage.iterations // 2, 8),
             )
             if effective_batch > 1:
-                batch_cost = _make_batch_cost(
-                    case, plan, stage, problem, fixed_pressure,
-                    n_workers, batch_evals,
+                batch_cost = _BatchCost(
+                    case,
+                    plan,
+                    stage,
+                    problem,
+                    fixed_pressure,
+                    n_workers,
+                    cache=(
+                        stage_cursor.active_batch_cache
+                        if sa_cursor is not None
+                        else None
+                    ),
+                    evals=(
+                        stage_cursor.active_batch_evals
+                        if sa_cursor is not None
+                        else 0
+                    ),
                 )
-                state, cost, history = simulated_annealing_batch(
-                    params, batch_cost, neighbor, config, effective_batch
+                observer = _make_observer(
+                    manager, run_state, stage_cursor, evaluator, batch_cost
                 )
+                best_state, cost, history = simulated_annealing_batch(
+                    params,
+                    batch_cost,
+                    neighbor,
+                    config,
+                    effective_batch,
+                    observer=observer,
+                    cursor=sa_cursor,
+                )
+                stage_cursor.batch_evals += batch_cost.evals
             else:
-                state, cost, history = simulated_annealing(
-                    params, evaluator, neighbor, config
+                observer = _make_observer(
+                    manager, run_state, stage_cursor, evaluator, None
                 )
-            round_bests.append((state, cost))
-            round_histories.append(history)
-        total_sims += evaluator.simulations + batch_evals[0]
+                best_state, cost, history = simulated_annealing(
+                    params, evaluator, neighbor, config,
+                    observer=observer, cursor=sa_cursor,
+                )
+            stage_cursor.round_states.append(best_state)
+            stage_cursor.round_costs.append(cost)
+            stage_cursor.round_histories.append(history)
+            stage_cursor.round_index = round_i + 1
+            stage_cursor.sa = None
+            stage_cursor.active_batch_cache = None
+            stage_cursor.active_batch_evals = 0
+            stage_cursor.evaluator = evaluator.state_snapshot()
+            _save_boundary(manager, run_state)
 
+        round_bests: List[Tuple[np.ndarray, float]] = list(
+            zip(stage_cursor.round_states, stage_cursor.round_costs)
+        )
         # Re-score per-round bests with the next stage's metric when it
         # differs, then carry the winner into the next stage.
         next_stage = stages[s_index + 1] if s_index + 1 < len(stages) else stage
+        rescore_sims = 0
         if (next_stage.metric, next_stage.model) != (stage.metric, stage.model):
             rescorer = _CandidateEvaluator(
                 case, plan, next_stage, problem, fixed_pressure
             )
             scored = [(state, rescorer(state)) for state, _ in round_bests]
-            total_sims += rescorer.simulations
+            rescore_sims = rescorer.simulations
         else:
             scored = round_bests
         scored.sort(key=lambda item: item[1])
         params = scored[0][0]
+        stage_sims = evaluator.simulations + stage_cursor.batch_evals
         reports.append(
             StageReport(
                 stage=stage.name,
-                round_best_costs=[cost for _, cost in round_bests],
+                round_best_costs=list(stage_cursor.round_costs),
                 selected_cost=scored[0][1],
-                simulations=evaluator.simulations + batch_evals[0],
-                histories=round_histories,
+                simulations=stage_sims,
+                histories=list(stage_cursor.round_histories),
             )
         )
+        cursor.sims_so_far += stage_sims + rescore_sims
+        cursor.stage_index = s_index + 1
+        cursor.params = params
+        cursor.stage = None
+        _save_boundary(manager, run_state)
 
+    params = np.asarray(cursor.params)
     final_plan = plan.with_params(params)
     network = final_plan.build()
     system = CoolingSystem.for_network(
@@ -351,15 +577,55 @@ def _run_one_direction(
         evaluation = evaluate_problem2(
             system, case.t_max_star, case.w_pump_star()
         )
-    total_sims += system.n_simulations
     return OptimizationResult(
         plan=final_plan,
         network=network,
         evaluation=evaluation,
         direction=final_plan.direction,
         stage_reports=reports,
-        total_simulations=total_sims,
+        total_simulations=cursor.sims_so_far + system.n_simulations,
     )
+
+
+def _save_boundary(
+    manager: Optional[CheckpointManager], run_state: RunState
+) -> None:
+    """Unconditional boundary checkpoint (round / stage / direction edges)."""
+    if manager is None:
+        return
+    run_state.profiling = profiling.snapshot()
+    manager.save(run_state)
+
+
+def _make_observer(
+    manager: Optional[CheckpointManager],
+    run_state: RunState,
+    stage_cursor: StageCursor,
+    evaluator: _CandidateEvaluator,
+    batch_cost: Optional["_BatchCost"],
+) -> Optional[SAObserver]:
+    """The per-iteration checkpoint hook handed to the SA engine.
+
+    The state snapshot (evaluator cache copy, batch cache copy, profiling)
+    is built lazily inside the factory, so iterations that do not hit the
+    cadence pay only a counter increment.
+    """
+    if manager is None:
+        return None
+
+    def observe(sa_cursor: SACursor) -> None:
+        def build() -> RunState:
+            stage_cursor.sa = sa_cursor
+            stage_cursor.evaluator = evaluator.state_snapshot()
+            if batch_cost is not None:
+                stage_cursor.active_batch_cache = dict(batch_cost.cache)
+                stage_cursor.active_batch_evals = batch_cost.evals
+            run_state.profiling = profiling.snapshot()
+            return run_state
+
+        manager.maybe_save(build)
+
+    return observe
 
 
 def _reference_pressure(
@@ -385,48 +651,62 @@ def _reference_pressure(
     return evaluation.p_sys, system.n_simulations
 
 
-def _make_batch_cost(
-    case: Case,
-    plan: TreePlan,
-    stage: StageConfig,
-    problem: str,
-    fixed_pressure: Optional[float],
-    n_workers: int,
-    counter: list,
-):
+class _BatchCost:
     """A caching batch evaluator over :func:`evaluate_population`.
 
-    Parallel dispatch goes through the module-level persistent-pool cache of
-    :mod:`repro.optimize.parallel`: every batch of the same stage (across SA
-    iterations and rounds) reuses one warm worker pool.
+    One instance per SA round.  Parallel dispatch goes through the
+    module-level persistent-pool cache of :mod:`repro.optimize.parallel`:
+    every batch of the same stage (across SA iterations and rounds) reuses
+    one warm worker pool.  The memo ``cache`` and the ``evals`` counter are
+    checkpointable (and restorable) so a mid-round resume replays the same
+    cache hits -- and therefore the same evaluation counts -- as the
+    uninterrupted run.
     """
-    from .. import profiling
-    from .parallel import evaluate_population
 
-    cache: Dict[bytes, float] = {}
+    def __init__(
+        self,
+        case: Case,
+        plan: TreePlan,
+        stage: StageConfig,
+        problem: str,
+        fixed_pressure: Optional[float],
+        n_workers: int,
+        cache: Optional[Dict[bytes, float]] = None,
+        evals: int = 0,
+    ):
+        self.case = case
+        self.plan = plan
+        self.stage = stage
+        self.problem = problem
+        self.fixed_pressure = fixed_pressure
+        self.n_workers = n_workers
+        self.cache: Dict[bytes, float] = dict(cache) if cache else {}
+        self.evals = int(evals)
 
-    def batch_cost(states):
+    def __call__(self, states: Sequence[np.ndarray]) -> List[float]:
+        from .parallel import evaluate_population
+
         missing = []
         for state in states:
             key = np.asarray(state, dtype=int).tobytes()
-            if key not in cache:
+            if key not in self.cache:
                 missing.append((key, state))
         profiling.increment(
             "optimize.batch_cache_hits", len(states) - len(missing)
         )
         if missing:
             costs = evaluate_population(
-                case,
-                plan,
-                stage,
-                problem,
+                self.case,
+                self.plan,
+                self.stage,
+                self.problem,
                 [state for _, state in missing],
-                fixed_pressure=fixed_pressure,
-                n_workers=n_workers,
+                fixed_pressure=self.fixed_pressure,
+                n_workers=self.n_workers,
             )
             for (key, _), cost in zip(missing, costs):
-                cache[key] = cost
-            counter[0] += len(missing)
-        return [cache[np.asarray(s, dtype=int).tobytes()] for s in states]
-
-    return batch_cost
+                self.cache[key] = cost
+            self.evals += len(missing)
+        return [
+            self.cache[np.asarray(s, dtype=int).tobytes()] for s in states
+        ]

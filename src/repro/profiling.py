@@ -44,6 +44,11 @@ Well-known names (see ``docs/SOLVER_CACHES.md`` for the cache semantics):
 ``parallel.serial_fallback``   candidates scored on the degraded path
 ``faults.injected``            faults fired by :mod:`repro.faults` (also
                                split per kind: ``faults.injected.<kind>``)
+``optimize.batch_cache_hits``  batch-mode candidates served from the
+                               per-round memo instead of re-evaluated
+``checkpoint.saves``           checkpoints written (boundary + cadence)
+``checkpoint.loads``           checkpoints read back and validated
+``checkpoint.resumes``         staged-flow runs that continued a prior run
 =============================  =============================================
 """
 

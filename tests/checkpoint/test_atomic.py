@@ -1,0 +1,57 @@
+"""Atomic-write primitives: whole-file-or-nothing semantics."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+def test_bytes_roundtrip(tmp_path):
+    path = tmp_path / "artifact.bin"
+    returned = atomic_write_bytes(path, b"\x00\x01payload")
+    assert returned == path
+    assert path.read_bytes() == b"\x00\x01payload"
+
+
+def test_overwrite_replaces_whole_file(tmp_path):
+    path = tmp_path / "artifact.txt"
+    atomic_write_text(path, "a much longer first version\n")
+    atomic_write_text(path, "v2\n")
+    assert path.read_text() == "v2\n"
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    path = tmp_path / "artifact.txt"
+    atomic_write_text(path, "one")
+    atomic_write_text(path, "two")
+    assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+
+def test_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "nested" / "artifact.json"
+    atomic_write_json(path, {"ok": True})
+    assert json.loads(path.read_text()) == {"ok": True}
+
+
+def test_json_is_sorted_and_newline_terminated(tmp_path):
+    path = tmp_path / "payload.json"
+    atomic_write_json(path, {"b": 2, "a": 1})
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')
+    assert json.loads(text) == {"a": 1, "b": 2}
+
+
+def test_failed_serialization_never_touches_destination(tmp_path):
+    path = tmp_path / "payload.json"
+    atomic_write_json(path, {"ok": True})
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"bad": object()})
+    # The old artifact survives intact and no temp litter appears.
+    assert json.loads(path.read_text()) == {"ok": True}
+    assert [p.name for p in tmp_path.iterdir()] == ["payload.json"]

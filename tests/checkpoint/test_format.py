@@ -1,0 +1,137 @@
+"""Checkpoint format: roundtrip plus every typed rejection path.
+
+The acceptance bar of the checkpoint tentpole's validation half: corrupt,
+truncated, mismatched, or alien files handed to ``--resume`` must fail with
+a :class:`~repro.errors.CheckpointError` -- never resume from silently wrong
+state.
+"""
+
+import json
+import pickle
+import zlib
+
+import pytest
+
+from repro import profiling
+from repro.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    fingerprint_of,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.errors import CheckpointError, ReproError
+
+FP = fingerprint_of(case=1, seed=0)
+
+
+@pytest.fixture
+def ckpt(tmp_path):
+    path = tmp_path / "run.ckpt"
+    write_checkpoint(path, {"stage": 2, "rounds": [1.5, 2.5]}, FP)
+    return path
+
+
+def _rewrite_header(path, **overrides):
+    """Rewrite the header line with ``overrides``, keeping the payload."""
+    header_line, _, blob = path.read_bytes().partition(b"\n")
+    header = json.loads(header_line)
+    header.update(overrides)
+    path.write_bytes(json.dumps(header).encode() + b"\n" + blob)
+
+
+def test_roundtrip(ckpt):
+    assert read_checkpoint(ckpt, FP) == {"stage": 2, "rounds": [1.5, 2.5]}
+
+
+def test_save_and_load_counters(tmp_path):
+    profiling.reset()
+    path = tmp_path / "run.ckpt"
+    write_checkpoint(path, [1, 2], FP)
+    read_checkpoint(path, FP)
+    counters = profiling.snapshot()["counters"]
+    assert counters["checkpoint.saves"] == 1
+    assert counters["checkpoint.loads"] == 1
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_checkpoint(tmp_path / "absent.ckpt", FP)
+
+
+def test_error_is_a_repro_error(ckpt):
+    # Callers catching the library-wide base must see checkpoint rejections.
+    with pytest.raises(ReproError):
+        read_checkpoint(ckpt, "wrong-fingerprint")
+
+
+def test_fingerprint_mismatch_rejected(ckpt):
+    other = fingerprint_of(case=2, seed=0)
+    with pytest.raises(CheckpointError, match="different run setup"):
+        read_checkpoint(ckpt, other)
+
+
+def test_version_skew_rejected(ckpt):
+    _rewrite_header(ckpt, version=CHECKPOINT_VERSION + 1)
+    with pytest.raises(CheckpointError, match="schema version"):
+        read_checkpoint(ckpt, FP)
+
+
+def test_bad_magic_rejected(ckpt):
+    _rewrite_header(ckpt, magic="not-a-checkpoint")
+    with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+        read_checkpoint(ckpt, FP)
+
+
+def test_crc_corruption_rejected(ckpt):
+    raw = bytearray(ckpt.read_bytes())
+    raw[-1] ^= 0xFF  # flip bits in the last payload byte
+    ckpt.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointError, match="CRC mismatch"):
+        read_checkpoint(ckpt, FP)
+
+
+def test_partial_file_rejected(ckpt):
+    raw = ckpt.read_bytes()
+    ckpt.write_bytes(raw[: len(raw) - 7])  # simulate a torn write
+    with pytest.raises(CheckpointError, match="partial or truncated"):
+        read_checkpoint(ckpt, FP)
+
+
+def test_headerless_file_rejected(tmp_path):
+    path = tmp_path / "junk.ckpt"
+    path.write_bytes(b"no newline separator at all")
+    with pytest.raises(CheckpointError, match="no header/payload separator"):
+        read_checkpoint(path, FP)
+
+
+def test_unparsable_header_rejected(tmp_path):
+    path = tmp_path / "junk.ckpt"
+    path.write_bytes(b"{truncated json\n" + pickle.dumps({}))
+    with pytest.raises(CheckpointError, match="unparsable header"):
+        read_checkpoint(path, FP)
+
+
+def test_valid_crc_bad_pickle_rejected(tmp_path):
+    # A payload that passes every integrity check but is not a pickle:
+    # the deserialization boundary must still produce a typed error.
+    blob = b"definitely not a pickle stream"
+    header = json.dumps(
+        {
+            "magic": CHECKPOINT_MAGIC,
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": FP,
+            "payload_bytes": len(blob),
+            "crc32": zlib.crc32(blob),
+        }
+    )
+    path = tmp_path / "run.ckpt"
+    path.write_bytes(header.encode() + b"\n" + blob)
+    with pytest.raises(CheckpointError, match="failed to deserialize"):
+        read_checkpoint(path, FP)
+
+
+def test_fingerprint_is_order_insensitive_and_value_sensitive():
+    assert fingerprint_of(a=1, b="x") == fingerprint_of(b="x", a=1)
+    assert fingerprint_of(a=1) != fingerprint_of(a=2)
+    assert fingerprint_of(a=1) != fingerprint_of(b=1)

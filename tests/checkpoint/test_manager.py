@@ -1,0 +1,92 @@
+"""CheckpointManager policy: cadence, boundaries, interrupt flushing."""
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_FILENAME,
+    CheckpointManager,
+    RunState,
+    write_checkpoint,
+)
+from repro.errors import CheckpointError, RunInterrupted
+
+FP = "f" * 64
+
+
+def test_load_missing_is_fresh_run(tmp_path):
+    manager = CheckpointManager(tmp_path, FP)
+    assert manager.load() is None
+
+
+def test_save_load_roundtrip(tmp_path):
+    manager = CheckpointManager(tmp_path, FP)
+    state = RunState(profiling={"counters": {"x": 1}})
+    manager.save(state)
+    assert (tmp_path / CHECKPOINT_FILENAME).exists()
+    loaded = manager.load()
+    assert isinstance(loaded, RunState)
+    assert loaded.profiling == {"counters": {"x": 1}}
+    assert loaded.completed == []
+
+
+def test_non_runstate_payload_rejected(tmp_path):
+    write_checkpoint(tmp_path / CHECKPOINT_FILENAME, {"not": "a RunState"}, FP)
+    manager = CheckpointManager(tmp_path, FP)
+    with pytest.raises(CheckpointError, match="expected RunState"):
+        manager.load()
+
+
+def test_invalid_cadence_rejected(tmp_path):
+    with pytest.raises(CheckpointError, match="cadence"):
+        CheckpointManager(tmp_path, FP, every_iterations=0)
+
+
+def test_maybe_save_obeys_cadence_and_is_lazy(tmp_path):
+    manager = CheckpointManager(tmp_path, FP, every_iterations=3)
+    built = []
+
+    def factory():
+        built.append(True)
+        return RunState()
+
+    for _ in range(2):
+        manager.maybe_save(factory)
+    assert built == []  # below cadence: the snapshot is never built
+    assert not (tmp_path / CHECKPOINT_FILENAME).exists()
+    manager.maybe_save(factory)
+    assert built == [True]
+    assert (tmp_path / CHECKPOINT_FILENAME).exists()
+
+
+def test_boundary_save_resets_cadence_counter(tmp_path):
+    manager = CheckpointManager(tmp_path, FP, every_iterations=2)
+    manager.maybe_save(RunState)  # 1 of 2
+    manager.save(RunState())  # boundary: counter back to zero
+    built = []
+    manager.maybe_save(lambda: built.append(True) or RunState())  # 1 of 2
+    assert built == []
+
+
+def test_interrupt_flushes_then_raises(tmp_path):
+    manager = CheckpointManager(
+        tmp_path, FP, interrupt_check=lambda: True
+    )
+    with pytest.raises(RunInterrupted) as excinfo:
+        manager.save(RunState())
+    # The state reached disk before the stop surfaced, and the exception
+    # carries the path so supervisors can tell the user where to resume.
+    assert excinfo.value.checkpoint_path == str(tmp_path / CHECKPOINT_FILENAME)
+    assert isinstance(manager.load(), RunState)
+
+
+def test_interrupt_overrides_cadence(tmp_path):
+    stop = [False]
+    manager = CheckpointManager(
+        tmp_path, FP, every_iterations=1000, interrupt_check=lambda: stop[0]
+    )
+    manager.maybe_save(RunState)
+    assert not (tmp_path / CHECKPOINT_FILENAME).exists()
+    stop[0] = True
+    with pytest.raises(RunInterrupted):
+        manager.maybe_save(RunState)
+    assert (tmp_path / CHECKPOINT_FILENAME).exists()

@@ -1,0 +1,23 @@
+"""Fixture: non-atomic persistence of run artifacts (R6 violations)."""
+
+import json
+import pickle
+from pathlib import Path
+
+
+def dump_results(payload, path):
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+
+def dump_state(state, path):
+    with open(path, "wb") as fh:
+        pickle.dump(state, fh)
+
+
+def write_bench(payload, path):
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def write_blob(state, fh):
+    fh.write(pickle.dumps(state))

@@ -1,0 +1,22 @@
+"""Fixture: R6-clean persistence -- atomic writes and non-file serializing."""
+
+import json
+
+from repro.checkpoint import atomic_write_json, write_checkpoint
+
+
+def save_results(payload, path):
+    atomic_write_json(path, payload)
+
+
+def save_state(state, path, fingerprint):
+    write_checkpoint(path, state, fingerprint)
+
+
+def render(payload):
+    # Serializing to a string for stdout/logs is not persistence.
+    return json.dumps(payload, indent=2)
+
+
+def announce(payload):
+    print(json.dumps(payload))

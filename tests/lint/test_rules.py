@@ -20,6 +20,7 @@ BAD_FIXTURES = [
     ("R3", "r3_bad.py", 4),
     ("R4", "r4_bad.py", 3),
     ("R5", "r5_bad.py", 5),
+    ("R6", "r6_bad.py", 4),
 ]
 
 GOOD_FIXTURES = [
@@ -28,6 +29,7 @@ GOOD_FIXTURES = [
     ("R3", "r3_good.py"),
     ("R4", "r4_good.py"),
     ("R5", "r5_good.py"),
+    ("R6", "r6_good.py"),
 ]
 
 
@@ -65,6 +67,20 @@ def test_r4_covers_all_three_shapes():
     assert "bare except" in messages
     assert "except Exception" in messages
     assert "raise ValueError" in messages
+
+
+def test_r6_covers_every_persistence_shape():
+    report = run_rule("R6", "r6_bad.py")
+    messages = " | ".join(f.message for f in report.findings)
+    assert "json.dump()" in messages
+    assert "pickle.dump()" in messages
+    assert ".write_text(json.dumps(...))" in messages
+    assert ".write(pickle.dumps(...))" in messages
+
+
+def test_r6_names_the_sanctioned_helpers():
+    report = run_rule("R6", "r6_bad.py")
+    assert all("repro.checkpoint" in f.message for f in report.findings)
 
 
 def test_r5_flags_every_anti_pattern_kind():
@@ -116,7 +132,9 @@ class TestR4BoundaryModules:
         mod.write_text(self.BODY)
         return mod
 
-    @pytest.mark.parametrize("package", ["repro.faults", "repro.errors"])
+    @pytest.mark.parametrize(
+        "package", ["repro.faults", "repro.errors", "repro.checkpoint"]
+    )
     def test_boundary_package_is_sanctioned(self, tmp_path, package):
         mod = self._make_tree(tmp_path, package)
         report = Analyzer(select=["R4"]).run([str(mod)])
@@ -133,3 +151,43 @@ class TestR4BoundaryModules:
         mod = self._make_tree(tmp_path, "repro.faultsextra")
         report = Analyzer(select=["R4"]).run([str(mod)])
         assert len(report.findings) == 1
+
+
+class TestR6BoundaryModule:
+    """R6 sanctions ``repro.checkpoint`` (and submodules) by module path."""
+
+    BODY = (
+        "import json\n"
+        "def save(payload, fh):\n"
+        "    json.dump(payload, fh)\n"
+    )
+
+    def _make_module(self, root, package):
+        path = root
+        for part in package.split("."):
+            path = path / part
+            path.mkdir()
+            (path / "__init__.py").write_text("")
+        mod = path / "mod.py"
+        mod.write_text(self.BODY)
+        return mod
+
+    def test_checkpoint_package_is_sanctioned(self, tmp_path):
+        mod = self._make_module(tmp_path, "repro.checkpoint")
+        report = Analyzer(select=["R6"]).run([str(mod)])
+        assert report.findings == []
+
+    def test_lookalike_package_is_flagged(self, tmp_path):
+        mod = self._make_module(tmp_path, "repro.checkpointing")
+        report = Analyzer(select=["R6"]).run([str(mod)])
+        assert len(report.findings) == 1
+        assert report.findings[0].rule == "R6"
+
+    def test_atomic_io_scope_is_sanctioned(self, tmp_path):
+        mod = tmp_path / "scoped.py"
+        mod.write_text(
+            '"""Scoped fixture.\n\nrepro-lint-scope: atomic-io\n"""\n'
+            + self.BODY
+        )
+        report = Analyzer(select=["R6"]).run([str(mod)])
+        assert report.findings == []
