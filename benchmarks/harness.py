@@ -23,9 +23,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro import profiling
+from repro import profiling, telemetry
 from repro.analysis import format_table, result_row
 from repro.checkpoint import atomic_write_json
+from repro.telemetry.export import write_chrome_trace
 from repro.analysis.tables import improvement_percent
 from repro.errors import ReproError
 from repro.iccad2015 import CASE_NUMBERS, load_case
@@ -315,6 +316,9 @@ def run_parallel_eval_bench(
         "parity_serial_vs_persistent": serial_costs == persistent_costs,
         "counters": counters_snapshot["counters"],
         "timers": counters_snapshot["timers"],
+        # p50/p90/p99 summaries (not raw buckets) per latency histogram, so
+        # BENCH_*.json generations stay diffable at a glance.
+        "histograms": profiling.histogram_summaries(counters_snapshot),
     }
 
 
@@ -350,14 +354,25 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-size", type=int, default=4, help="candidates per batch")
     parser.add_argument("--workers", type=int, default=4, help="worker processes")
     parser.add_argument("--out", type=Path, default=None, help="output directory")
+    parser.add_argument(
+        "--trace-out", type=Path, default=None, metavar="TRACE.json",
+        help="also record spans and export a Chrome trace-event JSON here",
+    )
     args = parser.parse_args(argv)
 
+    if args.trace_out is not None:
+        telemetry.set_tracing(True)
     result = _BENCHES[args.bench](
         grid_size=args.grid,
         n_batches=args.batches,
         batch_size=args.batch_size,
         n_workers=args.workers,
     )
+    if args.trace_out is not None:
+        write_chrome_trace(args.trace_out)
+        telemetry.set_tracing(False)
+        telemetry.clear_spans()
+        print(f"[trace: {args.trace_out}]")
     print(
         f"{args.bench}: seed {result['seed_seconds']:.2f}s, persistent "
         f"{result['persistent_seconds']:.2f}s, speedup "

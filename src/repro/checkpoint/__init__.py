@@ -24,7 +24,12 @@ Layers, bottom to top:
 """
 
 from ..errors import CheckpointError, RunInterrupted
-from .atomic import atomic_write_bytes, atomic_write_json, atomic_write_text
+from .atomic import (
+    append_jsonl,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
 from .format import (
     CHECKPOINT_MAGIC,
     CHECKPOINT_VERSION,
@@ -53,6 +58,7 @@ __all__ = [
     "RunInterrupted",
     "RunState",
     "StageCursor",
+    "append_jsonl",
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",

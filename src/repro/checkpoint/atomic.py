@@ -23,7 +23,12 @@ import tempfile
 from pathlib import Path
 from typing import Any, Union
 
-__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+__all__ = [
+    "append_jsonl",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+]
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -80,3 +85,25 @@ def atomic_write_json(path: Union[str, Path], payload: Any, indent: int = 2) -> 
     return atomic_write_text(
         path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
     )
+
+
+def append_jsonl(path: Union[str, Path], record: Any, fsync: bool = True) -> Path:
+    """Append one JSON record as a single line to ``path``; returns the path.
+
+    The crash-safe append counterpart to :func:`atomic_write_bytes` for
+    streaming artifacts (run-event logs): the record is serialized fully in
+    memory first, emitted in one ``write`` call in ``O_APPEND`` mode, then
+    flushed (and ``fsync``'d unless ``fsync=False``).  A crash can therefore
+    only tear the *last* line, which JSONL readers skip; every earlier
+    record stays intact.  Pass ``fsync=False`` for high-rate streams where
+    per-record durability is not worth a disk flush.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    with open(path, "ab") as handle:
+        handle.write(line.encode("utf-8"))
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    return path

@@ -22,6 +22,7 @@ from typing import Any, Callable, Optional, Union
 
 from ..constants import CHECKPOINT_EVERY_ITERATIONS
 from ..errors import CheckpointError, RunInterrupted
+from ..telemetry import span
 from .format import read_checkpoint, write_checkpoint
 from .state import RunState
 
@@ -79,7 +80,8 @@ class CheckpointManager:
         """
         if not self.path.exists():
             return None
-        state = read_checkpoint(self.path, self.fingerprint)
+        with span("checkpoint.load"):
+            state = read_checkpoint(self.path, self.fingerprint)
         if not isinstance(state, RunState):
             raise CheckpointError(
                 f"{self.path}: payload is {type(state).__name__}, "
@@ -91,7 +93,8 @@ class CheckpointManager:
 
     def save(self, state: RunState) -> None:
         """Persist ``state`` now (boundary checkpoint), then honor interrupts."""
-        write_checkpoint(self.path, state, self.fingerprint)
+        with span("checkpoint.save"):
+            write_checkpoint(self.path, state, self.fingerprint)
         self._iterations_since_save = 0
         self._raise_if_interrupted()
 

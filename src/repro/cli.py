@@ -24,6 +24,7 @@ import signal
 import sys
 from typing import List, Optional
 
+from . import telemetry
 from .analysis import (
     compare_models,
     format_table,
@@ -31,6 +32,8 @@ from .analysis import (
     render_network,
     source_layer_map,
 )
+from .telemetry import runlog
+from .telemetry.export import write_chrome_trace
 from .analysis.model_compare import aggregate_by
 from .cooling import CoolingSystem, evaluate_problem1, evaluate_problem2
 from .errors import ReproError, RunInterrupted
@@ -175,6 +178,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also checkpoint every N SA iterations (default: "
         "repro.constants.CHECKPOINT_EVERY_ITERATIONS)",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="TRACE.json",
+        help="record spans (parent + workers) and export a Chrome "
+        "trace-event JSON here; open it in Perfetto or chrome://tracing",
+    )
+    p.add_argument(
+        "--run-log",
+        metavar="RUN.jsonl",
+        help="append typed run events (per SA iteration/round/stage) to "
+        "this JSONL file; analyze with `python -m repro.telemetry report`",
+    )
+    p.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --run-log: also sample the profiling counters into "
+        "run.metrics records at most every SECONDS seconds",
+    )
     p.set_defaults(handler=_cmd_optimize)
 
     p = sub.add_parser("evaluate", help="evaluate a network file")
@@ -234,10 +257,36 @@ def _cmd_simulate(args) -> None:
 def _cmd_optimize(args) -> None:
     if args.resume and not args.checkpoint_dir:
         raise ReproError("--resume needs --checkpoint-dir")
+    if args.metrics_interval is not None and not args.run_log:
+        raise ReproError("--metrics-interval needs --run-log")
     case = load_case(args.case, grid_size=args.grid)
     optimizer = optimize_problem1 if args.problem == 1 else optimize_problem2
-    if args.checkpoint_dir:
-        with RunSupervisor() as supervisor:
+    prev_tracing = (
+        telemetry.set_tracing(True) if args.trace_out else None
+    )
+    prev_log = (
+        runlog.set_run_log(
+            runlog.RunLog(args.run_log, metrics_interval=args.metrics_interval)
+        )
+        if args.run_log
+        else None
+    )
+    try:
+        if args.checkpoint_dir:
+            with RunSupervisor() as supervisor:
+                result = optimizer(
+                    case,
+                    quick=args.quick,
+                    directions=tuple(args.directions),
+                    seed=args.seed,
+                    n_workers=args.workers,
+                    initialization=args.init,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=args.resume,
+                    checkpoint_every=args.checkpoint_every,
+                    interrupt_check=supervisor.stop_requested,
+                )
+        else:
             result = optimizer(
                 case,
                 quick=args.quick,
@@ -245,20 +294,18 @@ def _cmd_optimize(args) -> None:
                 seed=args.seed,
                 n_workers=args.workers,
                 initialization=args.init,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=args.resume,
-                checkpoint_every=args.checkpoint_every,
-                interrupt_check=supervisor.stop_requested,
             )
-    else:
-        result = optimizer(
-            case,
-            quick=args.quick,
-            directions=tuple(args.directions),
-            seed=args.seed,
-            n_workers=args.workers,
-            initialization=args.init,
-        )
+    finally:
+        # Restore the globals and flush artifacts even when the run was
+        # interrupted or failed -- a partial trace of a crashed run is
+        # exactly what you want to look at.
+        if args.run_log:
+            runlog.set_run_log(prev_log)
+        if args.trace_out:
+            write_chrome_trace(args.trace_out)
+            telemetry.set_tracing(prev_tracing)
+            telemetry.clear_spans()
+            print(f"[trace: {args.trace_out}]", file=sys.stderr)
     ev = result.evaluation
     status = "feasible" if ev.feasible else "INFEASIBLE"
     print(f"{case}  problem {args.problem}  [{status}]")

@@ -26,6 +26,7 @@ from ..constants import (
     PRESSURE_MIN,
     PRESSURE_SEARCH_RTOL,
 )
+from .. import telemetry
 from ..faults import SITE_COOLING_PROBLEM1, SITE_COOLING_PROBLEM2, inject
 from .pressure_search import (
     golden_section_minimize,
@@ -98,33 +99,34 @@ def evaluate_problem1(
     binary search suffices), and re-checks both constraints at the new point.
     """
     inject(SITE_COOLING_PROBLEM1)
-    before = system.n_simulations
-    search = minimize_pressure_for_gradient(
-        system.delta_t,
-        delta_t_star,
-        p_init=p_init,
-        r_init=r_init,
-        rtol=rtol,
-        p_max=p_max,
-    )
-    p_sys = search.p_sys
-    if system.delta_t(p_sys) > delta_t_star * (1.0 + rtol):
-        return _result(system, p_sys, math.inf, False, before)
-
-    if system.t_max(p_sys) > t_max_star:
-        peak = min_pressure_for_peak(
-            system.t_max, t_max_star, p_sys, rtol=rtol, p_max=p_max
+    with telemetry.span("cooling.evaluate_problem1"):
+        before = system.n_simulations
+        search = minimize_pressure_for_gradient(
+            system.delta_t,
+            delta_t_star,
+            p_init=p_init,
+            r_init=r_init,
+            rtol=rtol,
+            p_max=p_max,
         )
-        p_sys = peak.p_sys
-        # Raising the pressure may have crossed the gradient minimum onto the
-        # rising side; both constraints must hold at the final point.
-        if (
-            system.delta_t(p_sys) > delta_t_star * (1.0 + rtol)
-            or system.t_max(p_sys) > t_max_star * (1.0 + rtol)
-        ):
+        p_sys = search.p_sys
+        if system.delta_t(p_sys) > delta_t_star * (1.0 + rtol):
             return _result(system, p_sys, math.inf, False, before)
 
-    return _result(system, p_sys, system.w_pump(p_sys), True, before)
+        if system.t_max(p_sys) > t_max_star:
+            peak = min_pressure_for_peak(
+                system.t_max, t_max_star, p_sys, rtol=rtol, p_max=p_max
+            )
+            p_sys = peak.p_sys
+            # Raising the pressure may have crossed the gradient minimum onto
+            # the rising side; both constraints must hold at the final point.
+            if (
+                system.delta_t(p_sys) > delta_t_star * (1.0 + rtol)
+                or system.t_max(p_sys) > t_max_star * (1.0 + rtol)
+            ):
+                return _result(system, p_sys, math.inf, False, before)
+
+        return _result(system, p_sys, system.w_pump(p_sys), True, before)
 
 
 def evaluate_problem2(
@@ -144,34 +146,35 @@ def evaluate_problem2(
     at ``P*`` when ``f`` is still falling, else by golden-section search.
     """
     inject(SITE_COOLING_PROBLEM2)
-    before = system.n_simulations
-    p_cap = system.p_sys_for_power(w_pump_star)
-    if p_cap <= p_min:
-        return _result(system, p_min, math.inf, False, before)
-    if system.t_max(p_cap) > t_max_star:
-        return _result(system, p_cap, math.inf, False, before)
+    with telemetry.span("cooling.evaluate_problem2"):
+        before = system.n_simulations
+        p_cap = system.p_sys_for_power(w_pump_star)
+        if p_cap <= p_min:
+            return _result(system, p_min, math.inf, False, before)
+        if system.t_max(p_cap) > t_max_star:
+            return _result(system, p_cap, math.inf, False, before)
 
-    peak = min_pressure_for_peak(
-        system.t_max, t_max_star, p_min, rtol=rtol, p_max=p_cap
-    )
-    p_lo = min(peak.p_sys, p_cap) if peak.feasible else p_cap
-
-    # Probe whether f is still falling at the cap.
-    p_probe = max(p_lo, p_cap * (1.0 - 4.0 * rtol))
-    falling = (
-        p_probe >= p_cap
-        or system.delta_t(p_cap) <= system.delta_t(p_probe)
-    )
-    if falling:
-        p_best = p_cap
-    else:
-        search = golden_section_minimize(
-            system.delta_t, max(p_lo, p_min), p_cap, rtol=rtol
+        peak = min_pressure_for_peak(
+            system.t_max, t_max_star, p_min, rtol=rtol, p_max=p_cap
         )
-        p_best = search.p_sys
-        # Never exceed the cap; never go below the peak-feasible floor.
-        p_best = min(max(p_best, p_lo), p_cap)
-    return _result(system, p_best, system.delta_t(p_best), True, before)
+        p_lo = min(peak.p_sys, p_cap) if peak.feasible else p_cap
+
+        # Probe whether f is still falling at the cap.
+        p_probe = max(p_lo, p_cap * (1.0 - 4.0 * rtol))
+        falling = (
+            p_probe >= p_cap
+            or system.delta_t(p_cap) <= system.delta_t(p_probe)
+        )
+        if falling:
+            p_best = p_cap
+        else:
+            search = golden_section_minimize(
+                system.delta_t, max(p_lo, p_min), p_cap, rtol=rtol
+            )
+            p_best = search.p_sys
+            # Never exceed the cap; never go below the peak-feasible floor.
+            p_best = min(max(p_best, p_lo), p_cap)
+        return _result(system, p_best, system.delta_t(p_best), True, before)
 
 
 def _result(

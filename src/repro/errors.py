@@ -110,6 +110,15 @@ class FaultConfigError(ReproError):
     """A fault-injection plan references an unknown site/kind or bad knobs."""
 
 
+class TelemetryError(ReproError):
+    """A telemetry artifact or configuration cannot be trusted.
+
+    Raised by :mod:`repro.profiling` / :mod:`repro.telemetry` on histogram
+    bucket-bound mismatches, malformed run-log files (corruption anywhere
+    other than a torn final line), or invalid report/export requests.
+    """
+
+
 class InjectedFaultError(ReproError):
     """A deliberate fault raised by :mod:`repro.faults` as a *library* error.
 

@@ -20,7 +20,7 @@ import numpy as np
 from scipy.sparse import csc_matrix
 from scipy.sparse.linalg import MatrixRankWarning, splu
 
-from .. import profiling
+from .. import profiling, telemetry
 from ..constants import EDGE_CONDUCTANCE_FACTOR
 from ..errors import FlowError
 from ..faults import SITE_FLOW_MATRIX, SITE_FLOW_PRESSURES, corrupt
@@ -170,9 +170,10 @@ class FlowField:
             for name in _UNIT_FIELDS:
                 setattr(self, name, cached[name])
             return
-        with profiling.timer("flow.unit_solve"):
-            self._assemble()
-            self._solve_unit()
+        with telemetry.span("flow.unit_solve", cells=self.n):
+            with profiling.timer("flow.unit_solve"):
+                self._assemble()
+                self._solve_unit()
         profiling.increment("flow.unit_solves")
         entry = {name: getattr(self, name) for name in _UNIT_FIELDS}
         for value in entry.values():

@@ -14,5 +14,6 @@ from . import (  # noqa: F401  (import for registration side effect)
     persistence,
     pool_safety,
     sparse_patterns,
+    telemetry_names,
     units_rule,
 )

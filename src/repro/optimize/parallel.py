@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .. import faults, profiling
+from .. import faults, profiling, telemetry
 from ..constants import (
     CANDIDATE_TIMEOUT,
     POOL_BACKOFF_BASE,
@@ -67,6 +67,7 @@ from ..errors import (
 from ..faults import SITE_PARALLEL_DISPATCH, SITE_PARALLEL_WORKER
 from ..iccad2015.cases import Case
 from ..networks.tree import TreePlan
+from ..telemetry import SIZE_BUCKET_BOUNDS, TelemetryConfig, runlog
 from .stages import METRIC_MIN_GRADIENT_CAPPED, StageConfig
 
 __all__ = [
@@ -90,14 +91,27 @@ _WORKER_EVALUATOR = None
 
 
 def _init_worker(
-    case, plan, stage, problem, fixed_pressure, fault_plan=None
+    case,
+    plan,
+    stage,
+    problem,
+    fixed_pressure,
+    fault_plan=None,
+    telemetry_config=None,
 ) -> None:
-    """Pool initializer: build this worker's evaluator exactly once."""
+    """Pool initializer: build this worker's evaluator exactly once.
+
+    Also re-arms the ambient fault plan and the parent's telemetry
+    configuration (tracing on/off, span capacity), so respawned workers
+    behave identically to the ones they replaced.
+    """
     global _WORKER_EVALUATOR
     from .runner import _CandidateEvaluator
 
     if fault_plan is not None:
         faults.set_active_plan(fault_plan)
+    if telemetry_config is not None:
+        telemetry_config.apply()
     _WORKER_EVALUATOR = _CandidateEvaluator(
         case, plan, stage, problem, fixed_pressure
     )
@@ -120,11 +134,14 @@ def _score_candidate(evaluator, params: np.ndarray) -> float:
 
 
 def _score_in_worker(params: np.ndarray):
-    """Worker entry point: score one candidate, return (cost, counters).
+    """Worker entry point: score one candidate.
 
-    The worker's profiling counters are reset around each candidate so the
-    returned snapshot is a per-candidate delta the parent can merge into its
-    own profiler -- solver-reuse statistics survive the process boundary.
+    Returns ``(cost, counters, spans)``: the worker's profiling counters
+    are reset around each candidate so the returned snapshot is a
+    per-candidate delta the parent can merge into its own profiler, and the
+    worker's span buffer is drained the same way -- solver-reuse statistics
+    and trace timelines both survive the process boundary.  ``spans`` is
+    empty (and free) when tracing is off.
 
     The ``parallel.worker`` injection site lives here -- and only here, so
     worker-death faults can never fire in the parent's serial-degradation
@@ -133,13 +150,15 @@ def _score_in_worker(params: np.ndarray):
     by :func:`~repro.errors.crash_boundary` and propagates.
     """
     profiling.reset()
+    telemetry.clear_spans()
     try:
         with crash_boundary(f"fault injection at {SITE_PARALLEL_WORKER}"):
             faults.inject(SITE_PARALLEL_WORKER)
     except ReproError:
-        return math.inf, profiling.snapshot()
-    cost = _score_candidate(_WORKER_EVALUATOR, params)
-    return cost, profiling.snapshot()
+        return math.inf, profiling.snapshot(), telemetry.drain_spans()
+    with telemetry.span("parallel.candidate"):
+        cost = _score_candidate(_WORKER_EVALUATOR, params)
+    return cost, profiling.snapshot(), telemetry.drain_spans()
 
 
 # ---------------------------------------------------------------------------
@@ -197,6 +216,11 @@ class PersistentEvaluationPool:
         #: Strong references keep ``id()``-based cache keys valid.
         self.context = (case, plan, stage, problem, fixed_pressure)
         self.fault_plan = fault_plan
+        #: Captured once at construction and shipped to every worker
+        #: (including respawns), like the fault plan.  Flipping tracing in
+        #: the parent therefore requires a new pool -- which the module
+        #: cache key guarantees.
+        self.telemetry_config = TelemetryConfig.current()
         self.n_workers = int(n_workers)
         self.timeout = float(timeout)
         self.max_retries = int(max_retries)
@@ -213,7 +237,7 @@ class PersistentEvaluationPool:
         self._executor = ProcessPoolExecutor(
             max_workers=self.n_workers,
             initializer=_init_worker,
-            initargs=self.context + (self.fault_plan,),
+            initargs=self.context + (self.fault_plan, self.telemetry_config),
         )
 
     def evaluate(self, params_list: Sequence[np.ndarray]) -> List[float]:
@@ -231,8 +255,12 @@ class PersistentEvaluationPool:
         if not payloads:
             return []
         faults.inject(SITE_PARALLEL_DISPATCH)
-        with profiling.timer("parallel.batch"):
-            costs = self._evaluate_resilient(payloads)
+        profiling.observe(
+            "parallel.batch_size", len(payloads), bounds=SIZE_BUCKET_BOUNDS
+        )
+        with telemetry.span("parallel.batch", candidates=len(payloads)):
+            with profiling.timer("parallel.batch"):
+                costs = self._evaluate_resilient(payloads)
         profiling.increment("parallel.batches")
         profiling.increment("parallel.candidates", len(costs))
         profiling.increment(
@@ -267,6 +295,17 @@ class PersistentEvaluationPool:
                     raise
                 else:
                     profiling.increment("parallel.retries")
+                    telemetry.instant(
+                        "parallel.retry",
+                        attempt=retries + 1,
+                        pending=len(payloads) - len(results),
+                    )
+                    runlog.emit_event(
+                        "pool.retry",
+                        attempt=retries + 1,
+                        pending=len(payloads) - len(results),
+                        consecutive_failures=self._consecutive_failures,
+                    )
                     time.sleep(
                         min(
                             self.backoff_base * (2.0 ** retries),
@@ -302,6 +341,9 @@ class PersistentEvaluationPool:
                 )
                 if not done:
                     profiling.increment("parallel.timeouts")
+                    telemetry.instant(
+                        "parallel.timeout", pending=len(remaining)
+                    )
                     raise WorkerTimeoutError(
                         f"no candidate completed within {self.timeout:g} s "
                         f"({len(remaining)} of {len(futures)} still pending)"
@@ -310,9 +352,12 @@ class PersistentEvaluationPool:
                     remaining.discard(future)
                     index = futures[future]
                     try:
-                        cost, worker_snapshot = future.result()
+                        cost, worker_snapshot, worker_spans = future.result()
                     except BrokenProcessPool as exc:
                         profiling.increment("parallel.worker_lost")
+                        telemetry.instant(
+                            "parallel.worker_lost", candidate=index
+                        )
                         raise WorkerLostError(
                             f"worker process died while scoring candidate "
                             f"{index}"
@@ -322,6 +367,7 @@ class PersistentEvaluationPool:
                         raise
                     results[index] = float(cost)
                     profiling.merge(worker_snapshot)
+                    telemetry.extend_spans(worker_spans)
         finally:
             for future in futures:
                 future.cancel()
@@ -352,6 +398,15 @@ class PersistentEvaluationPool:
             return
         self._degraded = True
         profiling.increment("parallel.degraded")
+        telemetry.instant(
+            "parallel.degraded",
+            consecutive_failures=self._consecutive_failures,
+        )
+        runlog.emit_event(
+            "pool.degraded",
+            consecutive_failures=self._consecutive_failures,
+            n_workers=self.n_workers,
+        )
         self._terminate_workers()
         self._executor.shutdown(wait=False, cancel_futures=True)
 
@@ -415,8 +470,9 @@ def _cached_pool(
     # references to its context objects, pinning their ids.  The pressure is
     # quantized like every other float cache key in the repo, so an
     # epsilon-perturbed context reuses the warm pool.  The ambient fault
-    # plan (chaos runs) joins the key so a plan change never reuses workers
-    # armed with a stale schedule.
+    # plan (chaos runs) and telemetry configuration join the key so a plan
+    # change -- or flipping tracing on/off -- never reuses workers armed
+    # with a stale setup.
     fault_plan = faults.active_plan()
     quantized_pressure = (
         None if fixed_pressure is None else quantize_key(fixed_pressure)
@@ -429,6 +485,7 @@ def _cached_pool(
         quantized_pressure,
         n_workers,
         None if fault_plan is None else id(fault_plan),
+        TelemetryConfig.current(),
     )
     pool = _pool_cache.get(key)
     if pool is not None and not pool.closed:

@@ -25,12 +25,13 @@ Two run-level disciplines live here:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import profiling
+from .. import profiling, telemetry
 from ..checkpoint import (
     CheckpointManager,
     DirectionCursor,
@@ -56,6 +57,7 @@ from ..errors import (
 from ..geometry.grid import ChannelGrid
 from ..iccad2015.cases import Case
 from ..networks.tree import TreePlan
+from ..telemetry import runlog
 from .annealing import (
     SAConfig,
     SACursor,
@@ -170,7 +172,10 @@ class _CandidateEvaluator:
         key = np.asarray(params, dtype=int).tobytes()
         if key in self._cache:
             return self._cache[key]
-        cost = self._score(np.asarray(params, dtype=int))
+        # Cache misses only: the histogram measures real scoring work, so a
+        # warm cache shows up as fewer observations, not faster ones.
+        with profiling.timer("optimize.candidate"):
+            cost = self._score(np.asarray(params, dtype=int))
         self._cache[key] = cost
         return cost
 
@@ -337,16 +342,31 @@ def run_staged_flow(
         if batch_size is not None
         else (n_workers if n_workers > 1 else 1)
     )
+    fingerprint = _run_fingerprint(
+        case, stages, problem, directions, seed, leaves_per_tree,
+        effective_batch, initialization,
+    )
+    run_started = time.perf_counter()
+    runlog.emit_event(
+        "run.start",
+        problem=problem,
+        case_number=case.number,
+        grid_size=case.nrows,
+        directions=[int(d) for d in directions],
+        seed=int(seed),
+        stages=[s.name for s in stages],
+        n_workers=int(n_workers),
+        batch_size=int(effective_batch),
+        initialization=initialization,
+        fingerprint=fingerprint,
+    )
 
     manager: Optional[CheckpointManager] = None
     state: Optional[RunState] = None
     if checkpoint_dir is not None:
         manager = CheckpointManager(
             checkpoint_dir,
-            _run_fingerprint(
-                case, stages, problem, directions, seed, leaves_per_tree,
-                effective_batch, initialization,
-            ),
+            fingerprint,
             every_iterations=checkpoint_every,
             interrupt_check=interrupt_check,
         )
@@ -355,6 +375,13 @@ def run_staged_flow(
     if state is not None:
         profiling.merge(state.profiling)
         profiling.increment("checkpoint.resumes")
+        resume_cursor = _resume_cursor_fields(state)
+        telemetry.instant(
+            "checkpoint.resume", fingerprint=fingerprint, **resume_cursor
+        )
+        runlog.emit_event(
+            "checkpoint.resume", fingerprint=fingerprint, **resume_cursor
+        )
     else:
         state = RunState()
 
@@ -380,18 +407,29 @@ def run_staged_flow(
         cursor = None
         if state.direction is not None and state.direction.d_index == d_index:
             cursor = state.direction
-        result = _run_one_direction(
-            case,
-            plan,
-            stages,
-            problem,
-            seed=seed,
+        with telemetry.span(
+            "optimize.direction", d_index=d_index, direction=int(direction)
+        ):
+            result = _run_one_direction(
+                case,
+                plan,
+                stages,
+                problem,
+                seed=seed,
+                d_index=d_index,
+                n_workers=n_workers,
+                effective_batch=effective_batch,
+                manager=manager,
+                run_state=state,
+                cursor=cursor,
+            )
+        runlog.emit_event(
+            "direction.end",
             d_index=d_index,
-            n_workers=n_workers,
-            effective_batch=effective_batch,
-            manager=manager,
-            run_state=state,
-            cursor=cursor,
+            direction=int(direction),
+            score=result.evaluation.score,
+            feasible=result.evaluation.feasible,
+            simulations=result.total_simulations,
         )
         results[d_index] = result
         state.completed.append(DirectionRecord(d_index=d_index, result=result))
@@ -411,7 +449,32 @@ def run_staged_flow(
             best = result
     assert best is not None
     best.total_simulations = total_sims
+    runlog.emit_event(
+        "run.end",
+        score=best.evaluation.score,
+        feasible=best.evaluation.feasible,
+        direction=best.direction,
+        total_simulations=total_sims,
+        seconds=time.perf_counter() - run_started,
+        histograms=profiling.histogram_summaries(),
+    )
     return best
+
+
+def _resume_cursor_fields(state: RunState) -> Dict[str, object]:
+    """Where a restored checkpoint picks up, flattened for events/traces."""
+    fields: Dict[str, object] = {
+        "completed_directions": len(state.completed)
+    }
+    if state.direction is not None:
+        fields["d_index"] = state.direction.d_index
+        fields["stage_index"] = state.direction.stage_index
+        stage_cursor = state.direction.stage
+        if stage_cursor is not None:
+            fields["round_index"] = stage_cursor.round_index
+            if stage_cursor.sa is not None:
+                fields["sa_iteration"] = stage_cursor.sa.iteration
+    return fields
 
 
 def _run_one_direction(
@@ -476,46 +539,63 @@ def _run_one_direction(
                 seed=_round_seed(seed, d_index, s_index, round_i),
                 stall_limit=max(stage.iterations // 2, 8),
             )
-            if effective_batch > 1:
-                batch_cost = _BatchCost(
-                    case,
-                    plan,
-                    stage,
-                    problem,
-                    fixed_pressure,
-                    n_workers,
-                    cache=(
-                        stage_cursor.active_batch_cache
-                        if sa_cursor is not None
-                        else None
-                    ),
-                    evals=(
-                        stage_cursor.active_batch_evals
-                        if sa_cursor is not None
-                        else 0
-                    ),
-                )
-                observer = _make_observer(
-                    manager, run_state, stage_cursor, evaluator, batch_cost
-                )
-                best_state, cost, history = simulated_annealing_batch(
-                    params,
-                    batch_cost,
-                    neighbor,
-                    config,
-                    effective_batch,
-                    observer=observer,
-                    cursor=sa_cursor,
-                )
-                stage_cursor.batch_evals += batch_cost.evals
-            else:
-                observer = _make_observer(
-                    manager, run_state, stage_cursor, evaluator, None
-                )
-                best_state, cost, history = simulated_annealing(
-                    params, evaluator, neighbor, config,
-                    observer=observer, cursor=sa_cursor,
-                )
+            labels = {
+                "d_index": d_index,
+                "stage": stage.name,
+                "round": round_i,
+            }
+            with telemetry.span("optimize.round", **labels):
+                if effective_batch > 1:
+                    batch_cost = _BatchCost(
+                        case,
+                        plan,
+                        stage,
+                        problem,
+                        fixed_pressure,
+                        n_workers,
+                        cache=(
+                            stage_cursor.active_batch_cache
+                            if sa_cursor is not None
+                            else None
+                        ),
+                        evals=(
+                            stage_cursor.active_batch_evals
+                            if sa_cursor is not None
+                            else 0
+                        ),
+                    )
+                    observer = _make_observer(
+                        manager, run_state, stage_cursor, evaluator,
+                        batch_cost, labels,
+                    )
+                    best_state, cost, history = simulated_annealing_batch(
+                        params,
+                        batch_cost,
+                        neighbor,
+                        config,
+                        effective_batch,
+                        observer=observer,
+                        cursor=sa_cursor,
+                    )
+                    stage_cursor.batch_evals += batch_cost.evals
+                else:
+                    observer = _make_observer(
+                        manager, run_state, stage_cursor, evaluator,
+                        None, labels,
+                    )
+                    best_state, cost, history = simulated_annealing(
+                        params, evaluator, neighbor, config,
+                        observer=observer, cursor=sa_cursor,
+                    )
+            runlog.emit_event(
+                "round.end",
+                **labels,
+                best_cost=cost,
+                accepted=history.accepted,
+                proposed=history.proposed,
+                acceptance_rate=history.acceptance_rate,
+                iterations=len(history.best_costs),
+            )
             stage_cursor.round_states.append(best_state)
             stage_cursor.round_costs.append(cost)
             stage_cursor.round_histories.append(history)
@@ -537,7 +617,15 @@ def _run_one_direction(
             rescorer = _CandidateEvaluator(
                 case, plan, next_stage, problem, fixed_pressure
             )
-            scored = [(state, rescorer(state)) for state, _ in round_bests]
+            with telemetry.span(
+                "optimize.rescore",
+                d_index=d_index,
+                stage=stage.name,
+                candidates=len(round_bests),
+            ):
+                scored = [
+                    (state, rescorer(state)) for state, _ in round_bests
+                ]
             rescore_sims = rescorer.simulations
         else:
             scored = round_bests
@@ -553,6 +641,14 @@ def _run_one_direction(
                 histories=list(stage_cursor.round_histories),
             )
         )
+        runlog.emit_event(
+            "stage.end",
+            d_index=d_index,
+            stage=stage.name,
+            selected_cost=scored[0][1],
+            simulations=stage_sims,
+            rescore_sims=rescore_sims,
+        )
         cursor.sims_so_far += stage_sims + rescore_sims
         cursor.stage_index = s_index + 1
         cursor.params = params
@@ -562,21 +658,22 @@ def _run_one_direction(
     params = np.asarray(cursor.params)
     final_plan = plan.with_params(params)
     network = final_plan.build()
-    system = CoolingSystem.for_network(
-        case.base_stack(),
-        network,
-        case.coolant,
-        model="4rm",
-        inlet_temperature=case.inlet_temperature,
-    )
-    if problem == PROBLEM_PUMPING_POWER:
-        evaluation = evaluate_problem1(
-            system, case.delta_t_star, case.t_max_star
+    with telemetry.span("optimize.final_eval", d_index=d_index):
+        system = CoolingSystem.for_network(
+            case.base_stack(),
+            network,
+            case.coolant,
+            model="4rm",
+            inlet_temperature=case.inlet_temperature,
         )
-    else:
-        evaluation = evaluate_problem2(
-            system, case.t_max_star, case.w_pump_star()
-        )
+        if problem == PROBLEM_PUMPING_POWER:
+            evaluation = evaluate_problem1(
+                system, case.delta_t_star, case.t_max_star
+            )
+        else:
+            evaluation = evaluate_problem2(
+                system, case.t_max_star, case.w_pump_star()
+            )
     return OptimizationResult(
         plan=final_plan,
         network=network,
@@ -603,17 +700,38 @@ def _make_observer(
     stage_cursor: StageCursor,
     evaluator: _CandidateEvaluator,
     batch_cost: Optional["_BatchCost"],
+    labels: Optional[Dict[str, object]] = None,
 ) -> Optional[SAObserver]:
-    """The per-iteration checkpoint hook handed to the SA engine.
+    """The per-iteration hook handed to the SA engine.
 
-    The state snapshot (evaluator cache copy, batch cache copy, profiling)
-    is built lazily inside the factory, so iterations that do not hit the
-    cadence pay only a counter increment.
+    Serves two consumers from one callback: the checkpoint cadence (when a
+    ``manager`` is present) and the run-event stream (when a run log is
+    active), which gets one typed ``sa.iteration`` record per iteration
+    carrying ``labels`` (direction/stage/round) plus the engine state.  The
+    checkpoint snapshot (evaluator cache copy, batch cache copy, profiling)
+    is still built lazily, so iterations that do not hit the cadence pay
+    only a counter increment.
     """
-    if manager is None:
+    log = runlog.active_run_log()
+    if manager is None and log is None:
         return None
 
     def observe(sa_cursor: SACursor) -> None:
+        if log is not None:
+            log.emit(
+                "sa.iteration",
+                **(labels or {}),
+                iteration=sa_cursor.iteration,
+                current_cost=sa_cursor.current_cost,
+                best_cost=sa_cursor.best_cost,
+                temperature=sa_cursor.temperature,
+                stall=sa_cursor.stall,
+                accepted=sa_cursor.history.accepted,
+                proposed=sa_cursor.history.proposed,
+            )
+        if manager is None:
+            return
+
         def build() -> RunState:
             stage_cursor.sa = sa_cursor
             stage_cursor.evaluator = evaluator.state_snapshot()

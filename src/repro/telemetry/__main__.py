@@ -1,0 +1,39 @@
+"""CLI entry point: ``python -m repro.telemetry report <run.jsonl>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import TelemetryError
+from .report import render_report
+
+
+def main(argv=None) -> int:
+    """Dispatch telemetry subcommands (currently: ``report``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Offline telemetry analysis tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report", help="summarize a JSONL run log (optionally vs. another)"
+    )
+    report.add_argument("run_log", type=Path, help="run-log JSONL file")
+    report.add_argument(
+        "--compare", type=Path, default=None,
+        help="second run log to diff against",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        print(render_report(args.run_log, compare=args.compare))
+    except TelemetryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Write the span buffer out as a Chrome trace-event JSON file.
+
+The exported file loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``; see ``docs/OBSERVABILITY.md`` for the walkthrough.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..checkpoint.atomic import atomic_write_json
+from .spans import GLOBAL, Tracer
+
+
+def write_chrome_trace(
+    path: Union[str, Path], tracer: Optional[Tracer] = None
+) -> Path:
+    """Export a tracer's buffer (the global one by default) to ``path``.
+
+    Written atomically so a crash mid-export never leaves a torn trace
+    file.  Returns the final path.
+    """
+    tracer = GLOBAL if tracer is None else tracer
+    return atomic_write_json(path, tracer.to_chrome_trace())

@@ -24,7 +24,7 @@ import numpy as np
 from scipy.sparse import coo_matrix, csc_matrix
 from scipy.sparse.linalg import splu
 
-from .. import profiling
+from .. import profiling, telemetry
 from ..constants import NUSSELT_NUMBER, quantize_key
 from ..errors import ThermalError
 from ..flow.conductance import hydraulic_diameter
@@ -280,14 +280,15 @@ class LinearThermalSystem:
             self._lu_cache.move_to_end(key)
             profiling.increment("thermal.lu_cache_hits")
             return lu
-        with profiling.timer("thermal.factorize"):
-            try:
-                lu = splu(self._operator(p_sys))
-            except RuntimeError as exc:
-                raise ThermalError(
-                    "thermal system is singular; some nodes may be thermally "
-                    "isolated from the coolant"
-                ) from exc
+        with telemetry.span("thermal.factorize", nodes=self.n_nodes):
+            with profiling.timer("thermal.factorize"):
+                try:
+                    lu = splu(self._operator(p_sys))
+                except RuntimeError as exc:
+                    raise ThermalError(
+                        "thermal system is singular; some nodes may be "
+                        "thermally isolated from the coolant"
+                    ) from exc
         profiling.increment("thermal.factorizations")
         self._lu_cache[key] = lu
         while len(self._lu_cache) > self.LU_CACHE_SIZE:
@@ -305,8 +306,9 @@ class LinearThermalSystem:
             )
         lu = self._factorize(p_sys)
         rhs = self.rhs_static + p_sys * self.rhs_advection
-        with profiling.timer("thermal.solve"):
-            temperatures = lu.solve(rhs)
+        with telemetry.span("thermal.solve", nodes=self.n_nodes):
+            with profiling.timer("thermal.solve"):
+                temperatures = lu.solve(rhs)
         profiling.increment("thermal.solves")
         if not np.all(np.isfinite(temperatures)):
             raise ThermalError("thermal solve produced non-finite temperatures")

@@ -33,6 +33,7 @@ from ..constants import (
     INLET_TEMPERATURE,
     NUSSELT_NUMBER,
 )
+from .. import telemetry
 from ..errors import GeometryError, ThermalError
 from ..faults import SITE_THERMAL_RC2, corrupt
 from ..flow.network import FlowField
@@ -481,10 +482,13 @@ class RC2Simulator:
 
     def solve(self, p_sys: float) -> ThermalResult:
         """Steady temperatures at system pressure drop ``p_sys`` (Pa)."""
-        temperatures = corrupt(SITE_THERMAL_RC2, self.system.solve(p_sys))
-        if not np.all(np.isfinite(temperatures)):
-            raise ThermalError("2RM solve produced non-finite temperatures")
-        return self._package(p_sys, temperatures)
+        with telemetry.span("thermal.rc2.solve", cells=self.n_nodes):
+            temperatures = corrupt(SITE_THERMAL_RC2, self.system.solve(p_sys))
+            if not np.all(np.isfinite(temperatures)):
+                raise ThermalError(
+                    "2RM solve produced non-finite temperatures"
+                )
+            return self._package(p_sys, temperatures)
 
     def node_capacitances(self) -> np.ndarray:
         """Heat capacity of every thermal node in J/K (transient extension)."""

@@ -27,6 +27,7 @@ from ..constants import (
     INLET_TEMPERATURE,
     NUSSELT_NUMBER,
 )
+from .. import telemetry
 from ..errors import GeometryError, ThermalError
 from ..faults import SITE_THERMAL_RC4, corrupt
 from ..flow.network import FlowField
@@ -278,10 +279,13 @@ class RC4Simulator:
 
     def solve(self, p_sys: float) -> ThermalResult:
         """Steady temperatures at system pressure drop ``p_sys`` (Pa)."""
-        temperatures = corrupt(SITE_THERMAL_RC4, self.system.solve(p_sys))
-        if not np.all(np.isfinite(temperatures)):
-            raise ThermalError("4RM solve produced non-finite temperatures")
-        return self._package(p_sys, temperatures)
+        with telemetry.span("thermal.rc4.solve", cells=self.n_nodes):
+            temperatures = corrupt(SITE_THERMAL_RC4, self.system.solve(p_sys))
+            if not np.all(np.isfinite(temperatures)):
+                raise ThermalError(
+                    "4RM solve produced non-finite temperatures"
+                )
+            return self._package(p_sys, temperatures)
 
     def node_capacitances(self) -> np.ndarray:
         """Heat capacity of every thermal node in J/K (transient extension)."""

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.checkpoint import (
+    append_jsonl,
     atomic_write_bytes,
     atomic_write_json,
     atomic_write_text,
@@ -45,6 +46,33 @@ def test_json_is_sorted_and_newline_terminated(tmp_path):
     assert text.endswith("\n")
     assert text.index('"a"') < text.index('"b"')
     assert json.loads(text) == {"a": 1, "b": 2}
+
+
+def test_append_jsonl_one_line_per_record(tmp_path):
+    path = tmp_path / "log.jsonl"
+    append_jsonl(path, {"b": 2, "a": 1})
+    append_jsonl(path, {"seq": 1}, fsync=False)
+    lines = path.read_text().splitlines()
+    assert [json.loads(line) for line in lines] == [
+        {"a": 1, "b": 2}, {"seq": 1},
+    ]
+    # Compact separators and sorted keys: stable, diff-friendly records.
+    assert lines[0] == '{"a":1,"b":2}'
+
+
+def test_append_jsonl_creates_parent_directories(tmp_path):
+    path = tmp_path / "deep" / "log.jsonl"
+    append_jsonl(path, {"ok": True})
+    assert json.loads(path.read_text()) == {"ok": True}
+
+
+def test_append_jsonl_failed_serialization_appends_nothing(tmp_path):
+    path = tmp_path / "log.jsonl"
+    append_jsonl(path, {"seq": 0})
+    with pytest.raises(TypeError):
+        append_jsonl(path, {"bad": object()})
+    # Serialization happens before the file is touched: no partial line.
+    assert path.read_text() == '{"seq":0}\n'
 
 
 def test_failed_serialization_never_touches_destination(tmp_path):

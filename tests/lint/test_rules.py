@@ -21,6 +21,7 @@ BAD_FIXTURES = [
     ("R4", "r4_bad.py", 3),
     ("R5", "r5_bad.py", 5),
     ("R6", "r6_bad.py", 4),
+    ("R7", "r7_bad.py", 7),
 ]
 
 GOOD_FIXTURES = [
@@ -30,6 +31,7 @@ GOOD_FIXTURES = [
     ("R4", "r4_good.py"),
     ("R5", "r5_good.py"),
     ("R6", "r6_good.py"),
+    ("R7", "r7_good.py"),
 ]
 
 
@@ -67,6 +69,23 @@ def test_r4_covers_all_three_shapes():
     assert "bare except" in messages
     assert "except Exception" in messages
     assert "raise ValueError" in messages
+
+
+def test_r7_covers_every_hygiene_shape():
+    report = run_rule("R7", "r7_bad.py")
+    messages = " | ".join(f.message for f in report.findings)
+    assert "not declared in repro.telemetry.names" in messages
+    assert "dot-namespaced" in messages
+    assert "dynamic expression" in messages
+    assert "wildcard boundary" in messages
+    assert "first positional argument" in messages
+
+
+def test_r7_wildcard_accepts_boundary_fstrings_only():
+    good = run_rule("R7", "r7_good.py")
+    assert good.findings == []
+    bad = run_rule("R7", "r7_bad.py")
+    assert any("f\"thermal." in f.message for f in bad.findings)
 
 
 def test_r6_covers_every_persistence_shape():

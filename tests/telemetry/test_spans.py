@@ -1,0 +1,203 @@
+"""Unit tests for the span tracer and its Chrome trace export."""
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.spans import _NULL_SPAN, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    """Every test starts and ends with a disabled, empty global tracer."""
+    telemetry.set_tracing(False)
+    telemetry.clear_spans()
+    yield
+    telemetry.set_tracing(False)
+    telemetry.clear_spans()
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        handle = tracer.span("thermal.solve")
+        assert handle is _NULL_SPAN
+        with handle:
+            pass
+        assert tracer.snapshot() == []
+
+    def test_disabled_instant_records_nothing(self):
+        tracer = Tracer()
+        tracer.instant("parallel.retry", attempt=1)
+        assert tracer.snapshot() == []
+
+    def test_disabled_extend_is_noop(self):
+        tracer = Tracer()
+        tracer.extend([{"name": "x"}])
+        assert tracer.snapshot() == []
+
+
+class TestRecording:
+    def test_span_records_identity_and_timing(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("thermal.solve", nodes=100):
+            pass
+        (span,) = tracer.snapshot()
+        assert span["name"] == "thermal.solve"
+        assert span["ph"] == "X"
+        assert span["dur"] >= 0
+        assert span["pid"] == os.getpid()
+        assert span["tid"] == threading.get_ident()
+        assert span["args"] == {"nodes": 100}
+
+    def test_non_scalar_attrs_are_stringified(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("thermal.solve", shape=(3, 4), ok=True):
+            pass
+        (span,) = tracer.snapshot()
+        assert span["args"] == {"shape": "(3, 4)", "ok": True}
+
+    def test_nested_spans_are_contained(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("optimize.round"):
+            with tracer.span("parallel.batch"):
+                pass
+        inner, outer = tracer.snapshot()
+        assert (inner["name"], outer["name"]) == (
+            "parallel.batch", "optimize.round",
+        )
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_instant_marker(self):
+        tracer = Tracer(enabled=True)
+        tracer.instant("parallel.retry", attempt=2)
+        (marker,) = tracer.snapshot()
+        assert marker["ph"] == "i"
+        assert "dur" not in marker
+        assert marker["args"] == {"attempt": 2}
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("thermal.solve"):
+                raise ValueError("boom")
+        assert len(tracer.snapshot()) == 1
+
+
+class TestBufferDiscipline:
+    def test_capacity_bound_counts_drops(self):
+        tracer = Tracer(enabled=True, capacity=2)
+        for _ in range(5):
+            tracer.instant("parallel.retry")
+        assert len(tracer.snapshot()) == 2
+        assert tracer.dropped == 3
+
+    def test_drain_empties_buffer(self):
+        tracer = Tracer(enabled=True)
+        tracer.instant("parallel.retry")
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.snapshot() == []
+
+    def test_extend_folds_and_respects_capacity(self):
+        tracer = Tracer(enabled=True, capacity=3)
+        tracer.instant("parallel.retry")
+        worker_spans = [
+            {"name": "parallel.candidate", "ph": "i", "ts": 0,
+             "pid": 9999, "tid": 1, "args": {}},
+        ] * 4
+        tracer.extend(worker_spans)
+        assert len(tracer.snapshot()) == 3
+        assert tracer.dropped == 2
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(enabled=True, capacity=1)
+        tracer.instant("parallel.retry")
+        tracer.instant("parallel.retry")
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert tracer.snapshot() == []
+
+
+class TestChromeTrace:
+    def test_export_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("thermal.rc2.solve", cells=10):
+            pass
+        tracer.instant("parallel.retry")
+        tracer.extend([
+            {"name": "parallel.candidate", "ph": "X", "ts": 5_000,
+             "dur": 2_000, "pid": 424242, "tid": 7, "args": {}},
+        ])
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        by_ph = {}
+        for event in events:
+            by_ph.setdefault(event["ph"], []).append(event)
+        complete = by_ph["X"]
+        assert {"thermal.rc2.solve", "parallel.candidate"} == {
+            e["name"] for e in complete
+        }
+        worker_event = next(
+            e for e in complete if e["name"] == "parallel.candidate"
+        )
+        assert worker_event["ts"] == 5.0  # ns -> us
+        assert worker_event["dur"] == 2.0
+        (marker,) = by_ph["i"]
+        assert marker["s"] == "p"
+        assert all(
+            e["cat"] == e["name"].split(".", 1)[0]
+            for e in complete + by_ph["i"]
+        )
+        labels = {
+            e["pid"]: e["args"]["name"] for e in by_ph["M"]
+            if e["name"] == "process_name"
+        }
+        assert labels[os.getpid()] == "parent"
+        assert labels[424242] == "worker-424242"
+
+
+class TestModuleHelpers:
+    def test_set_tracing_round_trip(self):
+        assert telemetry.set_tracing(True) is False
+        assert telemetry.is_tracing()
+        with telemetry.span("checkpoint.save"):
+            pass
+        assert len(telemetry.spans_snapshot()) == 1
+        assert telemetry.set_tracing(False) is True
+        telemetry.extend_spans(None)  # tolerated
+        telemetry.clear_spans()
+        assert telemetry.spans_snapshot() == []
+
+    def test_drain_and_extend_round_trip(self):
+        telemetry.set_tracing(True)
+        telemetry.instant("parallel.retry")
+        shipped = telemetry.drain_spans()
+        assert telemetry.spans_snapshot() == []
+        telemetry.extend_spans(shipped)
+        assert len(telemetry.spans_snapshot()) == 1
+
+
+class TestTelemetryConfig:
+    def test_current_apply_round_trip(self):
+        telemetry.set_tracing(True)
+        config = TelemetryConfig.current()
+        assert config.trace is True
+        telemetry.set_tracing(False)
+        config.apply()
+        assert telemetry.is_tracing()
+
+    def test_picklable_and_hashable(self):
+        config = TelemetryConfig(trace=True, span_capacity=10)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert hash(clone) == hash(config)
+        with pytest.raises(AttributeError):
+            config.trace = False

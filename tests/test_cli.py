@@ -92,6 +92,47 @@ class TestCompareRender:
         assert "usage" in capsys.readouterr().out
 
 
+class TestTelemetryFlags:
+    def test_trace_and_run_log_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry.report import render_report
+
+        trace = tmp_path / "trace.json"
+        run_log = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "optimize", "--case", "1", "--grid", "21", "--problem", "1",
+                "--quick", "--directions", "0",
+                "--trace-out", str(trace),
+                "--run-log", str(run_log),
+                "--metrics-interval", "0",
+            ]
+        )
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "optimize.round" in names
+        assert "process_name" in names
+        types = {
+            json.loads(line)["type"]
+            for line in run_log.read_text().splitlines()
+        }
+        assert {"run.start", "round.end", "run.metrics", "run.end"} <= types
+        assert "best-score trajectory" in render_report(run_log)
+
+    def test_metrics_interval_requires_run_log(self, capsys):
+        code = main(
+            [
+                "optimize", "--case", "1", "--grid", "21", "--problem", "1",
+                "--quick", "--directions", "0", "--metrics-interval", "5",
+            ]
+        )
+        assert code == 1
+        assert "--metrics-interval needs --run-log" in capsys.readouterr().err
+
+
 class TestOptimizeOptions:
     def test_power_aware_init(self, capsys):
         code = main(

@@ -1,11 +1,18 @@
 """Unit tests for the profiling instrumentation module."""
 
+import random
 import threading
 
 import pytest
 
 from repro import profiling
-from repro.profiling import Profiler
+from repro.errors import TelemetryError
+from repro.profiling import (
+    LATENCY_BUCKET_BOUNDS,
+    SIZE_BUCKET_BOUNDS,
+    Histogram,
+    Profiler,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -119,6 +126,179 @@ class TestEnabled:
         assert profiling.set_enabled(True) is False
         profiling.increment("x")
         assert profiling.counter("x") == 1
+
+
+class TestHistograms:
+    def test_observe_and_summary(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0, 10.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["sum"] == pytest.approx(16.5)
+        assert s["min"] == 0.5
+        assert s["max"] == 10.0
+        assert 0.5 <= s["p50"] <= 10.0
+
+    def test_empty_summary_is_all_zeros(self):
+        s = Histogram().summary()
+        assert s == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0,
+        }
+
+    def test_percentiles_clamped_to_observed_envelope(self):
+        h = Histogram(bounds=LATENCY_BUCKET_BOUNDS)
+        h.observe(0.005)
+        assert h.percentile(0.0) == 0.005
+        assert h.percentile(100.0) == 0.005
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(TelemetryError):
+            Histogram().percentile(101.0)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        with pytest.raises(TelemetryError):
+            Histogram(bounds=(1.0, 1.0, 2.0))
+
+    def test_snapshot_round_trip(self):
+        h = Histogram(bounds=SIZE_BUCKET_BOUNDS)
+        for v in (1, 3, 17, 9000):
+            h.observe(v)
+        clone = Histogram.from_snapshot(h.snapshot())
+        assert clone.snapshot() == h.snapshot()
+        assert clone.summary() == h.summary()
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram(bounds=(1.0, 2.0))
+        b = Histogram(bounds=(1.0, 3.0))
+        with pytest.raises(TelemetryError):
+            a.merge(b)
+
+    def test_merge_is_associative_and_order_independent(self):
+        rng = random.Random(42)
+        parts = []
+        for _ in range(4):
+            h = Histogram(bounds=LATENCY_BUCKET_BOUNDS)
+            for _ in range(200):
+                h.observe(rng.lognormvariate(-6.0, 2.0))
+            parts.append(h)
+
+        def fold(order):
+            acc = Histogram(bounds=LATENCY_BUCKET_BOUNDS)
+            for index in order:
+                acc.merge(
+                    Histogram.from_snapshot(parts[index].snapshot())
+                )
+            return acc.snapshot()
+
+        forward = fold([0, 1, 2, 3])
+        reverse = fold([3, 2, 1, 0])
+        shuffled = fold([2, 0, 3, 1])
+        assert forward == reverse == shuffled
+        # Associativity: (a+b)+(c+d) equals folding left-to-right.
+        left = Histogram(bounds=LATENCY_BUCKET_BOUNDS)
+        left.merge(parts[0])
+        left.merge(parts[1])
+        right = Histogram(bounds=LATENCY_BUCKET_BOUNDS)
+        right.merge(parts[2])
+        right.merge(parts[3])
+        left.merge(right)
+        assert left.snapshot() == forward
+
+    def test_profiler_timer_feeds_histogram(self):
+        p = Profiler()
+        with p.timer("work"):
+            pass
+        snap = p.snapshot()
+        assert snap["histograms"]["work"]["count"] == 1
+        assert p.histogram("work").count == 1
+
+    def test_observe_helper_and_bounds_conflict(self):
+        p = Profiler()
+        p.observe("batch", 8, bounds=SIZE_BUCKET_BOUNDS)
+        with pytest.raises(TelemetryError):
+            p.observe("batch", 8, bounds=LATENCY_BUCKET_BOUNDS)
+
+    def test_snapshot_omits_histograms_key_when_none(self):
+        p = Profiler()
+        p.increment("x")
+        assert "histograms" not in p.snapshot()
+
+    def test_merge_folds_worker_histograms(self):
+        parent, worker = Profiler(), Profiler()
+        with parent.timer("solve"):
+            pass
+        with worker.timer("solve"):
+            pass
+        worker.observe("batch", 4, bounds=SIZE_BUCKET_BOUNDS)
+        parent.merge(worker.snapshot())
+        assert parent.histogram("solve").count == 2
+        assert parent.histogram("batch").count == 1
+
+    def test_concurrent_increment_and_merge(self):
+        parent = Profiler()
+        worker_snapshots = []
+        for _ in range(4):
+            w = Profiler()
+            w.increment("hits", 100)
+            with w.timer("solve"):
+                pass
+            worker_snapshots.append(w.snapshot())
+
+        def bump():
+            for _ in range(500):
+                parent.increment("hits")
+
+        def fold(snap):
+            for _ in range(50):
+                parent.merge(snap)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        threads += [
+            threading.Thread(target=fold, args=(s,))
+            for s in worker_snapshots
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert parent.counter("hits") == 4 * 500 + 4 * 50 * 100
+        assert parent.histogram("solve").count == 4 * 50
+
+
+class TestFormatSnapshot:
+    def test_long_names_stay_aligned(self):
+        long_name = "optimize.batch_cache_hits.some.very.long.subsystem.name"
+        assert len(long_name) > 32
+        profiling.increment(long_name, 3)
+        profiling.increment("search.probes", 1)
+        text = profiling.format_snapshot()
+        lines = text.splitlines()
+        # Every value column starts at the same offset: one space after
+        # the widened name column.
+        offsets = {line.rindex(" ") for line in lines}
+        assert len(offsets) == 1
+        assert all(len(line) > len(long_name) for line in lines)
+
+    def test_sort_by_seconds_orders_hottest_first(self):
+        profiling.add_time("cold.timer", 0.1)
+        profiling.add_time("hot.timer", 9.0)
+        profiling.increment("small.counter", 1)
+        profiling.increment("big.counter", 100)
+        text = profiling.format_snapshot(sort_by="seconds")
+        assert text.index("hot.timer") < text.index("cold.timer")
+        assert text.index("big.counter") < text.index("small.counter")
+
+    def test_sort_by_rejects_unknown_key(self):
+        with pytest.raises(TelemetryError):
+            profiling.format_snapshot(sort_by="frequency")
+
+    def test_histogram_lines_rendered(self):
+        profiling.observe("optimize.candidate", 0.01)
+        text = profiling.format_snapshot()
+        assert "optimize.candidate" in text
+        assert "p50" in text and "p99" in text
 
 
 class TestModuleHelpers:
