@@ -174,19 +174,22 @@ def evaluate_problem2(
             p_best = search.p_sys
             # Never exceed the cap; never go below the peak-feasible floor.
             p_best = min(max(p_best, p_lo), p_cap)
-        return _result(system, p_best, system.delta_t(p_best), True, before)
+        return _result(system, p_best, None, True, before)
 
 
 def _result(
     system: CoolingSystem,
     p_sys: float,
-    score: float,
+    score: Optional[float],
     feasible: bool,
     sims_before: int,
 ) -> EvaluationResult:
-    result = system.evaluate(p_sys)
+    # Finalize with an exact solve: search probes may come from the
+    # incremental solver, but reported metrics (and Problem-2 scores, where
+    # ``score is None`` requests the exact gradient) never do.
+    result = system.evaluate(p_sys, exact=True)
     return EvaluationResult(
-        score=score,
+        score=result.delta_t if score is None else score,
         feasible=feasible,
         p_sys=p_sys,
         w_pump=system.w_pump(p_sys),

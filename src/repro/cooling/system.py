@@ -9,9 +9,9 @@ so the searches only pay for the linear solves they genuinely need.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Set, Union
 
-from .. import profiling
+from .. import linalg, profiling
 from ..constants import (
     EDGE_CONDUCTANCE_FACTOR,
     INLET_TEMPERATURE,
@@ -69,6 +69,7 @@ class CoolingSystem:
         self.coolant = coolant
         self.model = model
         self._cache: Dict[float, ThermalResult] = {}
+        self._exact_keys: Set[float] = set()
         self.n_simulations = 0
 
     # ------------------------------------------------------------------
@@ -109,24 +110,36 @@ class CoolingSystem:
         """The pressure drop that spends exactly ``w_pump``."""
         return (w_pump * self.r_sys) ** 0.5
 
-    def evaluate(self, p_sys: float) -> ThermalResult:
+    def evaluate(self, p_sys: float, exact: bool = False) -> ThermalResult:
         """Simulate (or fetch the cached result) at one pressure drop.
 
         Pressures are quantized to :data:`~repro.constants.
         PRESSURE_KEY_DECIMALS` decimal places (1e-6 Pa) before keying and
         solving, so an epsilon-perturbed re-probe of a pressure the searches
         already visited is a cache hit instead of a fresh simulation.
+
+        ``exact=True`` guarantees the returned result came from an exact
+        factorization: a cached entry produced by the incremental solver
+        path is recomputed exactly (and replaces the approximate entry), so
+        final scores never depend on whether incremental updates were on.
+        The recompute does not count as a new simulation -- it revisits a
+        pressure already paid for.
         """
         key = quantize_key(p_sys)
         cached = self._cache.get(key)
+        if cached is not None and (not exact or key in self._exact_keys):
+            profiling.increment("cooling.cache_hits")
+            return cached
+        result = self.simulator.solve(key, exact=exact)
         if cached is None:
-            cached = self.simulator.solve(key)
-            self._cache[key] = cached
             self.n_simulations += 1
             profiling.increment("cooling.simulations")
         else:
-            profiling.increment("cooling.cache_hits")
-        return cached
+            profiling.increment("cooling.exact_recomputes")
+        self._cache[key] = result
+        if exact or not linalg.current_config().incremental:
+            self._exact_keys.add(key)
+        return result
 
     def delta_t(self, p_sys: float) -> float:
         """``f(P_sys)``: the thermal gradient at one pressure drop."""
@@ -139,3 +152,4 @@ class CoolingSystem:
     def clear_cache(self) -> None:
         """Drop memoized thermal results."""
         self._cache.clear()
+        self._exact_keys.clear()

@@ -44,6 +44,13 @@ class ThermalError(ReproError):
     """The thermal system cannot be assembled or solved."""
 
 
+class LinalgError(ReproError):
+    """Raised by :mod:`repro.linalg`: a singular or failed factorization, an
+    unknown/unavailable solver backend, or a low-rank update that left the
+    system numerically unsolvable.  Callers translate it into their own
+    domain error (:class:`FlowError` / :class:`ThermalError`)."""
+
+
 class SearchError(ReproError):
     """A pressure search or optimization loop failed to make progress."""
 

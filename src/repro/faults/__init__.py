@@ -59,6 +59,7 @@ from .plan import (
     SITE_FLOW_MATRIX,
     SITE_FLOW_PRESSURES,
     SITE_IO_POWER_MAP,
+    SITE_LINALG_UPDATE,
     SITE_PARALLEL_DISPATCH,
     SITE_PARALLEL_WORKER,
     SITE_THERMAL_RC2,
@@ -89,6 +90,7 @@ __all__ = [
     "SITE_FLOW_MATRIX",
     "SITE_FLOW_PRESSURES",
     "SITE_IO_POWER_MAP",
+    "SITE_LINALG_UPDATE",
     "SITE_PARALLEL_DISPATCH",
     "SITE_PARALLEL_WORKER",
     "SITE_THERMAL_RC2",

@@ -53,6 +53,9 @@ SITE_IO_POWER_MAP = "iccad2015.read_floorplan"
 SITE_PARALLEL_WORKER = "parallel.worker"
 #: In the parent, before a batch is dispatched to the pool.
 SITE_PARALLEL_DISPATCH = "parallel.dispatch"
+#: The solution of a Woodbury low-rank incremental solve, before the
+#: finiteness guard (``repro.linalg`` and the thermal pressure-shift path).
+SITE_LINALG_UPDATE = "linalg.update"
 
 #: Every injection site, mapped to whether its hook carries a value
 #: (:func:`repro.faults.corrupt`) or is action-only
@@ -68,6 +71,7 @@ KNOWN_SITES: Mapping[str, bool] = MappingProxyType(
         SITE_IO_POWER_MAP: True,
         SITE_PARALLEL_WORKER: False,
         SITE_PARALLEL_DISPATCH: False,
+        SITE_LINALG_UPDATE: True,
     }
 )
 
@@ -114,6 +118,7 @@ _ARRAY_SITES = frozenset(
         SITE_THERMAL_RC2,
         SITE_THERMAL_RC4,
         SITE_IO_POWER_MAP,
+        SITE_LINALG_UPDATE,
     }
 )
 _ALL_SITES = frozenset(KNOWN_SITES)

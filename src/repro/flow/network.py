@@ -11,18 +11,16 @@ essentially free on the flow side.
 from __future__ import annotations
 
 import threading
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
 from scipy.sparse import csc_matrix
-from scipy.sparse.linalg import MatrixRankWarning, splu
 
-from .. import profiling, telemetry
+from .. import linalg, profiling, telemetry
 from ..constants import EDGE_CONDUCTANCE_FACTOR
-from ..errors import FlowError
+from ..errors import FlowError, LinalgError
 from ..faults import SITE_FLOW_MATRIX, SITE_FLOW_PRESSURES, corrupt
 from ..geometry.grid import ChannelGrid, PortKind
 from ..materials import Coolant
@@ -232,16 +230,14 @@ class FlowField:
             else np.zeros((0, 2), dtype=np.int64)
         )
 
+        # Vectorized assembly: all off-diagonal couplings carry the same
+        # -g_cell, and every diagonal entry accumulates identical g_cell
+        # increments, so the scatter-add ordering cannot change the floats.
+        i_idx = self.edge_cells[:, 0]
+        j_idx = self.edge_cells[:, 1]
         diag = np.zeros(self.n)
-        rows: list = []
-        cols: list = []
-        vals: list = []
-        for i, j in pairs:
-            diag[i] += g_cell
-            diag[j] += g_cell
-            rows.extend((i, j))
-            cols.extend((j, i))
-            vals.extend((-g_cell, -g_cell))
+        np.add.at(diag, i_idx, g_cell)
+        np.add.at(diag, j_idx, g_cell)
 
         # Ports add a Dirichlet coupling: inlet cells see pressure P_sys,
         # outlet cells see pressure 0, both through g_edge.
@@ -256,9 +252,11 @@ class FlowField:
         np.add.at(diag, self.inlet_idx, g_edge)
         np.add.at(diag, self.outlet_idx, g_edge)
 
-        rows.extend(range(self.n))
-        cols.extend(range(self.n))
-        vals.extend(diag.tolist())
+        all_idx = np.arange(self.n, dtype=np.int64)
+        off_diag = np.full(i_idx.size, -g_cell)
+        rows = np.concatenate([i_idx, j_idx, all_idx])
+        cols = np.concatenate([j_idx, i_idx, all_idx])
+        vals = np.concatenate([off_diag, off_diag, diag])
         self._matrix = csc_matrix(
             (vals, (rows, cols)), shape=(self.n, self.n)
         )
@@ -267,23 +265,15 @@ class FlowField:
         rhs = np.zeros(self.n)
         np.add.at(rhs, self.inlet_idx, self.g_edge)  # P_in = 1 Pa
         matrix = corrupt(SITE_FLOW_MATRIX, self._matrix)
-        # SuperLU reports an exactly singular system as RuntimeError, but
-        # near-singular/ill-conditioned factorizations only *warn*
-        # (MatrixRankWarning) and alternative backends (umfpack) raise
-        # ValueError/ArithmeticError -- promote them all to a typed
-        # FlowError so a degenerate candidate network never escapes as a
-        # backend-specific exception.
+        # The pressure system is a grounded conductance Laplacian (SPD), so
+        # the registry may hand it to a Cholesky backend.  Backends promote
+        # every failure shape -- singular RuntimeError, near-singular
+        # MatrixRankWarning, umfpack ValueError/ArithmeticError -- to a
+        # typed LinalgError, translated here to the domain FlowError.
         try:
-            with warnings.catch_warnings():
-                warnings.simplefilter("error", MatrixRankWarning)
-                lu = splu(matrix)
-            pressures = lu.solve(rhs)
-        except (
-            RuntimeError,
-            ValueError,
-            ArithmeticError,
-            MatrixRankWarning,
-        ) as exc:
+            factor = linalg.factorize(matrix, spd=True)
+            pressures = factor.solve(rhs)
+        except LinalgError as exc:
             raise FlowError(
                 "pressure system is singular or could not be factorized; "
                 "the network likely contains liquid regions not connected "

@@ -1,0 +1,75 @@
+"""The backend interface of :mod:`repro.linalg`.
+
+A :class:`SolverBackend` turns one sparse matrix into a
+:class:`Factorization`; a factorization answers single and multi-RHS solves.
+Every concrete backend (scipy SuperLU always; UMFPACK and CHOLMOD when their
+optional packages are importable) lives in :mod:`repro.linalg.backends` and
+is selected through :func:`repro.linalg.registry.factorize` -- nothing
+outside ``repro.linalg`` calls ``splu``/``factorized`` directly (lint rule
+R5 enforces this).
+
+Error contract: a backend never lets a library-specific exception escape.
+Singular systems, near-singular rank warnings, and backend bugs all surface
+as :class:`~repro.errors.LinalgError`; callers translate that into their
+domain error (``FlowError``/``ThermalError``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+from scipy.sparse import csc_matrix
+
+
+class Factorization(abc.ABC):
+    """A reusable factorization of one sparse system matrix.
+
+    Attributes:
+        backend: Name of the backend that produced it.
+        n: System dimension.
+    """
+
+    backend: str = "abstract"
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+
+    @abc.abstractmethod
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` for one right-hand side, shape ``(n,)``."""
+
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve for a block of right-hand sides, shape ``(n, k)``.
+
+        The default loops over columns; backends whose native solve accepts
+        matrix RHS (SuperLU) override this with a single batched call.
+        """
+        block = np.asarray(rhs, dtype=float)
+        if block.ndim == 1:
+            return self.solve(block)
+        out = np.empty_like(block)
+        for k in range(block.shape[1]):
+            out[:, k] = self.solve(block[:, k])
+        return out
+
+
+class SolverBackend(abc.ABC):
+    """A factorization engine selectable through the registry.
+
+    Attributes:
+        name: Registry key (``"scipy-splu"``, ``"umfpack"``, ``"cholmod"``).
+        spd_only: Whether the backend only handles symmetric positive
+            definite systems (CHOLMOD).
+    """
+
+    name: str = "abstract"
+    spd_only: bool = False
+
+    @abc.abstractmethod
+    def available(self) -> bool:
+        """Whether the backend's dependency is importable in this process."""
+
+    @abc.abstractmethod
+    def factorize(self, matrix: csc_matrix) -> Factorization:
+        """Factorize ``matrix``; raise ``LinalgError`` on failure."""

@@ -1,0 +1,171 @@
+"""Concrete solver backends: scipy SuperLU, UMFPACK, CHOLMOD.
+
+Only the SuperLU backend is unconditional (scipy is a hard dependency).
+UMFPACK (``scikits.umfpack``) and CHOLMOD (``sksparse.cholmod``) are gated
+on an import probe at module load: when the optional package is absent the
+backend simply reports ``available() == False`` and the registry never
+selects it -- no install is ever attempted.
+
+This module is the sanctioned home of raw ``splu``/``factorized`` calls
+(lint rule R5): every other module routes factorizations through
+:func:`repro.linalg.registry.factorize`.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from types import ModuleType
+from typing import Any, Optional
+
+import numpy as np
+from scipy.sparse import csc_matrix
+from scipy.sparse.linalg import MatrixRankWarning, splu
+
+from ..errors import LinalgError
+from .backend import Factorization, SolverBackend
+
+
+def _probe(module_name: str) -> Optional[ModuleType]:
+    """Import an optional dependency, or ``None`` when it is absent."""
+    try:
+        return importlib.import_module(module_name)
+    except ImportError:  # pragma: no cover - exercised on scipy-only installs
+        return None
+
+
+#: SuiteSparse UMFPACK via scikit-umfpack, when installed.
+_umfpack = _probe("scikits.umfpack")
+#: SuiteSparse CHOLMOD via scikit-sparse, when installed.
+_cholmod = _probe("sksparse.cholmod")
+
+
+def _as_csc(matrix: Any) -> csc_matrix:
+    converted = matrix.tocsc() if hasattr(matrix, "tocsc") else None
+    if converted is None:
+        raise LinalgError(
+            f"expected a scipy sparse matrix, got {type(matrix).__name__}"
+        )
+    if converted.shape[0] != converted.shape[1]:
+        raise LinalgError(f"system matrix must be square, got {converted.shape}")
+    return converted
+
+
+class _SuperLUFactorization(Factorization):
+    backend = "scipy-splu"
+
+    def __init__(self, lu: Any, n: int) -> None:
+        super().__init__(n)
+        self._lu = lu
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return self._lu.solve(np.asarray(rhs, dtype=float))
+
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        # SuperLU's solve natively accepts an (n, k) block.
+        return self._lu.solve(np.asarray(rhs, dtype=float))
+
+
+class ScipySuperLUBackend(SolverBackend):
+    """The always-available reference backend (scipy ``splu``).
+
+    SuperLU reports an exactly singular system as ``RuntimeError`` but only
+    *warns* (``MatrixRankWarning``) on near-singular factorizations; both --
+    and the ``ValueError``/``ArithmeticError`` shapes other SuperLU entry
+    points use -- are promoted to a typed :class:`~repro.errors.LinalgError`.
+    """
+
+    name = "scipy-splu"
+
+    def available(self) -> bool:
+        return True
+
+    def factorize(self, matrix: csc_matrix) -> Factorization:
+        system = _as_csc(matrix)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", MatrixRankWarning)
+                lu = splu(system)
+        except (
+            RuntimeError,
+            ValueError,
+            ArithmeticError,
+            MatrixRankWarning,
+        ) as exc:
+            raise LinalgError(
+                f"scipy-splu factorization failed: {exc}"
+            ) from exc
+        return _SuperLUFactorization(lu, system.shape[0])
+
+
+class _UmfpackFactorization(Factorization):
+    backend = "umfpack"
+
+    def __init__(self, lu: Any, n: int) -> None:
+        super().__init__(n)
+        self._lu = lu
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        try:
+            return np.asarray(self._lu.solve(np.asarray(rhs, dtype=float)))
+        except (RuntimeError, ValueError, ArithmeticError) as exc:
+            raise LinalgError(f"umfpack solve failed: {exc}") from exc
+
+
+class UmfpackBackend(SolverBackend):
+    """SuiteSparse UMFPACK via ``scikits.umfpack`` (optional)."""
+
+    name = "umfpack"
+
+    def available(self) -> bool:
+        return _umfpack is not None
+
+    def factorize(self, matrix: csc_matrix) -> Factorization:
+        if _umfpack is None:
+            raise LinalgError(
+                "umfpack backend requested but scikits.umfpack is not "
+                "installed"
+            )
+        system = _as_csc(matrix)
+        try:
+            lu = _umfpack.splu(system)
+        except (RuntimeError, ValueError, ArithmeticError) as exc:
+            raise LinalgError(f"umfpack factorization failed: {exc}") from exc
+        return _UmfpackFactorization(lu, system.shape[0])
+
+
+class _CholmodFactorization(Factorization):
+    backend = "cholmod"
+
+    def __init__(self, factor: Any, n: int) -> None:
+        super().__init__(n)
+        self._factor = factor
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        try:
+            return np.asarray(self._factor(np.asarray(rhs, dtype=float)))
+        except (RuntimeError, ValueError, ArithmeticError) as exc:
+            raise LinalgError(f"cholmod solve failed: {exc}") from exc
+
+
+class CholmodBackend(SolverBackend):
+    """SuiteSparse CHOLMOD via ``sksparse.cholmod`` (optional, SPD only)."""
+
+    name = "cholmod"
+    spd_only = True
+
+    def available(self) -> bool:
+        return _cholmod is not None
+
+    def factorize(self, matrix: csc_matrix) -> Factorization:
+        if _cholmod is None:
+            raise LinalgError(
+                "cholmod backend requested but sksparse.cholmod is not "
+                "installed"
+            )
+        system = _as_csc(matrix)
+        try:
+            factor = _cholmod.cholesky(system)
+        except _cholmod.CholmodError as exc:
+            raise LinalgError(f"cholmod factorization failed: {exc}") from exc
+        return _CholmodFactorization(factor, system.shape[0])

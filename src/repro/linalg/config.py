@@ -1,0 +1,113 @@
+"""Process-wide solver configuration, shippable to pool workers.
+
+:class:`LinalgConfig` mirrors the :class:`~repro.telemetry.TelemetryConfig`
+pattern: a small frozen (hashable, picklable) dataclass captured with
+:meth:`LinalgConfig.current` in the parent, shipped through the evaluation
+pool's initializer arguments, re-armed worker-side with
+:meth:`LinalgConfig.apply`, and folded into the pool cache key so flipping
+any knob never reuses workers armed with a stale setup.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from ..errors import LinalgError
+
+#: Default Woodbury rank before the incremental paths refactorize exactly.
+DEFAULT_RANK_THRESHOLD = 96  #: [unit: 1]
+#: Default cap on accumulated low-rank update batches between rebuilds.
+DEFAULT_UPDATE_BUDGET = 64  #: [unit: 1]
+#: Default relative residual above which an incremental solve falls back to
+#: an exact factorization.
+DEFAULT_RESIDUAL_RTOL = 1e-8  #: [unit: 1]
+
+
+@dataclass(frozen=True)
+class LinalgConfig:
+    """The sparse-solver knobs one process runs with.
+
+    Attributes:
+        backend: Force a registry backend by name; ``None`` auto-selects by
+            problem size and availability (see ``docs/SOLVER_CACHES.md``).
+        incremental: Whether the Woodbury incremental-update paths are used
+            for search probes; exact solves are unaffected.
+        rank_threshold: Largest accumulated low-rank correction before an
+            incremental factorization rebuilds exactly.
+        update_budget: Largest number of update *batches* folded into one
+            base factorization before a rebuild.
+        residual_rtol: Relative residual bound an incremental solve must
+            meet, else it is discarded in favor of an exact solve.
+    """
+
+    backend: Optional[str] = None
+    incremental: bool = True
+    rank_threshold: int = DEFAULT_RANK_THRESHOLD
+    update_budget: int = DEFAULT_UPDATE_BUDGET
+    residual_rtol: float = DEFAULT_RESIDUAL_RTOL
+
+    def __post_init__(self) -> None:
+        if self.rank_threshold < 1:
+            raise LinalgError(
+                f"rank_threshold must be >= 1, got {self.rank_threshold}"
+            )
+        if self.update_budget < 1:
+            raise LinalgError(
+                f"update_budget must be >= 1, got {self.update_budget}"
+            )
+        if not self.residual_rtol > 0:
+            raise LinalgError(
+                f"residual_rtol must be > 0, got {self.residual_rtol}"
+            )
+
+    @classmethod
+    def current(cls) -> "LinalgConfig":
+        """The live configuration of this process."""
+        return _ACTIVE
+
+    def apply(self) -> None:
+        """Make this the live configuration (worker-side re-arm)."""
+        set_config(self)
+
+
+_ACTIVE = LinalgConfig()
+
+
+def current_config() -> LinalgConfig:
+    """The live :class:`LinalgConfig` of this process."""
+    return _ACTIVE
+
+
+def set_config(config: LinalgConfig) -> LinalgConfig:
+    """Install ``config`` process-wide; returns the previous one."""
+    global _ACTIVE
+    if not isinstance(config, LinalgConfig):
+        raise LinalgError(
+            f"expected a LinalgConfig, got {type(config).__name__}"
+        )
+    previous = _ACTIVE
+    _ACTIVE = config
+    return previous
+
+
+def reset_config() -> None:
+    """Restore the default configuration (mainly for tests)."""
+    set_config(LinalgConfig())
+
+
+@contextmanager
+def use_config(**overrides: object) -> Iterator[LinalgConfig]:
+    """Temporarily override configuration fields::
+
+        with use_config(incremental=False):
+            ...  # every solve in the block refactorizes exactly
+    """
+    previous = _ACTIVE
+    active = replace(previous, **overrides)  # type: ignore[arg-type]
+    set_config(active)
+    try:
+        yield active
+    finally:
+        set_config(previous)

@@ -1,0 +1,263 @@
+"""Incremental factorization: low-rank Woodbury updates over a cached base.
+
+An SA move perturbs only a handful of cell conductances, so the perturbed
+operator is ``A = A0 + U C U^T`` with tiny rank: a conductance change
+``delta_g`` between nodes ``i`` and ``j`` contributes the rank-1 symmetric
+term ``delta_g (e_i - e_j)(e_i - e_j)^T``; a grounded (node-to-reservoir)
+change contributes ``delta_g e_i e_i^T``.  Instead of refactorizing
+(p50 ~3.2 ms on the bundled medium case), :class:`IncrementalFactorization`
+keeps the base factorization and answers solves through the Woodbury
+identity::
+
+    (A0 + U C V^T)^{-1} b  =  y - W (C^{-1} + V^T W)^{-1} V^T y
+
+with ``y = A0^{-1} b`` (one cheap triangular solve) and ``W = A0^{-1} U``
+cached per update (one multi-RHS solve per batch).  Past a configurable
+rank threshold -- or an accumulated-update budget -- the pending updates
+are folded into the base matrix and refactorized exactly, so error cannot
+accumulate without bound and the cost model stays flat.
+
+Every incremental solve passes through the ``linalg.update`` fault site and
+a finiteness check, so a corrupted correction surfaces as a typed
+:class:`~repro.errors.LinalgError` instead of propagating NaNs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+from scipy.sparse import coo_matrix, csc_matrix
+
+from .. import profiling
+from ..errors import LinalgError
+from ..faults import SITE_LINALG_UPDATE, corrupt
+from .config import LinalgConfig, current_config
+from .registry import factorize
+
+
+class IncrementalFactorization:
+    """A factorization that absorbs small conductance edits cheaply.
+
+    Args:
+        matrix: The initial system matrix (any scipy sparse format).
+        config: Solver configuration; defaults to the live process config
+            (captured at construction -- later global flips do not retune a
+            live instance).
+        spd: Declare the system SPD (forwarded to backend selection).
+
+    Use :meth:`update_pairs` / :meth:`update_diagonal` to apply conductance
+    perturbations, then :meth:`solve` / :meth:`solve_many` as usual.  The
+    instance tracks its own rebuild count in :attr:`n_rebuilds`.
+    """
+
+    def __init__(
+        self,
+        matrix: csc_matrix,
+        config: Optional[LinalgConfig] = None,
+        spd: bool = False,
+    ) -> None:
+        self._config = current_config() if config is None else config
+        self._spd = spd
+        base = matrix.tocsc()
+        if base.shape[0] != base.shape[1]:
+            raise LinalgError(f"system matrix must be square, got {base.shape}")
+        self._base = base.copy()
+        self._n = base.shape[0]
+        self._factor = factorize(self._base, spd=spd, config=self._config)
+        self.n_rebuilds = 0
+        self._reset_updates()
+
+    # -- state ----------------------------------------------------------
+
+    def _reset_updates(self) -> None:
+        self._u = np.zeros((self._n, 0))
+        self._w = np.zeros((self._n, 0))
+        self._c = np.zeros(0)
+        self._cap_lu: Optional[Tuple[Any, Any]] = None
+        self._pending_rows: List[np.ndarray] = []
+        self._pending_cols: List[np.ndarray] = []
+        self._pending_vals: List[np.ndarray] = []
+        self._n_batches = 0
+
+    @property
+    def n(self) -> int:
+        """System dimension."""
+        return self._n
+
+    @property
+    def rank(self) -> int:
+        """Rank of the currently pending Woodbury correction."""
+        return int(self._u.shape[1])
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend holding the base factorization."""
+        return self._factor.backend
+
+    def matrix(self) -> csc_matrix:
+        """The *current* operator (base plus every pending update)."""
+        delta = self._pending_delta()
+        if delta is None:
+            return self._base.copy()
+        return (self._base + delta).tocsc()
+
+    def _pending_delta(self) -> Optional[csc_matrix]:
+        if not self._pending_rows:
+            return None
+        return coo_matrix(
+            (
+                np.concatenate(self._pending_vals),
+                (
+                    np.concatenate(self._pending_rows),
+                    np.concatenate(self._pending_cols),
+                ),
+            ),
+            shape=(self._n, self._n),
+        ).tocsc()
+
+    # -- updates --------------------------------------------------------
+
+    def update_pairs(self, pairs: np.ndarray, deltas: np.ndarray) -> None:
+        """Perturb pairwise conductances: ``A += d (e_i - e_j)(e_i - e_j)^T``.
+
+        Args:
+            pairs: ``(r, 2)`` node index pairs.
+            deltas: ``(r,)`` conductance changes in W/K (signed).
+        """
+        pair_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        delta_arr = self._check_deltas(deltas, pair_arr.shape[0], "pairs")
+        self._check_nodes(pair_arr)
+        keep = delta_arr != 0.0
+        pair_arr, delta_arr = pair_arr[keep], delta_arr[keep]
+        if pair_arr.shape[0] == 0:
+            return
+        i, j = pair_arr[:, 0], pair_arr[:, 1]
+        r_new = pair_arr.shape[0]
+        u_new = np.zeros((self._n, r_new))
+        u_new[i, np.arange(r_new)] = 1.0
+        u_new[j, np.arange(r_new)] -= 1.0
+        rows = np.concatenate([i, j, i, j])
+        cols = np.concatenate([i, j, j, i])
+        vals = np.concatenate([delta_arr, delta_arr, -delta_arr, -delta_arr])
+        self._push(u_new, delta_arr, rows, cols, vals)
+
+    def update_diagonal(self, nodes: np.ndarray, deltas: np.ndarray) -> None:
+        """Perturb grounded conductances: ``A += d e_i e_i^T`` per node."""
+        node_arr = np.asarray(nodes, dtype=np.int64).ravel()
+        delta_arr = self._check_deltas(deltas, node_arr.shape[0], "nodes")
+        self._check_nodes(node_arr)
+        keep = delta_arr != 0.0
+        node_arr, delta_arr = node_arr[keep], delta_arr[keep]
+        if node_arr.shape[0] == 0:
+            return
+        r_new = node_arr.shape[0]
+        u_new = np.zeros((self._n, r_new))
+        u_new[node_arr, np.arange(r_new)] = 1.0
+        self._push(u_new, delta_arr, node_arr, node_arr, delta_arr)
+
+    def _check_deltas(
+        self, deltas: np.ndarray, expected: int, what: str
+    ) -> np.ndarray:
+        delta_arr = np.asarray(deltas, dtype=float).ravel()
+        if delta_arr.shape[0] != expected:
+            raise LinalgError(
+                f"got {expected} {what} but {delta_arr.shape[0]} deltas"
+            )
+        if not np.all(np.isfinite(delta_arr)):
+            raise LinalgError("update deltas must be finite")
+        return delta_arr
+
+    def _check_nodes(self, nodes: np.ndarray) -> None:
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self._n):
+            raise LinalgError(
+                f"update node indices out of range for n={self._n}"
+            )
+
+    def _push(
+        self,
+        u_new: np.ndarray,
+        c_new: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        self._pending_rows.append(np.asarray(rows, dtype=np.int64))
+        self._pending_cols.append(np.asarray(cols, dtype=np.int64))
+        self._pending_vals.append(np.asarray(vals, dtype=float))
+        self._n_batches += 1
+        over_rank = self.rank + u_new.shape[1] > self._config.rank_threshold
+        over_budget = self._n_batches > self._config.update_budget
+        if over_rank or over_budget:
+            # Exact refactorization handoff: fold every pending update
+            # (including this one) into the base and start clean.
+            self._rebuild()
+            return
+        w_new = self._factor.solve_many(u_new)
+        if w_new.ndim == 1:
+            w_new = w_new.reshape(self._n, 1)
+        self._u = np.hstack([self._u, u_new])
+        self._w = np.hstack([self._w, w_new])
+        self._c = np.concatenate([self._c, c_new])
+        self._cap_lu = None
+        profiling.increment("linalg.incremental_updates")
+
+    def _rebuild(self) -> None:
+        delta = self._pending_delta()
+        if delta is not None:
+            self._base = (self._base + delta).tocsc()
+        self._factor = factorize(self._base, spd=self._spd, config=self._config)
+        self._reset_updates()
+        self.n_rebuilds += 1
+        profiling.increment("linalg.incremental_rebuilds")
+
+    # -- solves ---------------------------------------------------------
+
+    def _capacitance_solve(self, v: np.ndarray) -> np.ndarray:
+        if self._cap_lu is None:
+            cap = np.diag(1.0 / self._c) + self._u.T @ self._w
+            try:
+                self._cap_lu = lu_factor(cap)
+            except (ValueError, ArithmeticError) as exc:
+                raise LinalgError(
+                    f"low-rank capacitance system could not be factorized: "
+                    f"{exc}"
+                ) from exc
+        return lu_solve(self._cap_lu, v)
+
+    def _apply(self, y: np.ndarray) -> np.ndarray:
+        if self.rank == 0:
+            return y
+        correction = self._w @ self._capacitance_solve(self._u.T @ y)
+        x = y - correction
+        return corrupt(SITE_LINALG_UPDATE, x)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve the *current* (base + updates) system for one RHS."""
+        y = self._factor.solve(np.asarray(rhs, dtype=float))
+        x = self._apply(y)
+        if not np.all(np.isfinite(x)):
+            raise LinalgError(
+                "incremental solve produced non-finite values; the "
+                "accumulated update likely made the system singular"
+            )
+        if self.rank:
+            profiling.increment("linalg.incremental_solves")
+        return x
+
+    def solve_many(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve the current system for an ``(n, k)`` block of RHS."""
+        y = self._factor.solve_many(np.asarray(rhs, dtype=float))
+        x = self._apply(y)
+        if not np.all(np.isfinite(x)):
+            raise LinalgError(
+                "incremental multi-RHS solve produced non-finite values"
+            )
+        if self.rank:
+            profiling.increment("linalg.incremental_solves")
+        return x
+
+    def refactorize(self) -> None:
+        """Force the exact-rebuild handoff now (fold updates, refactorize)."""
+        self._rebuild()

@@ -2,17 +2,24 @@
 
 The system matrices here are ~10^4 x 10^4 and larger; the difference between
 the memoized-LU path and a naive loop is the difference between the paper's
-"seconds per candidate" and minutes.  Three anti-patterns are flagged:
+"seconds per candidate" and minutes.  Four anti-patterns are flagged:
 
 * ``.todense()`` / ``.toarray()`` on matrices -- densifying a system matrix
   is O(n^2) memory and almost always a bug outside tiny debug scripts.
 * Sparse construction or format conversion (``coo_matrix``/``csc_matrix``/
   ``diags``/``.tocsc()``/...) inside a ``for``/``while`` loop -- assemble
   once outside, or factor the loop body into a memoized helper.
-* ``splu`` inside a loop, or ``spsolve`` anywhere -- repeated
-  factorizations must go through a quantized-pressure LU cache (the
-  ``LinearThermalSystem._factorize`` pattern); ``spsolve`` throws its
-  factorization away by construction.
+* Direct factorization (``splu``/``spilu``/``factorized``) anywhere outside
+  :mod:`repro.linalg` -- the backend registry is the single sanctioned
+  owner of raw factorizations; everything else calls
+  ``repro.linalg.factorize`` so backend selection, telemetry and the
+  incremental-update machinery stay in one place.  A module can opt in
+  (e.g. benchmark harnesses measuring raw backends) by declaring
+  ``repro-lint-scope: sparse-backend`` in its docstring.
+* ``splu`` inside a loop (flagged even inside the sanctioned modules), or
+  ``spsolve`` anywhere -- repeated factorizations must go through a
+  memoized cache; ``spsolve`` throws its factorization away by
+  construction.
 """
 
 from __future__ import annotations
@@ -43,6 +50,11 @@ _CONVERSION_METHODS = {"tocsc", "tocsr", "tocoo", "tolil", "todok"}
 
 _FACTORIZERS = {"splu", "spilu", "factorized"}
 
+#: The one module tree allowed to call raw factorizers: the pluggable
+#: solver-backend registry.  Everything else goes through its
+#: ``repro.linalg.factorize`` front door.
+BACKEND_MODULE = "repro.linalg"
+
 
 def _callee_name(node: ast.Call) -> Optional[str]:
     func = node.func
@@ -61,40 +73,59 @@ class SparsePatternsRule(Rule):
     name = "sparse-patterns"
     description = (
         "no .todense()/.toarray(); no sparse assembly/conversion or splu "
-        "inside loops; no spsolve (use the memoized-LU path)"
+        "inside loops; no spsolve; no splu/factorized outside repro.linalg "
+        "(call repro.linalg.factorize)"
     )
 
     def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
-        yield from self._walk(ctx, ctx.tree.body, loop_depth=0)
+        module = ctx.module
+        sanctioned = (
+            module == BACKEND_MODULE
+            or module.startswith(BACKEND_MODULE + ".")
+            or "sparse-backend" in ctx.scopes
+        )
+        yield from self._walk(ctx, ctx.tree.body, loop_depth=0,
+                              sanctioned=sanctioned)
 
     def _walk(
-        self, ctx: FileContext, body: list, loop_depth: int
+        self, ctx: FileContext, body: list, loop_depth: int, sanctioned: bool
     ) -> Iterator[Finding]:
         for stmt in body:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 # A nested def's body runs when called, not per iteration.
-                yield from self._walk(ctx, stmt.body, loop_depth=0)
+                yield from self._walk(
+                    ctx, stmt.body, loop_depth=0, sanctioned=sanctioned
+                )
                 continue
             if isinstance(stmt, ast.ClassDef):
-                yield from self._walk(ctx, stmt.body, loop_depth=0)
+                yield from self._walk(
+                    ctx, stmt.body, loop_depth=0, sanctioned=sanctioned
+                )
                 continue
             inner_depth = loop_depth + (
                 1 if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)) else 0
             )
             for child in ast.iter_child_nodes(stmt):
                 if isinstance(child, ast.expr):
-                    yield from self._check_expr(ctx, child, loop_depth)
+                    yield from self._check_expr(
+                        ctx, child, loop_depth, sanctioned
+                    )
                 elif isinstance(child, ast.stmt):
-                    yield from self._walk(ctx, [child], inner_depth)
+                    yield from self._walk(
+                        ctx, [child], inner_depth, sanctioned
+                    )
                 elif isinstance(child, ast.excepthandler):
-                    yield from self._walk(ctx, child.body, inner_depth)
+                    yield from self._walk(
+                        ctx, child.body, inner_depth, sanctioned
+                    )
                 elif isinstance(child, ast.withitem):
                     yield from self._check_expr(
-                        ctx, child.context_expr, loop_depth
+                        ctx, child.context_expr, loop_depth, sanctioned
                     )
 
     def _check_expr(
-        self, ctx: FileContext, expr: ast.expr, loop_depth: int
+        self, ctx: FileContext, expr: ast.expr, loop_depth: int,
+        sanctioned: bool,
     ) -> Iterator[Finding]:
         for node in ast.walk(expr):
             if not isinstance(node, ast.Call):
@@ -115,8 +146,16 @@ class SparsePatternsRule(Rule):
                 yield self.finding(
                     ctx,
                     node,
-                    "spsolve discards its factorization; use splu through "
-                    "the memoized-LU path (LinearThermalSystem._factorize)",
+                    "spsolve discards its factorization; solve through "
+                    "repro.linalg.factorize and reuse the factor",
+                )
+            elif name in _FACTORIZERS and not sanctioned:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() outside repro.linalg bypasses the solver "
+                    f"backend registry; call repro.linalg.factorize (or "
+                    f"declare 'repro-lint-scope: sparse-backend')",
                 )
             elif loop_depth > 0 and name in _FACTORIZERS:
                 yield self.finding(

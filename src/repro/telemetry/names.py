@@ -32,6 +32,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "cooling.evaluate_problem1",
         "cooling.evaluate_problem2",
         "flow.unit_solve",
+        "linalg.factorize",
         "optimize.direction",
         "optimize.final_eval",
         "optimize.rescore",
@@ -58,9 +59,18 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "cooling.cache_hits",
         "cooling.simulations",
         "faults.injected",
+        "cooling.exact_recomputes",
         "flow.unit_cache_hits",
         "flow.unit_solve",
         "flow.unit_solves",
+        "linalg.factorizations",
+        "linalg.factorize",
+        "linalg.incremental_fallbacks",
+        "linalg.incremental_rebuilds",
+        "linalg.incremental_solve",
+        "linalg.incremental_solves",
+        "linalg.incremental_updates",
+        "linalg.shift_bases",
         "optimize.batch_cache_hits",
         "optimize.candidate",
         "parallel.batch",
@@ -104,7 +114,9 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
 
 #: Dynamic name families: an f-string whose literal prefix is
 #: ``"<prefix>."`` is accepted for a registered ``"<prefix>.*"`` entry.
-WILDCARD_PREFIXES: FrozenSet[str] = frozenset({"faults.injected.*"})
+WILDCARD_PREFIXES: FrozenSet[str] = frozenset(
+    {"faults.injected.*", "linalg.backend.*"}
+)
 
 #: Every registered literal name (the R7 lookup set).
 REGISTERED_NAMES: FrozenSet[str] = SPAN_NAMES | METRIC_NAMES | EVENT_TYPES

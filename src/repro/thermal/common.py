@@ -22,11 +22,11 @@ from typing import Any, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csc_matrix
-from scipy.sparse.linalg import splu
 
-from .. import profiling, telemetry
+from .. import linalg, profiling, telemetry
 from ..constants import NUSSELT_NUMBER, quantize_key
-from ..errors import ThermalError
+from ..errors import LinalgError, ThermalError
+from ..faults import SITE_LINALG_UPDATE, corrupt
 from ..flow.conductance import hydraulic_diameter
 from ..materials import Coolant
 
@@ -204,6 +204,42 @@ class ConductanceBuilder:
         ).tocsc()
 
 
+class _PressureShiftState:
+    """Cached Woodbury data for incremental solves across pressures.
+
+    The operator family ``A(P) = K + P A_adv`` differs from the base
+    ``A(P0)`` by ``(P - P0) A_adv``, and the advection matrix has nonzero
+    rows only at liquid nodes: ``A_adv = U V^T`` with ``U`` the selector of
+    those ``r`` rows and ``V^T = A_adv[rows, :]``.  One base factorization
+    plus ``W = A(P0)^{-1} U`` (an ``r``-column multi-RHS solve, paid once)
+    turns every later pressure probe into a single triangular solve and an
+    ``r x r`` dense solve -- instead of a fresh sparse factorization.
+    """
+
+    __slots__ = ("p0", "factor", "rows", "vt", "w", "m")
+
+    def __init__(
+        self,
+        p0: float,
+        factor: "linalg.Factorization",
+        rows: np.ndarray,
+        vt: csc_matrix,
+        w: np.ndarray,
+        m: np.ndarray,
+    ) -> None:
+        self.p0 = p0
+        self.factor = factor
+        self.rows = rows
+        self.vt = vt
+        self.w = w
+        self.m = m
+
+
+#: Sentinel: the advection row rank exceeds the configured threshold, so
+#: the incremental pressure-shift path is permanently off for this system.
+_SHIFT_DISABLED = object()
+
+
 class LinearThermalSystem:
     """Solves ``(K + P A) T = b0 + P b1`` for the node temperature vector.
 
@@ -216,6 +252,14 @@ class LinearThermalSystem:
     are memoized per quantized pressure (:data:`~repro.constants.
     PRESSURE_KEY_DECIMALS`), so re-solving at a pressure the searches already
     probed only pays the cheap triangular sweeps.
+
+    Incremental solves: when :class:`~repro.linalg.LinalgConfig` enables
+    them (the default), pressure probes after the first are answered through
+    the Woodbury pressure-shift path (see :class:`_PressureShiftState`)
+    instead of refactorizing, guarded by a relative-residual check that
+    falls back to the exact path on any doubt.  ``solve(..., exact=True)``
+    bypasses the incremental path entirely -- final scoring uses it so
+    results are bitwise identical with incremental updates on or off.
     """
 
     #: Factorizations retained per system (the pressure searches probe a few
@@ -237,6 +281,8 @@ class LinearThermalSystem:
         self._k_aligned: Optional[csc_matrix] = None
         self._a_aligned: Optional[csc_matrix] = None
         self._lu_cache: "OrderedDict[float, object]" = OrderedDict()
+        self._shift: Any = None
+        self._base_key: Optional[float] = None
 
     # -- operator assembly with structure reuse -------------------------
 
@@ -283,13 +329,15 @@ class LinearThermalSystem:
         with telemetry.span("thermal.factorize", nodes=self.n_nodes):
             with profiling.timer("thermal.factorize"):
                 try:
-                    lu = splu(self._operator(p_sys))
-                except RuntimeError as exc:
+                    lu = linalg.factorize(self._operator(p_sys))
+                except LinalgError as exc:
                     raise ThermalError(
                         "thermal system is singular; some nodes may be "
                         "thermally isolated from the coolant"
                     ) from exc
         profiling.increment("thermal.factorizations")
+        if self._base_key is None:
+            self._base_key = key
         self._lu_cache[key] = lu
         while len(self._lu_cache) > self.LU_CACHE_SIZE:
             self._lu_cache.popitem(last=False)
@@ -297,22 +345,109 @@ class LinearThermalSystem:
 
     # -- solves ----------------------------------------------------------
 
-    def solve(self, p_sys: float) -> np.ndarray:
-        """Node temperatures at one system pressure drop."""
+    def solve(self, p_sys: float, exact: bool = False) -> np.ndarray:
+        """Node temperatures at one system pressure drop.
+
+        Args:
+            p_sys: System pressure drop in Pa (> 0).
+            exact: Bypass the incremental pressure-shift path and solve
+                through a (cached) exact factorization.  Final scoring
+                passes ``True`` so results never depend on whether
+                incremental updates are enabled.
+        """
         if p_sys <= 0:
             raise ThermalError(
                 f"system pressure must be positive for a steady solution, "
                 f"got {p_sys}"
             )
-        lu = self._factorize(p_sys)
-        rhs = self.rhs_static + p_sys * self.rhs_advection
-        with telemetry.span("thermal.solve", nodes=self.n_nodes):
-            with profiling.timer("thermal.solve"):
-                temperatures = lu.solve(rhs)
-        profiling.increment("thermal.solves")
+        temperatures: Optional[np.ndarray] = None
+        if not exact and quantize_key(p_sys) not in self._lu_cache:
+            temperatures = self._solve_incremental(p_sys)
+        if temperatures is None:
+            lu = self._factorize(p_sys)
+            rhs = self.rhs_static + p_sys * self.rhs_advection
+            with telemetry.span("thermal.solve", nodes=self.n_nodes):
+                with profiling.timer("thermal.solve"):
+                    temperatures = lu.solve(rhs)
+            profiling.increment("thermal.solves")
         if not np.all(np.isfinite(temperatures)):
             raise ThermalError("thermal solve produced non-finite temperatures")
         return temperatures
+
+    # -- incremental pressure-shift path ---------------------------------
+
+    def _solve_incremental(self, p_sys: float) -> Optional[np.ndarray]:
+        """A Woodbury solve at ``p_sys``, or ``None`` to use the exact path.
+
+        Applicable once a base factorization exists and the advection
+        operator's row rank fits the configured threshold.  The result is
+        accepted only if its relative residual on the *true* operator at
+        ``p_sys`` meets ``residual_rtol``; otherwise the caller refactorizes
+        exactly (and the fallback is counted).
+        """
+        config = linalg.current_config()
+        if not config.incremental:
+            return None
+        shift = self._shift
+        if shift is None:
+            if self._base_key is None:
+                return None  # first solve establishes the exact base
+            shift = self._build_shift(config)
+        if shift is _SHIFT_DISABLED:
+            return None
+        rhs = self.rhs_static + p_sys * self.rhs_advection
+        dp = p_sys - shift.p0
+        with profiling.timer("linalg.incremental_solve"):
+            y = shift.factor.solve(rhs)
+            if shift.rows.size == 0 or dp == 0.0:
+                x = y
+            else:
+                r = shift.rows.size
+                cap = shift.m + np.eye(r) / dp
+                try:
+                    z = np.linalg.solve(cap, shift.vt @ y)
+                except np.linalg.LinAlgError:
+                    profiling.increment("linalg.incremental_fallbacks")
+                    return None
+                x = y - shift.w @ z
+        residual = self._operator(p_sys) @ x - rhs
+        scale = max(float(np.max(np.abs(rhs))), 1.0)
+        if (
+            not np.all(np.isfinite(x))
+            or float(np.max(np.abs(residual))) > config.residual_rtol * scale
+        ):
+            profiling.increment("linalg.incremental_fallbacks")
+            return None
+        profiling.increment("linalg.incremental_solves")
+        return corrupt(SITE_LINALG_UPDATE, x)
+
+    def _build_shift(self, config: "linalg.LinalgConfig") -> Any:
+        """Build (or permanently disable) the pressure-shift state."""
+        advection = self.advection.tocoo()
+        mask = advection.data != 0.0
+        rows = np.unique(advection.row[mask])
+        if rows.size > config.rank_threshold:
+            self._shift = _SHIFT_DISABLED
+            return self._shift
+        base_key = self._base_key
+        factor = self._lu_cache.get(base_key)
+        if factor is None:
+            factor = self._factorize(base_key)
+        if rows.size:
+            vt = self.advection.tocsr()[rows, :]
+            unit = np.zeros((self.n_nodes, rows.size))
+            unit[rows, np.arange(rows.size)] = 1.0
+            w = factor.solve_many(unit)
+            m = np.asarray(vt @ w)
+        else:
+            vt = self.advection.tocsr()[rows, :]
+            w = np.zeros((self.n_nodes, 0))
+            m = np.zeros((0, 0))
+        self._shift = _PressureShiftState(
+            p0=float(base_key), factor=factor, rows=rows, vt=vt, w=w, m=m
+        )
+        profiling.increment("linalg.shift_bases")
+        return self._shift
 
     def system_matrix(self, p_sys: float) -> csc_matrix:
         """The assembled operator at ``p_sys`` (used by the transient solver)."""

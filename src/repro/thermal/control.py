@@ -21,10 +21,10 @@ from typing import Any, Callable, List, Optional
 
 import numpy as np
 from scipy.sparse import diags
-from scipy.sparse.linalg import splu
 
+from .. import linalg
 from ..constants import quantize_key
-from ..errors import ThermalError
+from ..errors import LinalgError, ThermalError
 from .result import ThermalResult
 
 #: Backward-Euler LU factorizations kept per controlled run.  A bang-bang
@@ -192,7 +192,13 @@ def run_controlled(
         lu = lu_cache.get(key)
         if lu is None:
             matrix = steady.system.system_matrix(pressure)
-            lu = splu((matrix.tocsc() + c_diag))
+            try:
+                lu = linalg.factorize(matrix.tocsc() + c_diag)
+            except LinalgError as exc:
+                raise ThermalError(
+                    f"backward-Euler operator is singular at commanded "
+                    f"pressure {pressure}"
+                ) from exc
             lu_cache[key] = lu
             while len(lu_cache) > _CONTROL_LU_CACHE_SIZE:
                 lu_cache.popitem(last=False)

@@ -277,10 +277,15 @@ class RC4Simulator:
     # Solve
     # ------------------------------------------------------------------
 
-    def solve(self, p_sys: float) -> ThermalResult:
-        """Steady temperatures at system pressure drop ``p_sys`` (Pa)."""
+    def solve(self, p_sys: float, exact: bool = False) -> ThermalResult:
+        """Steady temperatures at system pressure drop ``p_sys`` (Pa).
+
+        ``exact=True`` bypasses the incremental solver path (final scoring).
+        """
         with telemetry.span("thermal.rc4.solve", cells=self.n_nodes):
-            temperatures = corrupt(SITE_THERMAL_RC4, self.system.solve(p_sys))
+            temperatures = corrupt(
+                SITE_THERMAL_RC4, self.system.solve(p_sys, exact=exact)
+            )
             if not np.all(np.isfinite(temperatures)):
                 raise ThermalError(
                     "4RM solve produced non-finite temperatures"

@@ -16,9 +16,9 @@ from typing import Callable, List, Optional
 
 import numpy as np
 from scipy.sparse import diags
-from scipy.sparse.linalg import splu
 
-from ..errors import ThermalError
+from .. import linalg
+from ..errors import LinalgError, ThermalError
 from .result import ThermalResult
 
 
@@ -121,7 +121,12 @@ class TransientSimulator:
             )
         c_over_dt = self.capacitances / dt
         lhs = (self._matrix + diags(c_over_dt)).tocsc()
-        lu = splu(lhs)
+        try:
+            lu = linalg.factorize(lhs)
+        except LinalgError as exc:
+            raise ThermalError(
+                "backward-Euler operator could not be factorized"
+            ) from exc
 
         # Split the RHS so sources can be rescaled over time: the static part
         # contains the power map, the advection part the inlet-enthalpy term.

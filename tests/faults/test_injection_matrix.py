@@ -41,6 +41,7 @@ from repro.faults import (
     SITE_FLOW_MATRIX,
     SITE_FLOW_PRESSURES,
     SITE_IO_POWER_MAP,
+    SITE_LINALG_UPDATE,
     SITE_PARALLEL_DISPATCH,
     SITE_PARALLEL_WORKER,
     SITE_THERMAL_RC2,
@@ -133,6 +134,8 @@ IN_PROCESS_ERRORS = [
     ("inf", SITE_THERMAL_RC2, "problem1", "2rm", ThermalError),
     ("nan", SITE_THERMAL_RC4, "problem1", "4rm", ThermalError),
     ("inf", SITE_THERMAL_RC4, "problem1", "4rm", ThermalError),
+    ("nan", SITE_LINALG_UPDATE, "problem1", "2rm", ThermalError),
+    ("inf", SITE_LINALG_UPDATE, "problem1", "2rm", ThermalError),
     (
         "raise-infeasible",
         SITE_COOLING_PROBLEM1,

@@ -16,6 +16,7 @@ from repro.faults import (
     FaultSpec,
     SITE_PARALLEL_WORKER,
 )
+from repro.linalg import use_config
 from repro.iccad2015 import load_case
 from repro.optimize import optimize_problem1
 from repro.optimize.stages import METRIC_LOWEST_FEASIBLE_POWER, StageConfig
@@ -71,3 +72,34 @@ def test_sa_survives_30pct_worker_deaths(watchdog, case):
         counters.get("parallel.worker_lost", 0) > 0
         or counters.get("parallel.degraded", 0) > 0
     )
+
+
+def test_sa_incremental_updates_are_bitwise_invisible(watchdog, case):
+    """Incremental solver updates never change what the SA flow returns.
+
+    The acceptance bar of the incremental-solver tentpole: the staged flow
+    with Woodbury pressure-shift solves enabled (the default) must return
+    the *same* design with a bit-identical score as a run forced through
+    fresh factorizations -- and keep doing so while 30% of worker
+    candidates kill their process, because respawned workers re-arm the
+    parent's solver configuration.
+    """
+    with watchdog(WATCHDOG), use_config(incremental=False):
+        exact = run_sa(case)
+    assert exact.evaluation is not None
+
+    with watchdog(WATCHDOG):
+        incremental = run_sa(case)
+    assert incremental.evaluation.score == exact.evaluation.score
+    assert incremental.evaluation.feasible == exact.evaluation.feasible
+    assert incremental.direction == exact.direction
+    assert (incremental.plan.params() == exact.plan.params()).all()
+
+    chaos_plan = FaultPlan(
+        [FaultSpec(site=SITE_PARALLEL_WORKER, kind="worker-death", rate=0.3)],
+        seed=42,
+    )
+    with watchdog(WATCHDOG), FaultInjector(chaos_plan):
+        chaos = run_sa(case)
+    assert chaos.evaluation.score == exact.evaluation.score
+    assert (chaos.plan.params() == exact.plan.params()).all()

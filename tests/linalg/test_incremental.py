@@ -1,0 +1,223 @@
+"""Differential parity of the Woodbury incremental-update path.
+
+Every test pits :class:`~repro.linalg.IncrementalFactorization` against a
+fresh ``splu`` factorization of the *same* current operator (base matrix
+plus every applied update) and demands 1e-10 agreement -- through arbitrary
+randomized update sequences, across the rank-threshold handoff, past the
+accumulated-update budget, and on degenerate updates that drive the system
+singular (which must raise the typed error, not return NaNs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.sparse import identity
+from scipy.sparse.linalg import splu
+
+from repro.errors import LinalgError
+from repro.linalg import IncrementalFactorization, LinalgConfig
+
+from .test_backends import assert_parity, random_conductance_system
+
+
+@st.composite
+def update_sequences(draw):
+    """A random system plus a random mixed pair/diagonal update sequence."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(4, 40))
+    n_updates = draw(st.integers(1, 8))
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    updates = []
+    for _ in range(n_updates):
+        kind = rng.integers(0, 2)
+        r = int(rng.integers(1, 4))
+        if kind == 0:
+            pairs = rng.integers(0, n, size=(r, 2))
+            pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+            deltas = rng.uniform(0.05, 2.0, size=pairs.shape[0])
+            updates.append(("pairs", pairs, deltas))
+        else:
+            nodes = rng.integers(0, n, size=r)
+            deltas = rng.uniform(0.05, 2.0, size=r)
+            updates.append(("diag", nodes, deltas))
+    return seed, n, updates
+
+
+def apply_updates(inc: IncrementalFactorization, updates) -> None:
+    for kind, where, deltas in updates:
+        if kind == "pairs":
+            inc.update_pairs(where, deltas)
+        else:
+            inc.update_diagonal(where, deltas)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=update_sequences())
+def test_incremental_matches_fresh_factorization(data):
+    seed, n, updates = data
+    matrix, rhs = random_conductance_system(seed, n)
+    inc = IncrementalFactorization(matrix)
+    apply_updates(inc, updates)
+    reference = splu(inc.matrix().tocsc()).solve(rhs)
+    assert_parity(inc.solve(rhs), reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=update_sequences(), k=st.integers(1, 5))
+def test_incremental_multi_rhs_parity(data, k):
+    seed, n, updates = data
+    matrix, _ = random_conductance_system(seed, n)
+    rng = np.random.default_rng(seed ^ 0xB10C)
+    block = rng.uniform(-1.0, 1.0, size=(n, k))
+    inc = IncrementalFactorization(matrix)
+    apply_updates(inc, updates)
+    lu = splu(inc.matrix().tocsc())
+    got = inc.solve_many(block)
+    for col in range(k):
+        assert_parity(got[:, col], lu.solve(block[:, col]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=update_sequences())
+def test_rank_threshold_handoff_keeps_parity(data):
+    """A tiny rank threshold forces mid-sequence exact rebuilds; parity must
+    hold straight across the handoff."""
+    seed, n, updates = data
+    matrix, rhs = random_conductance_system(seed, n)
+    config = LinalgConfig(rank_threshold=2)
+    inc = IncrementalFactorization(matrix, config=config)
+    apply_updates(inc, updates)
+    assert inc.rank <= 2
+    reference = splu(inc.matrix().tocsc()).solve(rhs)
+    assert_parity(inc.solve(rhs), reference)
+
+
+def test_rank_threshold_triggers_rebuild_counter():
+    matrix, rhs = random_conductance_system(11, 20)
+    inc = IncrementalFactorization(matrix, config=LinalgConfig(rank_threshold=1))
+    inc.update_pairs(np.array([[0, 1]]), np.array([0.5]))
+    assert inc.n_rebuilds == 0  # rank 1 fits exactly
+    inc.update_pairs(np.array([[2, 3]]), np.array([0.5]))
+    assert inc.n_rebuilds == 1  # would be rank 2: folded and refactorized
+    assert inc.rank == 0
+    reference = splu(inc.matrix().tocsc()).solve(rhs)
+    assert_parity(inc.solve(rhs), reference)
+
+
+def test_update_budget_triggers_rebuild():
+    matrix, rhs = random_conductance_system(13, 25)
+    inc = IncrementalFactorization(
+        matrix, config=LinalgConfig(update_budget=2, rank_threshold=96)
+    )
+    for step in range(3):
+        inc.update_diagonal(np.array([step]), np.array([0.25]))
+    assert inc.n_rebuilds == 1
+    reference = splu(inc.matrix().tocsc()).solve(rhs)
+    assert_parity(inc.solve(rhs), reference)
+
+
+def test_forced_refactorize_folds_updates():
+    matrix, rhs = random_conductance_system(17, 18)
+    inc = IncrementalFactorization(matrix)
+    inc.update_pairs(np.array([[1, 2], [3, 4]]), np.array([1.0, -0.05]))
+    assert inc.rank == 2
+    inc.refactorize()
+    assert inc.rank == 0
+    assert inc.n_rebuilds == 1
+    reference = splu(inc.matrix().tocsc()).solve(rhs)
+    assert_parity(inc.solve(rhs), reference)
+
+
+def test_negative_deltas_are_exact_too():
+    """Weakening a conductance (the other half of every SA move)."""
+    matrix, rhs = random_conductance_system(19, 22)
+    inc = IncrementalFactorization(matrix)
+    inc.update_pairs(np.array([[0, 1], [5, 6]]), np.array([-0.05, -0.01]))
+    reference = splu(inc.matrix().tocsc()).solve(rhs)
+    assert_parity(inc.solve(rhs), reference)
+
+
+def test_zero_deltas_are_no_ops():
+    matrix, _ = random_conductance_system(23, 12)
+    inc = IncrementalFactorization(matrix)
+    inc.update_pairs(np.array([[0, 1]]), np.array([0.0]))
+    inc.update_diagonal(np.array([2]), np.array([0.0]))
+    assert inc.rank == 0
+    assert inc.n_rebuilds == 0
+
+
+# ---------------------------------------------------------------------------
+# Degenerate systems
+# ---------------------------------------------------------------------------
+
+
+def test_singular_base_matrix_is_typed_error():
+    n = 8
+    i = np.arange(n - 1)
+    from scipy.sparse import coo_matrix
+
+    ones = np.ones(n - 1)
+    singular = coo_matrix(
+        (
+            np.concatenate([ones, ones, -ones, -ones]),
+            (
+                np.concatenate([i, i + 1, i, i + 1]),
+                np.concatenate([i, i + 1, i + 1, i]),
+            ),
+        ),
+        shape=(n, n),
+    ).tocsc()
+    with pytest.raises(LinalgError):
+        IncrementalFactorization(singular)
+
+
+def test_update_driving_system_singular_is_typed_error():
+    # Identity base; removing node 0's only conductance makes A singular.
+    inc = IncrementalFactorization(identity(6, format="csc"))
+    inc.update_diagonal(np.array([0]), np.array([-1.0]))
+    with pytest.raises(LinalgError):
+        inc.solve(np.ones(6))
+
+
+def test_near_singular_update_still_meets_parity():
+    matrix, rhs = random_conductance_system(29, 16)
+    inc = IncrementalFactorization(matrix)
+    # Cancel most of a grounding term: legal but poorly conditioned.
+    diag0 = float(inc.matrix().diagonal()[0])
+    inc.update_diagonal(np.array([0]), np.array([-0.9 * diag0]))
+    reference = splu(inc.matrix().tocsc()).solve(rhs)
+    scale = max(float(np.max(np.abs(reference))), 1.0)
+    assert float(np.max(np.abs(inc.solve(rhs) - reference))) <= 1e-8 * scale
+
+
+# ---------------------------------------------------------------------------
+# Input validation
+# ---------------------------------------------------------------------------
+
+
+def test_mismatched_delta_count_rejected():
+    inc = IncrementalFactorization(identity(5, format="csc"))
+    with pytest.raises(LinalgError, match="deltas"):
+        inc.update_pairs(np.array([[0, 1]]), np.array([1.0, 2.0]))
+
+
+def test_out_of_range_nodes_rejected():
+    inc = IncrementalFactorization(identity(5, format="csc"))
+    with pytest.raises(LinalgError, match="out of range"):
+        inc.update_diagonal(np.array([9]), np.array([1.0]))
+
+
+def test_non_finite_deltas_rejected():
+    inc = IncrementalFactorization(identity(5, format="csc"))
+    with pytest.raises(LinalgError, match="finite"):
+        inc.update_pairs(np.array([[0, 1]]), np.array([np.nan]))
+
+
+def test_non_square_matrix_rejected():
+    from scipy.sparse import csc_matrix
+
+    with pytest.raises(LinalgError, match="square"):
+        IncrementalFactorization(csc_matrix(np.ones((2, 3))))

@@ -1,7 +1,7 @@
-"""Fixture: R5 violations -- dense conversions and in-loop factorization."""
+"""Fixture: R5 violations -- dense conversions, unsanctioned factorization."""
 
 from scipy.sparse import csr_matrix
-from scipy.sparse.linalg import splu, spsolve
+from scipy.sparse.linalg import factorized, splu, spsolve
 
 
 def densify(matrix):
@@ -10,6 +10,10 @@ def densify(matrix):
 
 def solve_naive(matrix, rhs):
     return spsolve(matrix, rhs)  # throws the factorization away
+
+
+def factorize_here(matrix):
+    return factorized(matrix)  # raw factorizer outside repro.linalg
 
 
 def loop_assembly(blocks, rhs):

@@ -1,7 +1,8 @@
-"""Fixture: R5-clean module -- memoized factorization, hoisted assembly."""
+"""Fixture: R5-clean module -- registry factorization, hoisted assembly."""
 
 from scipy.sparse import csr_matrix
-from scipy.sparse.linalg import splu
+
+from repro.linalg import factorize
 
 _lu_cache = {}
 
@@ -9,7 +10,7 @@ _lu_cache = {}
 def _factorize(matrix, key):
     lu = _lu_cache.get(key)
     if lu is None:
-        lu = splu(matrix)
+        lu = factorize(matrix)
         _lu_cache[key] = lu
     return lu
 

@@ -19,7 +19,7 @@ BAD_FIXTURES = [
     ("R2", "r2_bad.py", 4),
     ("R3", "r3_bad.py", 4),
     ("R4", "r4_bad.py", 3),
-    ("R5", "r5_bad.py", 5),
+    ("R5", "r5_bad.py", 6),
     ("R6", "r6_bad.py", 4),
     ("R7", "r7_bad.py", 7),
 ]
@@ -107,7 +107,8 @@ def test_r5_flags_every_anti_pattern_kind():
     messages = " | ".join(f.message for f in report.findings)
     assert ".toarray()" in messages
     assert "spsolve" in messages
-    assert "splu() inside a loop" in messages
+    assert "factorized() outside repro.linalg" in messages
+    assert "splu() outside repro.linalg" in messages
     assert "csr_matrix() inside a loop" in messages
     assert ".tocsc() format conversion inside a loop" in messages
 
@@ -210,3 +211,61 @@ class TestR6BoundaryModule:
         )
         report = Analyzer(select=["R6"]).run([str(mod)])
         assert report.findings == []
+
+
+class TestR5BackendModule:
+    """R5 sanctions raw factorizers only inside ``repro.linalg``."""
+
+    BODY = (
+        "from scipy.sparse.linalg import splu\n"
+        "def factorize(matrix):\n"
+        "    return splu(matrix)\n"
+    )
+
+    LOOP_BODY = (
+        "from scipy.sparse.linalg import splu\n"
+        "def solve_all(matrices, rhs):\n"
+        "    out = []\n"
+        "    for matrix in matrices:\n"
+        "        out.append(splu(matrix).solve(rhs))\n"
+        "    return out\n"
+    )
+
+    def _make_module(self, root, package, body):
+        path = root
+        for part in package.split("."):
+            path = path / part
+            path.mkdir()
+            (path / "__init__.py").write_text("")
+        mod = path / "mod.py"
+        mod.write_text(body)
+        return mod
+
+    def test_backend_package_is_sanctioned(self, tmp_path):
+        mod = self._make_module(tmp_path, "repro.linalg", self.BODY)
+        report = Analyzer(select=["R5"]).run([str(mod)])
+        assert report.findings == []
+
+    def test_lookalike_package_is_flagged(self, tmp_path):
+        # "repro.linalgx" must not ride on the "repro.linalg" sanction.
+        mod = self._make_module(tmp_path, "repro.linalgx", self.BODY)
+        report = Analyzer(select=["R5"]).run([str(mod)])
+        assert len(report.findings) == 1
+        assert "outside repro.linalg" in report.findings[0].message
+
+    def test_sparse_backend_scope_is_sanctioned(self, tmp_path):
+        mod = tmp_path / "scoped.py"
+        mod.write_text(
+            '"""Scoped fixture.\n\nrepro-lint-scope: sparse-backend\n"""\n'
+            + self.BODY
+        )
+        report = Analyzer(select=["R5"]).run([str(mod)])
+        assert report.findings == []
+
+    def test_in_loop_factorization_flagged_even_when_sanctioned(
+        self, tmp_path
+    ):
+        mod = self._make_module(tmp_path, "repro.linalg", self.LOOP_BODY)
+        report = Analyzer(select=["R5"]).run([str(mod)])
+        assert len(report.findings) == 1
+        assert "inside a loop" in report.findings[0].message
