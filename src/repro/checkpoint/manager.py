@@ -52,7 +52,7 @@ class CheckpointManager:
         fingerprint: str,
         every_iterations: Optional[int] = None,
         interrupt_check: Optional[Callable[[], bool]] = None,
-    ):
+    ) -> None:
         if every_iterations is not None and every_iterations < 1:
             raise CheckpointError(
                 f"checkpoint cadence must be >= 1 iteration, "

@@ -124,5 +124,13 @@ def quantize_key(value: float, decimals: int = PRESSURE_KEY_DECIMALS) -> float:
     must round through this helper so that epsilon-perturbed re-probes of the
     same operating point hit the cache instead of growing it.  The R2 lint
     rule (``repro.lint``) flags float-valued cache keys that bypass it.
+
+    Args:
+        value: The float to quantize, in whatever unit the caller keys
+            by -- deliberately unit-polymorphic.  [unit: any]
+        decimals: Rounding resolution.  [unit: 1]
+
+    Returns:
+        The rounded value, unchanged in unit.  [unit-return: any]
     """
     return round(float(value), decimals)

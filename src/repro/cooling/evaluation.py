@@ -97,6 +97,15 @@ def evaluate_problem1(
     infeasible (score ``+inf``).  Step 2 raises the pressure further when the
     peak-temperature constraint is still violated (``h`` is monotone, so a
     binary search suffices), and re-checks both constraints at the new point.
+
+    Args:
+        system: The cooling network under evaluation.
+        delta_t_star: Thermal-gradient constraint ``DeltaT*``.  [unit: K]
+        t_max_star: Peak-temperature constraint ``T_max*``.  [unit: K]
+        p_init: Starting pressure for the search.  [unit: Pa]
+        r_init: Dimensionless initial step ratio.  [unit: 1]
+        rtol: Dimensionless relative tolerance.  [unit: 1]
+        p_max: Upper pressure bound.  [unit: Pa]
     """
     inject(SITE_COOLING_PROBLEM1)
     with telemetry.span("cooling.evaluate_problem1"):
@@ -144,6 +153,13 @@ def evaluate_problem2(
     pressure window is ``[P_peak, P*]`` where ``P_peak`` is the smallest
     pressure meeting ``T_max*``; the gradient is minimized there -- directly
     at ``P*`` when ``f`` is still falling, else by golden-section search.
+
+    Args:
+        system: The cooling network under evaluation.
+        t_max_star: Peak-temperature constraint ``T_max*``.  [unit: K]
+        w_pump_star: Pumping-power cap ``W_pump*``.  [unit: W]
+        rtol: Dimensionless relative tolerance.  [unit: 1]
+        p_min: Lower pressure bound.  [unit: Pa]
     """
     inject(SITE_COOLING_PROBLEM2)
     with telemetry.span("cooling.evaluate_problem2"):

@@ -108,11 +108,12 @@ def minimize_pressure_for_gradient(
     Args:
         f: The gradient curve ``DeltaT(P_sys)``; uni-modal or monotonically
             decreasing per Section 4.1.
-        target: The gradient constraint ``DeltaT*`` in kelvin.
-        p_init: First probed pressure (``P_init`` in the paper).
-        r_init: Initial step ratio (``r_init``).
-        rtol: Relative convergence tolerance on pressures.
-        p_min / p_max: Physical pressure bounds.
+        target: The gradient constraint ``DeltaT*``.  [unit: K]
+        p_init: First probed pressure (``P_init`` in the paper).  [unit: Pa]
+        r_init: Initial step ratio (``r_init``).  [unit: 1]
+        rtol: Relative convergence tolerance on pressures.  [unit: 1]
+        p_min: Lower physical pressure bound.  [unit: Pa]
+        p_max: Upper physical pressure bound.  [unit: Pa]
         max_evaluations: Probe budget; exceeding it raises
             :class:`~repro.errors.SearchError`.
     """
@@ -244,6 +245,13 @@ def golden_section_minimize(
 
     Used by the Problem 2 network evaluation when the pressure cap lands on
     the rising side of the gradient curve (Section 5).
+
+    Args:
+        f: The curve to minimize (gradient vs. pressure).
+        lo: Lower bracket pressure.  [unit: Pa]
+        hi: Upper bracket pressure.  [unit: Pa]
+        rtol: Relative convergence tolerance on pressures.  [unit: 1]
+        max_evaluations: Probe budget.
     """
     if not 0 < lo < hi:
         raise SearchError(f"need 0 < lo < hi, got [{lo}, {hi}]")
@@ -285,6 +293,14 @@ def min_pressure_for_peak(
     Finds the smallest pressure at or above ``p_lo`` whose peak temperature
     satisfies ``T_max <= T_max*``.  Because ``h`` decreases monotonically and
     saturates, infeasibility is declared when even ``p_max`` stays hot.
+
+    Args:
+        h: The peak-temperature curve ``T_max(P_sys)``.
+        t_max_star: Peak-temperature constraint ``T_max*``.  [unit: K]
+        p_lo: Starting (lower-bound) pressure.  [unit: Pa]
+        rtol: Relative convergence tolerance on pressures.  [unit: 1]
+        p_max: Upper physical pressure bound.  [unit: Pa]
+        max_evaluations: Probe budget.
     """
     probe = _Memo(h)
     if probe(p_lo) <= t_max_star:

@@ -21,7 +21,14 @@ def hydraulic_diameter(width: float, height: float) -> float:
     """Hydraulic diameter ``D_h = 4 A_c / perimeter`` of a rectangular duct.
 
     For a ``width x height`` rectangle this reduces to
-    ``2 w h / (w + h)``.  [unit-return: m]
+    ``2 w h / (w + h)``.
+
+    Args:
+        width: Channel width ``w_c``.  [unit: m]
+        height: Channel height ``h_c``.  [unit: m]
+
+    Returns:
+        Hydraulic diameter.  [unit-return: m]
     """
     if width <= 0 or height <= 0:
         raise FlowError(
@@ -32,7 +39,13 @@ def hydraulic_diameter(width: float, height: float) -> float:
 
 def channel_cross_section(width: float, height: float) -> float:
     """Cross-sectional area ``A_c`` of a rectangular channel.
-    [unit-return: m^2]
+
+    Args:
+        width: Channel width ``w_c``.  [unit: m]
+        height: Channel height ``h_c``.  [unit: m]
+
+    Returns:
+        Cross-sectional area.  [unit-return: m^2]
     """
     if width <= 0 or height <= 0:
         raise FlowError(
@@ -50,10 +63,10 @@ def cell_conductance(
     """Fluid conductance between two adjacent liquid cell centers (Eq. 1).
 
     Args:
-        width: Channel (basic cell) width ``w_c`` in meters.
-        height: Channel height ``h_c`` in meters.
-        length: Center-to-center distance ``l`` in meters (equals ``w_c`` for
-            neighboring basic cells on the square grid).
+        width: Channel (basic cell) width ``w_c``.  [unit: m]
+        height: Channel height ``h_c``.  [unit: m]
+        length: Center-to-center distance ``l`` (equals ``w_c`` for
+            neighboring basic cells on the square grid).  [unit: m]
         coolant: The working fluid.
 
     Returns:
@@ -79,8 +92,18 @@ def edge_conductance(
 
     The paper states this conductance is smaller than a full cell-to-cell
     conductance without giving the value; we scale the cell conductance by
-    ``factor`` (default :data:`~repro.constants.EDGE_CONDUCTANCE_FACTOR`)
-    and expose the knob for ablation.  [unit-return: m^3/(s Pa)]
+    ``factor`` and expose the knob for ablation.
+
+    Args:
+        width: Channel width ``w_c``.  [unit: m]
+        height: Channel height ``h_c``.  [unit: m]
+        length: Center-to-center distance ``l``.  [unit: m]
+        coolant: The working fluid.
+        factor: Dimensionless scale (default
+            :data:`~repro.constants.EDGE_CONDUCTANCE_FACTOR`).  [unit: 1]
+
+    Returns:
+        Conductance.  [unit-return: m^3/(s Pa)]
     """
     if factor <= 0:
         raise FlowError(f"edge conductance factor must be positive, got {factor}")

@@ -6,28 +6,60 @@ from ..errors import FlowError
 
 
 def system_flow_rate(p_sys: float, r_sys: float) -> float:
-    """``Q_sys = P_sys / R_sys`` in m^3/s."""
+    """``Q_sys = P_sys / R_sys``.
+
+    Args:
+        p_sys: System pressure drop.  [unit: Pa]
+        r_sys: System hydraulic resistance.  [unit: Pa s/m^3]
+
+    Returns:
+        Volumetric flow rate.  [unit-return: m^3/s]
+    """
     if r_sys <= 0:
         raise FlowError(f"system resistance must be positive, got {r_sys}")
     return p_sys / r_sys
 
 
 def system_resistance(p_sys: float, q_sys: float) -> float:
-    """``R_sys = P_sys / Q_sys`` in Pa s / m^3."""
+    """``R_sys = P_sys / Q_sys``.
+
+    Args:
+        p_sys: System pressure drop.  [unit: Pa]
+        q_sys: Volumetric flow rate.  [unit: m^3/s]
+
+    Returns:
+        System hydraulic resistance.  [unit-return: Pa s/m^3]
+    """
     if q_sys <= 0:
         raise FlowError(f"system flow rate must be positive, got {q_sys}")
     return p_sys / q_sys
 
 
 def pumping_power(p_sys: float, r_sys: float) -> float:
-    """``W_pump = P_sys^2 / R_sys`` in watts (Eq. 10, efficiency dropped)."""
+    """``W_pump = P_sys^2 / R_sys`` (Eq. 10, efficiency dropped).
+
+    Args:
+        p_sys: System pressure drop.  [unit: Pa]
+        r_sys: System hydraulic resistance.  [unit: Pa s/m^3]
+
+    Returns:
+        Pumping power.  [unit-return: W]
+    """
     if r_sys <= 0:
         raise FlowError(f"system resistance must be positive, got {r_sys}")
     return p_sys * p_sys / r_sys
 
 
 def pressure_for_power(w_pump: float, r_sys: float) -> float:
-    """Invert Eq. 10: the ``P_sys`` that spends exactly ``w_pump``."""
+    """Invert Eq. 10: the ``P_sys`` that spends exactly ``w_pump``.
+
+    Args:
+        w_pump: Pumping power budget.  [unit: W]
+        r_sys: System hydraulic resistance.  [unit: Pa s/m^3]
+
+    Returns:
+        System pressure drop.  [unit-return: Pa]
+    """
     if r_sys <= 0:
         raise FlowError(f"system resistance must be positive, got {r_sys}")
     if w_pump < 0:

@@ -350,5 +350,13 @@ def solve_flow(
     p_sys: float,
     edge_factor: float = EDGE_CONDUCTANCE_FACTOR,
 ) -> FlowSolution:
-    """One-shot convenience wrapper: build a :class:`FlowField` and scale."""
+    """One-shot convenience wrapper: build a :class:`FlowField` and scale.
+
+    Args:
+        grid: Channel placement to solve.
+        channel_height: Channel height ``h_c``.  [unit: m]
+        coolant: The working fluid.
+        p_sys: System pressure drop.  [unit: Pa]
+        edge_factor: Dimensionless inlet/outlet conductance scale.  [unit: 1]
+    """
     return FlowField(grid, channel_height, coolant, edge_factor).at_pressure(p_sys)

@@ -59,11 +59,11 @@ class _SuperLUFactorization(Factorization):
         self._lu = lu
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
-        return self._lu.solve(np.asarray(rhs, dtype=float))
+        return np.asarray(self._lu.solve(np.asarray(rhs, dtype=float)))
 
     def solve_many(self, rhs: np.ndarray) -> np.ndarray:
         # SuperLU's solve natively accepts an (n, k) block.
-        return self._lu.solve(np.asarray(rhs, dtype=float))
+        return np.asarray(self._lu.solve(np.asarray(rhs, dtype=float)))
 
 
 class ScipySuperLUBackend(SolverBackend):

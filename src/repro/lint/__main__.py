@@ -58,6 +58,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accept the findings recorded in FILE (they are reported as "
+        "baselined, not failures); see lint-baseline.json",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="snapshot the current unsuppressed findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write the report as SARIF 2.1.0 to FILE",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="incremental result cache directory "
+        "(default: .lint_cache; see --no-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="analyze everything from scratch and do not touch the cache",
+    )
     return parser
 
 
@@ -75,6 +103,21 @@ def _print_text_report(report: LintReport, max_suppressions: int) -> None:
         print(
             f"-- stale suppression at {suppression.path}:{suppression.line} "
             f"({', '.join(suppression.rules)}): no matching finding"
+        )
+    if report.baselined:
+        print(f"-- baselined findings carried as known debt: "
+              f"{len(report.baselined)}")
+        for finding in report.baselined:
+            print(f"   baselined {finding.render()}")
+    for rule, path, message in report.stale_baseline:
+        print(
+            f"-- stale baseline entry {rule} at {path}: no matching finding "
+            f"({message})"
+        )
+    if report.cache_hits:
+        print(
+            f"-- incremental: {len(report.reanalyzed)} analyzed, "
+            f"{report.cache_hits} from cache"
         )
     print(
         f"checked {report.files_checked} files: "
@@ -97,10 +140,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         select = [r.strip() for r in args.select.split(",") if r.strip()]
     try:
         analyzer = Analyzer(select=select)
-        report = analyzer.run(args.paths)
+        cache = None
+        if not args.no_cache:
+            from .cache import DEFAULT_CACHE_DIR, ResultCache
+
+            cache = ResultCache(
+                args.cache_dir or DEFAULT_CACHE_DIR,
+                rule_ids=[rule.id for rule in analyzer.rules],
+            )
+        report = analyzer.run(args.paths, cache=cache)
+
+        if args.write_baseline:
+            from .baseline import write_baseline
+
+            write_baseline(report.findings, args.write_baseline)
+            print(
+                f"wrote {len(report.findings)} finding(s) to baseline "
+                f"{args.write_baseline}"
+            )
+            return 0
+
+        if args.baseline:
+            from .baseline import apply_baseline, load_baseline
+
+            apply_baseline(report, load_baseline(args.baseline))
     except LintError as exc:
         print(f"repro.lint: {exc}", file=sys.stderr)
         return 2
+
+    if args.sarif:
+        from .sarif import write_sarif
+
+        write_sarif(report, analyzer.rules, args.sarif)
 
     if args.format == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))

@@ -1,0 +1,126 @@
+"""Finding baselines: ratchet new code clean while old debt burns down.
+
+A baseline file records the currently-accepted findings as *fingerprints*
+-- ``(rule, path, message)`` with a count -- deliberately ignoring line
+numbers, so unrelated edits that shift a finding up or down the file do not
+churn the baseline.  ``--baseline`` subtracts baselined findings from the
+failure set (they are still reported, marked ``baselined``); anything *not*
+in the baseline fails the build as usual, and entries no longer matched by
+any finding are reported as stale so the file shrinks over time.
+
+``--write-baseline`` snapshots the current unsuppressed findings.  The
+committed ``lint-baseline.json`` at the repo root carries the known R8
+coverage debt in ``repro.thermal``; shrinking it is the only accepted
+direction of travel.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..checkpoint.atomic import atomic_write_json
+from ..errors import LintError
+from .core import Finding, LintReport
+
+#: A baseline fingerprint: rule id, resolved path, message.
+BaselineKey = Tuple[str, str, str]
+
+_VERSION = 1
+
+
+def _resolved(path: str) -> str:
+    """One canonical spelling of a path, whatever the caller passed."""
+    return Path(path).resolve().as_posix()
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    """The line-independent fingerprint of one finding."""
+    return (finding.rule, _resolved(finding.path), finding.message)
+
+
+def write_baseline(
+    findings: List[Finding], path: Union[str, Path]
+) -> None:
+    """Snapshot ``findings`` as a baseline file (sorted, line-free).
+
+    Paths are stored relative to the baseline file itself so the committed
+    file is machine-independent; a finding outside that root keeps its
+    absolute path.
+    """
+    root = Path(path).resolve().parent
+    counts = Counter(finding_key(f) for f in findings)
+    entries = []
+    for (rule, fpath, message), count in sorted(counts.items()):
+        try:
+            stored = Path(fpath).relative_to(root).as_posix()
+        except ValueError:
+            stored = fpath
+        entries.append(
+            {"rule": rule, "path": stored, "message": message, "count": count}
+        )
+    atomic_write_json(path, {"version": _VERSION, "entries": entries})
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[BaselineKey, int]:
+    """Parse a baseline file into fingerprint counts."""
+    path = Path(path)
+    if not path.exists():
+        raise LintError(f"baseline file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise LintError(f"{path}: invalid baseline JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != _VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise LintError(
+            f"{path}: not a version-{_VERSION} lint baseline file"
+        )
+    root = path.resolve().parent
+    counts: Dict[BaselineKey, int] = {}
+    for entry in payload["entries"]:
+        try:
+            stored = Path(str(entry["path"]))
+            if not stored.is_absolute():
+                stored = root / stored
+            key = (
+                str(entry["rule"]),
+                stored.resolve().as_posix(),
+                str(entry["message"]),
+            )
+            count = int(entry.get("count", 1))
+        except (TypeError, KeyError) as exc:
+            raise LintError(f"{path}: malformed baseline entry") from exc
+        counts[key] = counts.get(key, 0) + max(count, 1)
+    return counts
+
+
+def apply_baseline(
+    report: LintReport, baseline: Dict[BaselineKey, int]
+) -> None:
+    """Move baselined findings out of the failure set, in place.
+
+    Findings matching a fingerprint with remaining count move to
+    ``report.baselined``; extra occurrences beyond the recorded count stay
+    failing (a *grown* debt is new debt).  Fingerprints never matched are
+    recorded in ``report.stale_baseline``.
+    """
+    remaining = dict(baseline)
+    still_failing: List[Finding] = []
+    for finding in report.findings:
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            report.baselined.append(finding)
+        else:
+            still_failing.append(finding)
+    report.findings = still_failing
+    report.stale_baseline = sorted(
+        key for key, count in remaining.items()
+        if count == baseline[key]  # never matched at all
+    )

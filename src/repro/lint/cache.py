@@ -1,0 +1,162 @@
+"""Incremental result cache: re-analyze only what an edit can affect.
+
+Every run still parses every file and rebuilds the project symbol table --
+that is the cheap part, and resolution must always see the current world.
+What the cache skips is the expensive part: running the rules over a file
+whose findings *cannot have changed*.  A file's cache key is a content hash
+covering everything its findings can depend on:
+
+* the lint engine itself (every ``repro.lint`` source file) and the set of
+  selected rules -- editing a rule invalidates everything;
+* the file's own source;
+* the source of every module in its transitive import closure within the
+  analyzed set (unit tags, function signatures, and taint summaries all
+  flow along import edges -- this is the call-graph-aware part, derived
+  from :meth:`repro.lint.callgraph.CallGraph.dependency_closure`);
+* whether the file currently sits in the worker-pool closure (R3 scoping
+  is determined by *importers*, which the file's own closure cannot see);
+* a global component: the project-wide attribute-unit table, the telemetry
+  name registry (R7 reads it through importlib, outside the import graph),
+  and the module roster, which any file may consult during resolution.
+
+So editing ``flow/conductance.py`` re-analyzes it plus exactly the modules
+whose closure contains it; a no-op rerun re-analyzes nothing.  Entries are
+stored in one JSON file under ``.lint_cache/`` written through the
+crash-safe :func:`repro.checkpoint.atomic.atomic_write_json` primitive; a
+missing or corrupt cache silently degrades to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..checkpoint.atomic import atomic_write_json
+from .core import FileContext, Finding
+from .symbols import Project
+from .units import format_unit
+
+_VERSION = 1
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".lint_cache"
+
+
+def _sha(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def engine_hash() -> str:
+    """Content hash of the lint engine itself (every ``repro.lint`` file)."""
+    root = Path(__file__).resolve().parent
+    parts: List[str] = []
+    for source in sorted(root.rglob("*.py")):
+        parts.append(str(source.relative_to(root)))
+        parts.append(source.read_text(encoding="utf-8"))
+    return _sha(*parts)
+
+
+class ResultCache:
+    """Per-file finding cache keyed by dependency-aware content hashes."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path] = DEFAULT_CACHE_DIR,
+        rule_ids: Sequence[str] = (),
+    ) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "results.json"
+        self._engine = _sha(engine_hash(), *sorted(rule_ids))
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if (
+            isinstance(payload, dict)
+            and payload.get("version") == _VERSION
+            and payload.get("engine") == self._engine
+            and isinstance(payload.get("entries"), dict)
+        ):
+            self._entries = payload["entries"]
+
+    # -- keys ------------------------------------------------------------
+
+    def file_key(
+        self,
+        ctx: FileContext,
+        project: Project,
+        source_hashes: Dict[str, str],
+    ) -> str:
+        """The invalidation key of one file in the current project."""
+        closure = project.callgraph.dependency_closure(ctx.module)
+        closure_parts = [
+            f"{module}={source_hashes.get(module, '')}"
+            for module in sorted(closure)
+        ]
+        attribute_parts = [
+            f"{attr}={'?' if unit is None else format_unit(unit)}"
+            for attr, unit in sorted(
+                project.attribute_units.items(), key=lambda kv: kv[0]
+            )
+        ]
+        return _sha(
+            self._engine,
+            ctx.path,
+            source_hashes.get(ctx.module, _sha(ctx.source)),
+            "|".join(closure_parts),
+            f"worker={project.in_worker_scope(ctx)}",
+            "|".join(attribute_parts),
+            # R7 consults the telemetry name registry through importlib,
+            # outside the import graph -- hash it into every key.
+            source_hashes.get("repro.telemetry.names", ""),
+            "|".join(sorted(project.modules)),
+        )
+
+    # -- entries ---------------------------------------------------------
+
+    def get(self, path: str, key: str) -> Optional[List[Finding]]:
+        """Cached raw findings for ``path``, or ``None`` on miss."""
+        entry = self._entries.get(path)
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            return None
+        findings = entry.get("findings")
+        if not isinstance(findings, list):
+            return None
+        try:
+            return [Finding(**raw) for raw in findings]
+        except TypeError:
+            return None
+
+    def put(self, path: str, key: str, findings: List[Finding]) -> None:
+        """Record the raw findings of a freshly analyzed file."""
+        self._entries[path] = {
+            "key": key,
+            "findings": [finding.__dict__ for finding in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist the cache (crash-safe; no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self.path,
+            {
+                "version": _VERSION,
+                "engine": self._engine,
+                "entries": self._entries,
+            },
+        )
+        self._dirty = False

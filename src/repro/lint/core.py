@@ -31,9 +31,23 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
 from ..errors import LintError
+
+if TYPE_CHECKING:  # pragma: no cover -- import cycle broken at runtime
+    from .cache import ResultCache
 
 #: Ordered severities; ``error`` findings fail the build, ``warning`` ones
 #: are reported but only fail under ``--strict-warnings``.
@@ -282,6 +296,14 @@ class LintReport:
     suppressed: List[Finding] = field(default_factory=list)
     unused_suppressions: List[Suppression] = field(default_factory=list)
     files_checked: int = 0
+    #: Findings accepted by a ``--baseline`` file (reported, not failing).
+    baselined: List[Finding] = field(default_factory=list)
+    #: Baseline fingerprints that matched no finding (shrink the file!).
+    stale_baseline: List[tuple] = field(default_factory=list)
+    #: Display paths actually run through the rules this time.
+    reanalyzed: List[str] = field(default_factory=list)
+    #: Files served from the incremental result cache.
+    cache_hits: int = 0
 
     @property
     def errors(self) -> List[Finding]:
@@ -311,10 +333,14 @@ class LintReport:
             "files_checked": self.files_checked,
             "findings": [f.__dict__ for f in self.findings],
             "suppressed": [f.__dict__ for f in self.suppressed],
+            "baselined": [f.__dict__ for f in self.baselined],
+            "stale_baseline": [list(key) for key in self.stale_baseline],
             "unused_suppressions": [
                 {"path": s.path, "line": s.line, "rules": list(s.rules)}
                 for s in self.unused_suppressions
             ],
+            "reanalyzed": list(self.reanalyzed),
+            "cache_hits": self.cache_hits,
         }
 
 
@@ -358,8 +384,18 @@ class Analyzer:
             chosen = list(select)
         self.rules: List[Rule] = [registry[rule_id]() for rule_id in chosen]
 
-    def run(self, paths: Sequence[str]) -> LintReport:
-        """Analyze every ``*.py`` file under ``paths``."""
+    def run(
+        self, paths: Sequence[str], cache: Optional["ResultCache"] = None
+    ) -> LintReport:
+        """Analyze every ``*.py`` file under ``paths``.
+
+        With a :class:`~repro.lint.cache.ResultCache`, files whose
+        dependency-aware content key is unchanged reuse their recorded
+        findings instead of re-running the rules (see
+        :mod:`repro.lint.cache` for exactly what the key covers).
+        """
+        import hashlib
+
         from .symbols import Project
 
         files = collect_files(paths)
@@ -369,17 +405,45 @@ class Analyzer:
             contexts.append(FileContext(file_path, source, str(file_path)))
         project = Project(contexts)
 
+        source_hashes = {
+            ctx.module: hashlib.sha256(
+                ctx.source.encode("utf-8")
+            ).hexdigest()
+            for ctx in contexts
+        }
         raw: List[Finding] = []
+        reanalyzed: List[str] = []
+        cache_hits = 0
         for ctx in contexts:
+            cached: Optional[List[Finding]] = None
+            key = ""
+            if cache is not None:
+                key = cache.file_key(ctx, project, source_hashes)
+                cached = cache.get(ctx.path, key)
+            if cached is not None:
+                raw.extend(cached)
+                cache_hits += 1
+                continue
+            found: List[Finding] = []
             for rule in self.rules:
-                raw.extend(rule.check(ctx, project))
+                found.extend(rule.check(ctx, project))
+            raw.extend(found)
+            reanalyzed.append(ctx.path)
+            if cache is not None:
+                cache.put(ctx.path, key, found)
+        if cache is not None:
+            cache.save()
         # Frozen findings dedupe exactly; a node reachable through two key
         # contexts (say) reports once.
         raw = sorted(
             set(raw), key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
         )
 
-        report = LintReport(files_checked=len(contexts))
+        report = LintReport(
+            files_checked=len(contexts),
+            reanalyzed=reanalyzed,
+            cache_hits=cache_hits,
+        )
         used: Set[Tuple[str, int]] = set()
         suppression_index: Dict[Tuple[str, int], Suppression] = {}
         for ctx in contexts:

@@ -10,10 +10,12 @@ from __future__ import annotations
 
 from . import (  # noqa: F401  (import for registration side effect)
     cache_keys,
+    determinism,
     error_discipline,
     persistence,
     pool_safety,
     sparse_patterns,
     telemetry_names,
     units_rule,
+    unit_flow,
 )

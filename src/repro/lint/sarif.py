@@ -1,0 +1,113 @@
+"""SARIF 2.1.0 export of a lint run.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS standard
+code-scanning UIs ingest -- GitHub's code-scanning tab, VS Code's SARIF
+viewer, and most CI dashboards.  ``python -m repro.lint --sarif out.sarif``
+writes one ``run`` whose ``tool.driver`` lists every registered rule and
+whose ``results`` carry all findings:
+
+* active findings: plain results at ``error``/``warning`` level,
+* baselined findings (``--baseline``): same results with
+  ``baselineState: "unchanged"`` so dashboards show them as known debt,
+* in-source suppressions: results with a ``suppressions`` entry of kind
+  ``inSource`` -- visible, but not alarming.
+
+Only the stable subset of the schema is emitted (tool, rules, results,
+physical locations, suppressions); the output validates against the
+published 2.1.0 JSON schema, which the test suite asserts with a trimmed
+embedded copy.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..checkpoint.atomic import atomic_write_json
+from .core import Finding, LintReport, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_URI = "https://github.com/conf-dac/liquid-cooling-repro"
+
+
+def _artifact_uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _result(
+    finding: Finding,
+    *,
+    baselined: bool = False,
+    suppressed: bool = False,
+) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error" if finding.severity == "error" else "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _artifact_uri(finding.path),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if baselined:
+        result["baselineState"] = "unchanged"
+    if suppressed:
+        result["suppressions"] = [{"kind": "inSource"}]
+    return result
+
+
+def to_sarif(report: LintReport, rules: List[Rule]) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for one lint run."""
+    driver_rules = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity == "error" else "warning",
+            },
+        }
+        for rule in sorted(rules, key=lambda r: r.id)
+    ]
+    results = (
+        [_result(f) for f in report.findings]
+        + [_result(f, baselined=True) for f in report.baselined]
+        + [_result(f, suppressed=True) for f in report.suppressed]
+    )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": _TOOL_URI,
+                        "rules": driver_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    report: LintReport, rules: List[Rule], path: Union[str, Path]
+) -> None:
+    """Serialize :func:`to_sarif` to ``path``."""
+    atomic_write_json(path, to_sarif(report, rules))

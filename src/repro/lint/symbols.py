@@ -3,11 +3,19 @@
 Built once per analyzer run from every parsed file:
 
 * unit tags of module-level constants (``[unit: ...]`` comments),
-* function return-unit tags (``[unit-return: ...]`` docstrings),
+* function return-unit tags (``[unit-return: ...]`` docstrings) and
+  parameter unit tags (``name: ... [unit: X]`` docstring lines),
 * attribute unit tags from class docstrings (``attr: ... [unit: X]``),
+* top-level function definitions (the nodes the call graph and the
+  dataflow rules R8/R9 analyze),
 * a static import graph over the analyzed modules, from which the
   *worker closure* -- every module transitively imported by
   ``repro.optimize.parallel`` -- is derived for the pool-safety rule.
+
+A parameter or return tagged ``[unit: any]`` / ``[unit-return: any]`` is
+*covered* but unit-polymorphic (e.g. ``quantize_key`` accepts a float in any
+unit and returns it unchanged): it satisfies the R8 coverage check and is
+skipped by the call-site compatibility check.
 
 All resolution is purely syntactic; imports that leave the analyzed file set
 (numpy, scipy, stdlib) simply resolve to nothing.
@@ -16,10 +24,31 @@ All resolution is purely syntactic; imports that leave the analyzed file set
 from __future__ import annotations
 
 import ast
+import re
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .core import FileContext
+from ..errors import LintError
+from .core import FileContext, _UNIT_TAG_RE
 from .units import Unit, parse_unit
+
+
+def safe_parse_unit(tag: str) -> Optional[Unit]:
+    """Parse a unit tag, returning ``None`` for invalid bodies.
+
+    Docstring prose legitimately contains placeholder tags like
+    ``[unit: ...]`` (the lint's own documentation does); the symbol table
+    must not crash on them -- R1 separately validates the tags it requires.
+    """
+    try:
+        return parse_unit(tag)
+    except LintError:
+        return None
+
+#: Docstring line declaring a parameter's unit: ``name: ... [unit: X]``.
+_PARAM_LINE_RE = re.compile(r"^(\w+)\s*:")
+
+#: Tag body marking a deliberately unit-polymorphic parameter/return.
+POLYMORPHIC_TAG = "any"
 
 #: Module whose import closure defines the worker-safety (R3) scope.
 WORKER_ROOT = "repro.optimize.parallel"
@@ -64,6 +93,13 @@ class ModuleSymbols:
         self.constant_units: Dict[str, Unit] = {}
         #: Function (top-level) name -> parsed return unit.
         self.return_units: Dict[str, Unit] = {}
+        #: Functions whose return is tagged ``[unit-return: any]``.
+        self.polymorphic_returns: Set[str] = set()
+        #: Function name -> {param -> unit}; a ``None`` unit means the
+        #: parameter is tagged ``[unit: any]`` (covered but polymorphic).
+        self.param_units: Dict[str, Dict[str, Optional[Unit]]] = {}
+        #: Top-level function definitions by name (R8/R9, call graph).
+        self.functions: Dict[str, ast.FunctionDef] = {}
         #: Local alias -> (module, name) for ``from mod import name [as alias]``.
         self.imported_names: Dict[str, Tuple[str, str]] = {}
         #: Local alias -> module for ``import mod [as alias]``.
@@ -115,10 +151,71 @@ class ModuleSymbols:
             tag = self.ctx.unit_tag_for_line(node.lineno)
             if tag is not None:
                 self.constant_units[node.target.id] = parse_unit(tag)
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        elif isinstance(node, ast.FunctionDef):
+            self.functions[node.name] = node
             tag = self.ctx.unit_return_tag(node)
             if tag is not None:
-                self.return_units[node.name] = parse_unit(tag)
+                if tag == POLYMORPHIC_TAG:
+                    self.polymorphic_returns.add(node.name)
+                else:
+                    unit = safe_parse_unit(tag)
+                    if unit is not None:
+                        self.return_units[node.name] = unit
+            params = _docstring_param_units(node)
+            if params:
+                self.param_units[node.name] = params
+        elif isinstance(node, ast.AsyncFunctionDef):
+            tag = self.ctx.unit_return_tag(node)
+            if tag is not None and tag != POLYMORPHIC_TAG:
+                unit = safe_parse_unit(tag)
+                if unit is not None:
+                    self.return_units[node.name] = unit
+
+
+def _docstring_param_units(
+    node: ast.FunctionDef,
+) -> Dict[str, Optional[Unit]]:
+    """``param -> unit`` tags from a function docstring.
+
+    Any docstring line shaped like ``name: ... [unit: X]`` whose ``name`` is
+    one of the function's parameters counts (the same convention class
+    docstrings use for attributes); ``[unit: any]`` maps to ``None``.  A
+    tag may sit on the entry's wrapped continuation lines (any following
+    line indented deeper than the ``name:`` line), so Google-style entries
+    need not cram the tag onto the first line.
+    """
+    doc = ast.get_docstring(node) or ""
+    args = node.args
+    param_names = {
+        a.arg
+        for a in args.posonlyargs + args.args + args.kwonlyargs
+    }
+    tags: Dict[str, Optional[Unit]] = {}
+    lines = doc.splitlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        match = _PARAM_LINE_RE.match(stripped)
+        if not match or match.group(1) not in param_names:
+            continue
+        indent = len(line) - len(line.lstrip())
+        entry = [stripped]
+        for next_line in lines[index + 1:]:
+            if not next_line.strip():
+                break
+            next_indent = len(next_line) - len(next_line.lstrip())
+            if next_indent <= indent:
+                break
+            entry.append(next_line.strip())
+        unit = _UNIT_TAG_RE.search(" ".join(entry))
+        if unit:
+            body = unit.group(1).strip()
+            if body == POLYMORPHIC_TAG:
+                tags[match.group(1)] = None
+            else:
+                parsed = safe_parse_unit(body)
+                if parsed is not None:
+                    tags[match.group(1)] = parsed
+    return tags
 
 
 class Project:
@@ -171,6 +268,15 @@ class Project:
         """Unambiguous unit of a tagged attribute name, if any."""
         return self.attribute_units.get(attr)
 
+    def param_units(
+        self, module: str, name: str
+    ) -> Dict[str, Optional[Unit]]:
+        """Declared parameter units of a top-level function (may be empty)."""
+        symbols = self.modules.get(module)
+        if symbols is None:
+            return {}
+        return symbols.param_units.get(name, {})
+
     def resolve_name(
         self, symbols: ModuleSymbols, name: str
     ) -> Optional[Tuple[str, str]]:
@@ -181,8 +287,49 @@ class Project:
         """
         if name in symbols.imported_names:
             return symbols.imported_names[name]
-        if name in symbols.constant_units or name in symbols.return_units:
+        if (
+            name in symbols.constant_units
+            or name in symbols.return_units
+            or name in symbols.functions
+        ):
             return symbols.module, name
+        return None
+
+    def function_def(
+        self, module: str, name: str
+    ) -> Optional[Tuple["ModuleSymbols", ast.FunctionDef]]:
+        """The defining module's symbols + AST node of a top-level function."""
+        symbols = self.modules.get(module)
+        if symbols is None or name not in symbols.functions:
+            return None
+        return symbols, symbols.functions[name]
+
+    def resolve_call(
+        self, symbols: ModuleSymbols, node: ast.Call
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve a call's target to ``(module, function)``, best effort.
+
+        Handles direct names (local functions, ``from X import f`` bindings)
+        and single-attribute access on an imported module (``mod.f(...)``).
+        Methods, nested attributes, and anything dynamic resolve to ``None``.
+        """
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self.resolve_name(symbols, func.id)
+            if resolved is not None:
+                return resolved
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            module = symbols.imported_modules.get(func.value.id)
+            if module is None:
+                # ``from pkg import sub`` binds a module under a plain name.
+                imported = symbols.imported_names.get(func.value.id)
+                if imported is not None:
+                    module = f"{imported[0]}.{imported[1]}"
+            if module is not None and module in self.modules:
+                return module, func.attr
         return None
 
     # -- worker closure -------------------------------------------------
@@ -223,3 +370,16 @@ class Project:
             module == pkg or module.startswith(pkg + ".")
             for pkg in UNIT_SCOPED_PACKAGES
         )
+
+    # -- call graph -----------------------------------------------------
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        """The project call graph, built lazily on first use."""
+        graph = getattr(self, "_callgraph", None)
+        if graph is None:
+            from .callgraph import CallGraph  # lazy: avoid import cycle
+
+            graph = CallGraph(self)
+            self._callgraph = graph
+        return graph

@@ -467,6 +467,32 @@ _POOL_CACHE_SIZE = 2
 _pool_cache: "OrderedDict[tuple, PersistentEvaluationPool]" = OrderedDict()
 
 
+class _IdentityKey:
+    """Cache-key component comparing by object identity.
+
+    Replaces raw ``id(...)`` in the pool-cache key: an integer id can be
+    recycled by a *different* object once the original dies, and ids leak
+    run-to-run nondeterminism into anything the key reaches.  The wrapper
+    pins its referent (so no recycling) and equals only a wrapper around
+    the very same object; the hash is the interpreter's identity hash,
+    which only ever needs to be stable within the owning process.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: object) -> None:
+        self.obj = obj
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _IdentityKey) and self.obj is other.obj
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return object.__hash__(self.obj)
+
+
 def _cached_pool(
     case: Case,
     plan: TreePlan,
@@ -476,24 +502,25 @@ def _cached_pool(
     n_workers: int,
 ) -> PersistentEvaluationPool:
     # Identity-based keys are safe because each cached pool holds strong
-    # references to its context objects, pinning their ids.  The pressure is
-    # quantized like every other float cache key in the repo, so an
-    # epsilon-perturbed context reuses the warm pool.  The ambient fault
-    # plan (chaos runs), telemetry configuration and solver configuration
-    # join the key so a plan change -- or flipping tracing or incremental
-    # updates on/off -- never reuses workers armed with a stale setup.
+    # references to its context objects (via the key's _IdentityKey
+    # wrappers), pinning them alive.  The pressure is quantized like every
+    # other float cache key in the repo, so an epsilon-perturbed context
+    # reuses the warm pool.  The ambient fault plan (chaos runs), telemetry
+    # configuration and solver configuration join the key so a plan change
+    # -- or flipping tracing or incremental updates on/off -- never reuses
+    # workers armed with a stale setup.
     fault_plan = faults.active_plan()
     quantized_pressure = (
         None if fixed_pressure is None else quantize_key(fixed_pressure)
     )
     key = (
-        id(case),
-        id(plan),
+        _IdentityKey(case),
+        _IdentityKey(plan),
         stage,
         problem,
         quantized_pressure,
         n_workers,
-        None if fault_plan is None else id(fault_plan),
+        None if fault_plan is None else _IdentityKey(fault_plan),
         TelemetryConfig.current(),
         LinalgConfig.current(),
     )

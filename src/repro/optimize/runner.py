@@ -25,7 +25,6 @@ Two run-level disciplines live here:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -346,7 +345,7 @@ def run_staged_flow(
         case, stages, problem, directions, seed, leaves_per_tree,
         effective_batch, initialization,
     )
-    run_started = time.perf_counter()
+    run_started = runlog.Stopwatch()
     runlog.emit_event(
         "run.start",
         problem=problem,
@@ -455,7 +454,7 @@ def run_staged_flow(
         feasible=best.evaluation.feasible,
         direction=best.direction,
         total_simulations=total_sims,
-        seconds=time.perf_counter() - run_started,
+        seconds=run_started.elapsed(),
         histograms=profiling.histogram_summaries(),
     )
     return best

@@ -32,6 +32,25 @@ from ..checkpoint.atomic import append_jsonl
 from ..errors import TelemetryError
 
 
+class Stopwatch:
+    """Monotonic elapsed-seconds measurement for run-event payloads.
+
+    Clock reads live here in the telemetry boundary so instrumented code
+    (the SA runner, the staged flow) never touches ``time`` directly --
+    timing is observability, not algorithm state, and the determinism lint
+    (R9) holds non-telemetry modules to that.
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (monotonic, never negative)."""
+        return time.monotonic() - self._start
+
+
 class RunLog:
     """An append-only JSONL stream of typed run events.
 

@@ -1,0 +1,7 @@
+"""Mini-package fixture: a helper whose return carries wall-clock taint."""
+
+import time
+
+
+def now():
+    return time.time()

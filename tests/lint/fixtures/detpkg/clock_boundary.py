@@ -1,0 +1,10 @@
+"""Mini-package fixture: the same helper, sanctioned as a boundary.
+
+repro-lint-scope: determinism-boundary
+"""
+
+import time
+
+
+def now():
+    return time.time()

@@ -1,0 +1,9 @@
+"""Mini-package fixture: keys a cache off the tainted helper."""
+
+from detpkg.clock import now
+
+_cache = {}
+
+
+def lookup():
+    return _cache[now()]  # wall-clock taint arrives through the summary

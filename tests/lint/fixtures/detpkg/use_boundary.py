@@ -1,0 +1,9 @@
+"""Mini-package fixture: same cache key, but the helper is sanctioned."""
+
+from detpkg.clock_boundary import now
+
+_cache = {}
+
+
+def lookup():
+    return _cache[now()]  # boundary returns are treated clean

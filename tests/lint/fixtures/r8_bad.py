@@ -1,0 +1,43 @@
+"""Fixture: R8 violations -- missing tags, mismatched call, bad return.
+
+repro-lint-scope: units
+"""
+
+PRESSURE = 10.0  #: [unit: Pa]
+LENGTH = 2.0  #: [unit: m]
+
+
+def untagged(width: float, height: float) -> float:
+    # Public float signature with no unit tags -> coverage finding.
+    return width * height
+
+
+def resistance(pressure: float, flow: float) -> float:
+    """Hydraulic resistance from a drop and a rate.
+
+    Args:
+        pressure: Pressure drop.  [unit: Pa]
+        flow: Volumetric flow rate.  [unit: m^3/s]
+
+    Returns:
+        Resistance.  [unit-return: Pa s/m^3]
+    """
+    return pressure / flow
+
+
+def misuse() -> None:
+    # [m] where [Pa] is declared, [Pa] where [m^3/s] is declared -> two
+    # call-site findings.
+    resistance(LENGTH, PRESSURE)
+
+
+def bad_return(pressure: float) -> float:
+    """Pretends to produce power but returns the pressure unchanged.
+
+    Args:
+        pressure: Pressure drop.  [unit: Pa]
+
+    Returns:
+        Power.  [unit-return: W]
+    """
+    return pressure  # infers [Pa], declared [W] -> return finding

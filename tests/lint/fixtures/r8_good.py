@@ -1,0 +1,37 @@
+"""Fixture: R8-clean -- tagged signatures, matching calls and returns.
+
+repro-lint-scope: units
+"""
+
+PRESSURE = 10.0  #: [unit: Pa]
+FLOW = 2.0  #: [unit: m^3/s]
+
+
+def resistance(pressure: float, flow: float) -> float:
+    """Hydraulic resistance from a drop and a rate.
+
+    Args:
+        pressure: Pressure drop.  [unit: Pa]
+        flow: Volumetric flow rate.  [unit: m^3/s]
+
+    Returns:
+        Resistance.  [unit-return: Pa s/m^3]
+    """
+    return pressure / flow
+
+
+def usage() -> None:
+    resistance(PRESSURE, FLOW)
+    resistance(PRESSURE, flow=FLOW)
+
+
+def quantize(value: float) -> float:
+    """Round a float in whatever unit it arrives in.
+
+    Args:
+        value: Any float.  [unit: any]
+
+    Returns:
+        The rounded value.  [unit-return: any]
+    """
+    return round(value)

@@ -1,0 +1,24 @@
+"""Fixture: R9-clean -- seeded RNGs, sorted sets, clean cache keys.
+
+repro-lint-scope: sa-scoring
+"""
+
+import random
+
+_result_cache = {}
+
+
+def seeded_rng(seed):
+    return random.Random(seed)  # seeded construction is deterministic
+
+
+def stable_key(items):
+    return tuple(sorted(set(items)))  # sorted() erases set-order taint
+
+
+def cache_lookup(key):
+    return _result_cache.get(key)  # untainted key
+
+
+def score_fold(items):
+    return sum(set(items))  # order-insensitive fold sanitizes

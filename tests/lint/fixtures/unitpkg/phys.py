@@ -1,0 +1,14 @@
+"""Mini-package fixture: the declaring side of a cross-module unit edge."""
+
+
+def resistance(pressure: float, flow: float) -> float:
+    """Hydraulic resistance from a drop and a rate.
+
+    Args:
+        pressure: Pressure drop.  [unit: Pa]
+        flow: Volumetric flow rate.  [unit: m^3/s]
+
+    Returns:
+        Resistance.  [unit-return: Pa s/m^3]
+    """
+    return pressure / flow

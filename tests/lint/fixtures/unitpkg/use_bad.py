@@ -1,0 +1,9 @@
+"""Mini-package fixture: passes a length where a pressure is declared."""
+
+from unitpkg.phys import resistance
+
+LENGTH = 2.0  #: [unit: m]
+
+
+def wrong():
+    return resistance(LENGTH, LENGTH)  # two cross-module unit mismatches

@@ -1,0 +1,10 @@
+"""Mini-package fixture: matching units across the module boundary."""
+
+from unitpkg.phys import resistance
+
+PRESSURE = 10.0  #: [unit: Pa]
+FLOW = 2.0  #: [unit: m^3/s]
+
+
+def right():
+    return resistance(PRESSURE, FLOW)

@@ -22,6 +22,8 @@ BAD_FIXTURES = [
     ("R5", "r5_bad.py", 6),
     ("R6", "r6_bad.py", 4),
     ("R7", "r7_bad.py", 7),
+    ("R8", "r8_bad.py", 4),
+    ("R9", "r9_bad.py", 7),
 ]
 
 GOOD_FIXTURES = [
@@ -32,6 +34,8 @@ GOOD_FIXTURES = [
     ("R5", "r5_good.py"),
     ("R6", "r6_good.py"),
     ("R7", "r7_good.py"),
+    ("R8", "r8_good.py"),
+    ("R9", "r9_good.py"),
 ]
 
 
@@ -111,6 +115,50 @@ def test_r5_flags_every_anti_pattern_kind():
     assert "splu() outside repro.linalg" in messages
     assert "csr_matrix() inside a loop" in messages
     assert ".tocsc() format conversion inside a loop" in messages
+
+
+def test_r8_covers_all_three_checks():
+    report = run_rule("R8", "r8_bad.py")
+    messages = " | ".join(f.message for f in report.findings)
+    assert "missing [unit: ...] docstring tags" in messages
+    assert "but the parameter is declared" in messages
+    assert "but the function declares [unit-return:" in messages
+
+
+def test_r8_call_mismatch_names_the_callee():
+    report = run_rule("R8", "r8_bad.py")
+    assert any("r8_bad.resistance" in f.message for f in report.findings)
+
+
+def test_r9_covers_every_sink_shape():
+    report = run_rule("R9", "r9_bad.py")
+    messages = " | ".join(f.message for f in report.findings)
+    assert "the key of cache '_result_cache'" in messages
+    assert "a hash()-based key" in messages
+    assert "checkpoint state (RunState.seed)" in messages
+    assert "a telemetry run event" in messages
+    assert "scoring function 'score_candidate'" in messages
+
+
+def test_r9_covers_every_source_tag():
+    report = run_rule("R9", "r9_bad.py")
+    messages = " | ".join(f.message for f in report.findings)
+    for tag in (
+        "wall-clock",
+        "process-id",
+        "object-identity",
+        "unseeded-rng",
+        "set-order",
+    ):
+        assert tag in messages
+
+
+def test_r9_taint_crosses_local_call_edge():
+    # cache_lookup never touches a clock itself; the taint arrives through
+    # wall_clock()'s function summary.
+    report = run_rule("R9", "r9_bad.py")
+    finding = next(f for f in report.findings if f.line == 20)
+    assert "wall-clock" in finding.message
 
 
 def test_findings_are_sorted_and_deduplicated():
