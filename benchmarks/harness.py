@@ -545,6 +545,114 @@ def run_solver_backends_bench(
     }
 
 
+# ---------------------------------------------------------------------------
+# Multi-fidelity portfolio benchmark (BENCH_portfolio.json)
+# ---------------------------------------------------------------------------
+
+
+def run_portfolio_bench(
+    grid_size: int = 0,  # 0: let each generated case draw its own footprint
+    n_batches: int = 2,
+    batch_size: int = 3,
+    n_workers: int = 1,  # accepted for CLI uniformity; cases are tiny
+    n_cases: int = 100,
+    seed: int = 0,
+) -> dict:
+    """Benchmark ``multi_fidelity`` against the pure-4RM comparator.
+
+    Runs both strategies -- identical annealer, identical seeds, identical
+    candidate budget -- on ``n_cases`` procedurally generated cases
+    (:mod:`repro.cases`, per-case seeds ``0..n_cases-1``) and records, per
+    case, the verified 4RM scores and how many *distinct* 4RM evaluations
+    each strategy paid.  ``n_batches`` maps to portfolio rounds and
+    ``batch_size`` to SA batch width.
+
+    Acceptance (gated by ``tests/optimize/test_bench_portfolio.py`` on the
+    committed artifact):
+
+    * aggregate 4RM-evaluation ratio (comparator / multi-fidelity) >= 2x;
+    * per-case, the multi-fidelity score is within the case's calibrated
+      offset-model envelope of the comparator's score (or strictly
+      better) on at least 90% of cases.
+    """
+    import math
+
+    from repro.cases import generate_case
+    from repro.optimize.portfolio import PortfolioConfig, run_portfolio
+
+    cases = []
+    mf_high_total = ref_high_total = 0
+    within = wins = infeasible = 0
+    start_all = time.time()
+    for case_seed in range(n_cases):
+        case = generate_case(
+            case_seed, grid_size=grid_size if grid_size else None
+        )
+        config = PortfolioConfig(
+            rounds=max(n_batches, 1),
+            iterations=3,
+            batch_size=batch_size,
+            seed=case_seed,
+        )
+        start = time.time()
+        result = run_portfolio(case, ("multi_fidelity", "sa_4rm"), config)
+        seconds = time.time() - start
+        mf = result.outcomes["multi_fidelity"]
+        ref = result.outcomes["sa_4rm"]
+        envelope = mf.envelope if mf.envelope is not None else 0.5
+        if math.isinf(mf.score) or math.isinf(ref.score):
+            case_within = math.isinf(mf.score) == math.isinf(ref.score)
+            infeasible += 1
+        else:
+            # One-sided: better-than-reference is never a violation.
+            case_within = math.log(mf.score / ref.score) <= envelope
+        within += case_within
+        wins += mf.score < ref.score
+        mf_high_total += mf.high_evals
+        ref_high_total += ref.high_evals
+        cases.append(
+            {
+                "case_seed": case_seed,
+                "grid_size": case.nrows,
+                "mf_score": mf.score,
+                "ref_score": ref.score,
+                "mf_high_evals": mf.high_evals,
+                "ref_high_evals": ref.high_evals,
+                "mf_low_evals": mf.low_evals,
+                "envelope": envelope,
+                "within_envelope": bool(case_within),
+                "seconds": round(seconds, 3),
+            }
+        )
+    ratio = ref_high_total / max(mf_high_total, 1)
+    payload = {
+        "benchmark": "portfolio",
+        "config": {
+            "n_cases": n_cases,
+            "rounds": max(n_batches, 1),
+            "iterations": 3,
+            "batch_size": batch_size,
+            "comparator": "sa_4rm",
+            "seed_policy": "config.seed = case_seed",
+        },
+        "high_eval_ratio": ratio,
+        "within_envelope_fraction": within / n_cases,
+        "mf_wins_fraction": wins / n_cases,
+        "mf_high_evals_total": mf_high_total,
+        "ref_high_evals_total": ref_high_total,
+        "infeasible_cases": infeasible,
+        "seconds_total": round(time.time() - start_all, 2),
+        "cases": cases,
+        "summary": (
+            f"{n_cases} generated cases: {ratio:.2f}x fewer 4RM evals "
+            f"({mf_high_total} vs {ref_high_total}), "
+            f"{within}/{n_cases} within envelope, "
+            f"{wins}/{n_cases} outright wins"
+        ),
+    }
+    return payload
+
+
 def write_bench_json(name: str, payload: dict, out_dir: Optional[Path] = None) -> Path:
     """Persist a benchmark payload as ``benchmarks/out/BENCH_<name>.json``.
 
@@ -560,6 +668,7 @@ def write_bench_json(name: str, payload: dict, out_dir: Optional[Path] = None) -
 
 _BENCHES = {
     "parallel_eval": run_parallel_eval_bench,
+    "portfolio": run_portfolio_bench,
     "solver_backends": run_solver_backends_bench,
 }
 
@@ -579,6 +688,10 @@ def main(argv=None) -> int:
     parser.add_argument("--batches", type=int, default=16, help="batch count")
     parser.add_argument("--batch-size", type=int, default=4, help="candidates per batch")
     parser.add_argument("--workers", type=int, default=4, help="worker processes")
+    parser.add_argument(
+        "--cases", type=int, default=None,
+        help="generated-case count (portfolio bench only; default 100)",
+    )
     parser.add_argument("--out", type=Path, default=None, help="output directory")
     parser.add_argument(
         "--trace-out", type=Path, default=None, metavar="TRACE.json",
@@ -588,12 +701,20 @@ def main(argv=None) -> int:
 
     if args.trace_out is not None:
         telemetry.set_tracing(True)
-    result = _BENCHES[args.bench](
+    kwargs = dict(
         grid_size=args.grid,
         n_batches=args.batches,
         batch_size=args.batch_size,
         n_workers=args.workers,
     )
+    if args.bench == "portfolio":
+        # Generated cases draw their own footprints; --grid stays with the
+        # single-case benches.  --batches maps to portfolio rounds.
+        kwargs["grid_size"] = 0
+        kwargs["n_batches"] = min(args.batches, 4)
+        if args.cases is not None:
+            kwargs["n_cases"] = args.cases
+    result = _BENCHES[args.bench](**kwargs)
     if args.trace_out is not None:
         write_chrome_trace(args.trace_out)
         telemetry.set_tracing(False)

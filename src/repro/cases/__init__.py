@@ -1,0 +1,40 @@
+"""``repro.cases``: the seed-deterministic procedural case generator.
+
+The five Table-2 cases (:mod:`repro.iccad2015`) are anecdotes; this package
+turns them into a *distribution*.  :func:`generate_case` draws a fully
+instantiated :class:`~repro.iccad2015.cases.Case` -- randomized stack depth,
+channel height, floorplan/power regime, and constraint tightness -- from one
+integer seed, bitwise-reproducibly.  :func:`generate_grid` draws adversarial
+cooling-network topologies (multi-inlet/multi-outlet track graphs with
+low-flow connectors, the family that falsified the central advection
+scheme).  Both are the shared substrate of the multi-fidelity optimizer
+portfolio (:mod:`repro.optimize.portfolio`), the distribution-level
+differential tests, and ``--bench portfolio``.
+
+Determinism contract: the same seed produces a bitwise-identical case
+(stack, floorplan, power maps) on every platform; distinct seeds produce
+distinct :func:`case_fingerprint` values.  :func:`save_case` /
+:func:`load_case_file` round-trip a case through an on-disk format without
+losing a single bit of the power maps.
+"""
+
+from .generator import (
+    CaseSpec,
+    GENERATED_CASE_NUMBER_BASE,
+    case_fingerprint,
+    generate_case,
+    generate_case_spec,
+    generate_grid,
+)
+from .io import load_case_file, save_case
+
+__all__ = [
+    "CaseSpec",
+    "GENERATED_CASE_NUMBER_BASE",
+    "case_fingerprint",
+    "generate_case",
+    "generate_case_spec",
+    "generate_grid",
+    "load_case_file",
+    "save_case",
+]

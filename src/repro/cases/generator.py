@@ -1,0 +1,243 @@
+"""Seed-deterministic generation of benchmark cases and network topologies.
+
+Every draw goes through a :class:`numpy.random.Generator` seeded from
+``np.random.SeedSequence(seed, spawn_key=...)`` children, the same
+discipline the staged SA runner uses: the stream consumed by each component
+(spec scalars, per-die power maps, grid topology) is independent of the
+others, so extending the generator never silently reshuffles existing
+cases.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..constants import (
+    CELL_WIDTH,
+    CHANNEL_HEIGHT_200UM,
+    CHANNEL_HEIGHT_400UM,
+    CONTEST_GRID_SIZE,
+    INLET_TEMPERATURE,
+)
+from ..errors import BenchmarkError
+from ..geometry.grid import ChannelGrid, PortKind, Side
+from ..geometry.region import Rect
+from ..iccad2015.cases import Case
+
+#: Generated cases get ``number = GENERATED_CASE_NUMBER_BASE + seed`` so they
+#: can never collide with the Table-2 ids (1-5) in logs or fingerprints.
+GENERATED_CASE_NUMBER_BASE = 1_000_000
+
+#: Power-map regimes the generator draws from.
+POWER_REGIMES = ("uniform", "hotspot", "gradient", "checker")
+
+#: Footprints the generator draws from (odd, contest-style).
+GRID_SIZES = (9, 11, 13, 15)
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """The scalar knobs of one generated case (the maps are re-drawn).
+
+    A spec plus its ``seed`` fully determines the case: power maps and any
+    restricted region come from seed-derived child streams, so
+    ``generate_case(spec.seed)`` reproduces the case bitwise.
+    """
+
+    seed: int
+    grid_size: int
+    n_dies: int
+    channel_height: float
+    power_regime: str
+    #: Full-size (contest-die) power in W; the per-case power scales with
+    #: the footprint area like :func:`repro.iccad2015.cases.load_case`.
+    full_die_power: float
+    delta_t_star: float
+    t_max_star: float
+    has_restricted: bool
+
+
+def _rng(seed: int, *spawn_key: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=spawn_key))
+
+
+def generate_case_spec(seed: int, grid_size: Optional[int] = None) -> CaseSpec:
+    """Draw the scalar spec of generated case ``seed``.
+
+    Args:
+        seed: Non-negative case seed.
+        grid_size: Fixed footprint override; drawn from :data:`GRID_SIZES`
+            when ``None``.
+    """
+    if seed < 0:
+        raise BenchmarkError(f"case seed must be non-negative, got {seed}")
+    rng = _rng(seed, 0)
+    drawn_size = int(rng.choice(GRID_SIZES))
+    n_dies = int(rng.choice((2, 2, 3)))  # 3-die stacks at 1/3 weight
+    channel_height = float(
+        rng.choice((CHANNEL_HEIGHT_200UM, CHANNEL_HEIGHT_400UM))
+    )
+    power_regime = str(rng.choice(POWER_REGIMES))
+    full_die_power = float(rng.uniform(30.0, 150.0))
+    # Constraint tightness: a multiplier on the nominal Table-2 envelope.
+    tightness = float(rng.uniform(0.85, 1.4))
+    delta_t_star = 15.0 * tightness
+    t_max_star = float(rng.choice((358.15, 348.15)))
+    has_restricted = bool(rng.random() < 0.2)
+    size = int(grid_size) if grid_size is not None else drawn_size
+    if size < 9:
+        raise BenchmarkError(f"grid size {size} too small (need >= 9)")
+    if size % 2 == 0:
+        size += 1  # keep the contest's odd footprint
+    return CaseSpec(
+        seed=int(seed),
+        grid_size=size,
+        n_dies=n_dies,
+        channel_height=channel_height,
+        power_regime=power_regime,
+        full_die_power=full_die_power,
+        delta_t_star=delta_t_star,
+        t_max_star=t_max_star,
+        has_restricted=has_restricted,
+    )
+
+
+def _power_map(
+    rng: np.random.Generator, regime: str, nrows: int, ncols: int
+) -> np.ndarray:
+    """One die's relative power-density map (positive, un-normalized)."""
+    base = 0.2 + rng.random((nrows, ncols))
+    if regime == "uniform":
+        return base
+    if regime == "hotspot":
+        n_spots = int(rng.integers(1, 4))
+        rr = np.arange(nrows)[:, None]
+        cc = np.arange(ncols)[None, :]
+        for _ in range(n_spots):
+            r0 = rng.uniform(0, nrows - 1)
+            c0 = rng.uniform(0, ncols - 1)
+            sigma = rng.uniform(1.0, max(nrows, ncols) / 3.0)
+            amp = rng.uniform(3.0, 12.0)
+            base = base + amp * np.exp(
+                -((rr - r0) ** 2 + (cc - c0) ** 2) / (2.0 * sigma * sigma)
+            )
+        return base
+    if regime == "gradient":
+        direction = int(rng.integers(0, 4))
+        ramp = np.linspace(0.3, 3.0, ncols)[None, :] * np.ones((nrows, 1))
+        ramp = np.rot90(ramp, k=direction).copy()
+        if ramp.shape != (nrows, ncols):
+            ramp = ramp.T
+        return base * ramp
+    if regime == "checker":
+        block = int(rng.integers(2, 5))
+        rr = (np.arange(nrows) // block)[:, None]
+        cc = (np.arange(ncols) // block)[None, :]
+        hot = ((rr + cc) % 2).astype(float)
+        return base * (0.5 + 3.0 * hot)
+    raise BenchmarkError(f"unknown power regime {regime!r}")
+
+
+def generate_case(seed: int, grid_size: Optional[int] = None) -> Case:
+    """Materialize generated case ``seed`` as a fully populated ``Case``.
+
+    Bitwise deterministic: the same ``(seed, grid_size)`` always produces
+    identical power-map bytes and spec scalars.
+    """
+    spec = generate_case_spec(seed, grid_size=grid_size)
+    size = spec.grid_size
+    power = spec.full_die_power * (size / CONTEST_GRID_SIZE) ** 2
+    per_die = power / spec.n_dies
+    maps = []
+    for die in range(spec.n_dies):
+        rng = _rng(spec.seed, 1, die)
+        raw = _power_map(rng, spec.power_regime, size, size)
+        maps.append(raw * (per_die / raw.sum()))
+    restricted: Tuple[Rect, ...] = ()
+    if spec.has_restricted:
+        rng = _rng(spec.seed, 2)
+        r0 = int(rng.integers(size // 4, size // 2))
+        c0 = int(rng.integers(size // 4, size // 2))
+        height = int(rng.integers(1, max(size // 5, 2)))
+        width = int(rng.integers(1, max(size // 4, 2)))
+        restricted = (Rect(r0, c0, r0 + height, c0 + width),)
+    return Case(
+        number=GENERATED_CASE_NUMBER_BASE + spec.seed,
+        n_dies=spec.n_dies,
+        channel_height=spec.channel_height,
+        die_power=power,
+        delta_t_star=spec.delta_t_star,
+        t_max_star=spec.t_max_star,
+        nrows=size,
+        ncols=size,
+        cell_width=CELL_WIDTH,
+        restricted=restricted,
+        matched_ports=True,
+        power_maps=maps,
+        full_die_power=spec.full_die_power,
+        inlet_temperature=INLET_TEMPERATURE,
+    )
+
+
+def generate_grid(
+    seed: int, nrows: Optional[int] = None, ncols: Optional[int] = None
+) -> ChannelGrid:
+    """Draw one adversarial cooling-network topology.
+
+    The family that falsified the central advection scheme: a few full-width
+    horizontal tracks fed by a full west inlet span (so every track mouth is
+    its own inlet), drained by a full east outlet span, joined by randomly
+    placed vertical connectors -- including, half the time, a connector
+    hugging the west edge, which creates the low-flow branch where cell
+    Peclet numbers blow past the monotonicity limit of central differencing.
+    """
+    rng = _rng(seed, 3)
+    if nrows is None:
+        nrows = int(rng.choice((9, 11, 13)))
+    if ncols is None:
+        ncols = int(rng.choice((9, 11, 13)))
+    grid = ChannelGrid(nrows, ncols)
+    track_pool = list(range(0, nrows, 2))
+    n_tracks = int(rng.integers(2, max(len(track_pool) // 2, 3)))
+    tracks = sorted(
+        int(t) for t in rng.choice(track_pool, size=n_tracks, replace=False)
+    )
+    for row in tracks:
+        grid.carve_horizontal(row, 0, ncols - 1)
+    col_pool = list(range(0, ncols, 2))
+    for _ in range(int(rng.integers(0, 4))):
+        col = int(rng.choice(col_pool))
+        a, b = (int(t) for t in rng.choice(tracks, size=2, replace=True))
+        if a != b:
+            grid.carve_vertical(col, min(a, b), max(a, b))
+    if len(tracks) >= 2 and rng.random() < 0.5:
+        # The adversarial west-edge connector merging two inlet mouths.
+        grid.carve_vertical(0, tracks[0], tracks[1])
+    grid.add_port_span(PortKind.INLET, Side.WEST, 0, nrows)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, 0, nrows)
+    return grid
+
+
+def case_fingerprint(case: Case) -> str:
+    """A stable hex digest of everything that defines a case.
+
+    Covers the scalar spec fields *and* the exact power-map bytes, so two
+    cases agree on their fingerprint iff they are bitwise the same case.
+    """
+    digest = hashlib.sha256()
+    header = (
+        f"{case.number}|{case.n_dies}|{case.channel_height!r}|"
+        f"{case.die_power!r}|{case.delta_t_star!r}|{case.t_max_star!r}|"
+        f"{case.nrows}|{case.ncols}|{case.cell_width!r}|"
+        f"{case.full_die_power!r}|{case.inlet_temperature!r}|"
+        f"{case.matched_ports}|"
+        f"{[(r.row0, r.col0, r.row1, r.col1) for r in case.restricted]}"
+    )
+    digest.update(header.encode("utf-8"))
+    for power_map in case.power_maps:
+        digest.update(np.ascontiguousarray(power_map, dtype=np.float64).tobytes())
+    return digest.hexdigest()

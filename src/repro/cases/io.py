@@ -1,0 +1,104 @@
+"""On-disk case format: a JSON document with bit-exact power maps.
+
+One case is one ``.json`` file: the scalar spec fields in plain JSON (easy
+to diff and inspect) and each power map as base64 of its little-endian
+``float64`` bytes plus the shape -- a lossless round trip, unlike printing
+floats through ``repr``.  Written atomically via
+:func:`repro.checkpoint.atomic_write_json` so a crash mid-save never leaves
+a torn case file.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from ..checkpoint import atomic_write_json
+from ..errors import BenchmarkError
+from ..geometry.region import Rect
+from ..iccad2015.cases import Case
+
+#: Format marker + version stored in every case file.
+CASE_FILE_FORMAT = "repro.cases/1"
+
+
+def _encode_map(power_map: np.ndarray) -> dict:
+    data = np.ascontiguousarray(power_map, dtype="<f8")
+    return {
+        "shape": list(data.shape),
+        "float64_le_b64": base64.b64encode(data.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_map(payload: dict) -> np.ndarray:
+    raw = base64.b64decode(payload["float64_le_b64"])
+    arr = np.frombuffer(raw, dtype="<f8").astype(np.float64)
+    return arr.reshape(tuple(payload["shape"])).copy()
+
+
+def save_case(case: Case, path: Union[str, Path]) -> Path:
+    """Write ``case`` to ``path`` (atomic); returns the path written."""
+    payload = {
+        "format": CASE_FILE_FORMAT,
+        "number": case.number,
+        "n_dies": case.n_dies,
+        "channel_height": case.channel_height,
+        "die_power": case.die_power,
+        "delta_t_star": case.delta_t_star,
+        "t_max_star": case.t_max_star,
+        "nrows": case.nrows,
+        "ncols": case.ncols,
+        "cell_width": case.cell_width,
+        "full_die_power": case.full_die_power,
+        "inlet_temperature": case.inlet_temperature,
+        "matched_ports": case.matched_ports,
+        "restricted": [
+            [r.row0, r.col0, r.row1, r.col1] for r in case.restricted
+        ],
+        "power_maps": [_encode_map(m) for m in case.power_maps],
+    }
+    return atomic_write_json(Path(path), payload)
+
+
+def load_case_file(path: Union[str, Path]) -> Case:
+    """Read a case written by :func:`save_case`; bitwise inverse of it."""
+    path = Path(path)
+    if not path.exists():
+        raise BenchmarkError(f"case file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BenchmarkError(f"{path}: not a valid case file: {exc}") from exc
+    if payload.get("format") != CASE_FILE_FORMAT:
+        raise BenchmarkError(
+            f"{path}: unknown case-file format {payload.get('format')!r}; "
+            f"expected {CASE_FILE_FORMAT!r}"
+        )
+    maps: List[np.ndarray] = [_decode_map(m) for m in payload["power_maps"]]
+    if len(maps) != payload["n_dies"]:
+        raise BenchmarkError(
+            f"{path}: {payload['n_dies']} dies but {len(maps)} power maps"
+        )
+    return Case(
+        number=int(payload["number"]),
+        n_dies=int(payload["n_dies"]),
+        channel_height=float(payload["channel_height"]),
+        die_power=float(payload["die_power"]),
+        delta_t_star=float(payload["delta_t_star"]),
+        t_max_star=float(payload["t_max_star"]),
+        nrows=int(payload["nrows"]),
+        ncols=int(payload["ncols"]),
+        cell_width=float(payload["cell_width"]),
+        restricted=tuple(
+            Rect(int(r0), int(c0), int(r1), int(c1))
+            for r0, c0, r1, c1 in payload["restricted"]
+        ),
+        matched_ports=bool(payload["matched_ports"]),
+        power_maps=maps,
+        full_die_power=float(payload["full_die_power"]),
+        inlet_temperature=float(payload["inlet_temperature"]),
+    )

@@ -4,6 +4,7 @@ Subcommands mirror the library's main entry points::
 
     repro simulate  --case 1 --grid 51 --network tree --pressure 15e3
     repro optimize  --case 1 --problem 1 --quick --out design.txt
+    repro portfolio --case-seed 7 --optimizers multi_fidelity tempering
     repro evaluate  --case 1 --network-file design.txt --problem 1
     repro compare   --case 1 --grid 41 --tiles 2 4 8
     repro render    --network-file design.txt
@@ -40,6 +41,13 @@ from .errors import ReproError, RunInterrupted
 from .iccad2015 import load_case, read_network, write_network
 from .networks import serpentine_network
 from .optimize import optimize_problem1, optimize_problem2
+from .optimize.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PROBLEM_PUMPING_POWER,
+    PROBLEM_THERMAL_GRADIENT,
+    PortfolioConfig,
+    run_portfolio,
+)
 from .thermal import RC2Simulator, RC4Simulator
 
 #: Exit code of a supervised run stopped by SIGINT/SIGTERM after flushing
@@ -200,6 +208,59 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=_cmd_optimize)
 
+    p = sub.add_parser(
+        "portfolio",
+        help="race registered optimizers (2RM surrogate + 4RM promotion)",
+    )
+    p.add_argument("--case", type=int, default=1, help="benchmark case 1-5")
+    p.add_argument(
+        "--case-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="run on procedurally generated case SEED (repro.cases) "
+        "instead of a contest case",
+    )
+    p.add_argument(
+        "--grid", type=int, default=None, help="grid size override"
+    )
+    p.add_argument("--problem", type=int, choices=(1, 2), default=1)
+    p.add_argument(
+        "--optimizers",
+        nargs="+",
+        default=list(DEFAULT_PORTFOLIO),
+        metavar="NAME",
+        help="registry names to race (see --list)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list registered optimizers"
+    )
+    p.add_argument("--rounds", type=int, default=3)
+    p.add_argument("--iterations", type=int, default=8,
+                   help="SA iterations per round")
+    p.add_argument("--batch-size", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--checkpoint-dir",
+        help="checkpoint at every optimizer round boundary; SIGINT/SIGTERM "
+        f"still flush state before exit code {EXIT_INTERRUPTED}",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir (bitwise; "
+        "a missing checkpoint just starts fresh)",
+    )
+    p.add_argument(
+        "--run-log-dir",
+        metavar="DIR",
+        help="write one JSONL run log per optimizer into DIR; compare "
+        "strategies with `python -m repro.telemetry report A.jsonl "
+        "--compare B.jsonl`",
+    )
+    p.set_defaults(handler=_cmd_portfolio)
+
     p = sub.add_parser("evaluate", help="evaluate a network file")
     add_case_args(p)
     p.add_argument("--network-file", required=True)
@@ -318,6 +379,76 @@ def _cmd_optimize(args) -> None:
     if args.out:
         write_network(result.network, args.out)
         print(f"network written to {args.out}")
+
+
+def _cmd_portfolio(args) -> None:
+    from .optimize.registry import get_optimizer, optimizer_names
+
+    if args.list:
+        for name in optimizer_names():
+            print(f"{name:16s} {get_optimizer(name).description}")
+        return
+    if args.resume and not args.checkpoint_dir:
+        raise ReproError("--resume needs --checkpoint-dir")
+    if args.case_seed is not None:
+        from .cases import generate_case
+
+        case = generate_case(args.case_seed, grid_size=args.grid)
+    else:
+        case = load_case(args.case, grid_size=args.grid or 51)
+    problem = (
+        PROBLEM_PUMPING_POWER if args.problem == 1 else PROBLEM_THERMAL_GRADIENT
+    )
+    config = PortfolioConfig(
+        problem=problem,
+        rounds=args.rounds,
+        iterations=args.iterations,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        n_workers=args.workers,
+    )
+    if args.checkpoint_dir:
+        with RunSupervisor():
+            result = run_portfolio(
+                case,
+                tuple(args.optimizers),
+                config,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+                run_log_dir=args.run_log_dir,
+            )
+    else:
+        result = run_portfolio(
+            case,
+            tuple(args.optimizers),
+            config,
+            run_log_dir=args.run_log_dir,
+        )
+    print(f"{case}  problem {args.problem}")
+    rows = []
+    for outcome in result.outcomes.values():
+        ev = outcome.evaluation
+        rows.append(
+            [
+                outcome.name,
+                f"{outcome.score:.6g}",
+                "yes" if ev.feasible else "NO",
+                outcome.low_evals,
+                outcome.high_evals,
+                "-" if outcome.envelope is None else f"{outcome.envelope:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["optimizer", "score", "feasible", "2rm evals", "4rm evals",
+             "envelope"],
+            rows,
+        )
+    )
+    print(f"winner: {result.best.name} (score {result.best.score:.6g})")
+    if args.run_log_dir:
+        print(f"[run logs: {args.run_log_dir}/<optimizer>.jsonl]",
+              file=sys.stderr)
 
 
 def _cmd_evaluate(args) -> None:

@@ -47,6 +47,10 @@ class EvaluationResult:
         p_sys: Operating pressure chosen (best found even when infeasible).
         w_pump / t_max / delta_t: Metrics at ``p_sys``.
         simulations: Distinct thermal simulations spent on this network.
+        fidelity: Model fidelity the score came from: ``"low"`` (2RM
+            surrogate) or ``"high"`` (4RM reference).  The multi-fidelity
+            portfolio uses this tag to keep surrogate and verified scores
+            apart.
     """
 
     score: float
@@ -56,6 +60,7 @@ class EvaluationResult:
     t_max: float
     delta_t: float
     simulations: int
+    fidelity: str = ""
 
     @property
     def is_infeasible(self) -> bool:
@@ -212,4 +217,5 @@ def _result(
         t_max=result.t_max,
         delta_t=result.delta_t,
         simulations=system.n_simulations - sims_before,
+        fidelity=system.fidelity,
     )

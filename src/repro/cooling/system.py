@@ -21,6 +21,7 @@ from ..errors import ThermalError
 from ..geometry.grid import ChannelGrid
 from ..geometry.stack import Stack
 from ..materials import Coolant
+from ..thermal.common import ADVECTION_SCHEME_DEFAULT
 from ..thermal.rc2 import RC2Simulator
 from ..thermal.rc4 import RC4Simulator
 from ..thermal.result import ThermalResult
@@ -35,8 +36,13 @@ class CoolingSystem:
         coolant: Working fluid.
         model: ``"2rm"`` (fast, inner loops) or ``"4rm"`` (reference).
         tile_size: 2RM thermal-cell size in basic cells (ignored for 4RM).
-        edge_factor / inlet_temperature: Forwarded to the simulator.
+        edge_factor / inlet_temperature / advection_scheme: Forwarded to the
+            simulator.
     """
+
+    #: Fidelity tags by model: the multi-fidelity portfolio searches with
+    #: ``"low"`` (2RM surrogate) scores and verifies elites at ``"high"``.
+    FIDELITY_BY_MODEL = {"2rm": "low", "4rm": "high"}
 
     def __init__(
         self,
@@ -46,6 +52,7 @@ class CoolingSystem:
         tile_size: int = 4,
         edge_factor: float = EDGE_CONDUCTANCE_FACTOR,
         inlet_temperature: float = INLET_TEMPERATURE,
+        advection_scheme: str = ADVECTION_SCHEME_DEFAULT,
     ):
         model = model.lower()
         if model == "2rm":
@@ -55,6 +62,7 @@ class CoolingSystem:
                 tile_size=tile_size,
                 edge_factor=edge_factor,
                 inlet_temperature=inlet_temperature,
+                advection_scheme=advection_scheme,
             )
         elif model == "4rm":
             self.simulator = RC4Simulator(
@@ -62,6 +70,7 @@ class CoolingSystem:
                 coolant,
                 edge_factor=edge_factor,
                 inlet_temperature=inlet_temperature,
+                advection_scheme=advection_scheme,
             )
         else:
             raise ThermalError(f"unknown model {model!r}; use '2rm' or '4rm'")
@@ -95,6 +104,11 @@ class CoolingSystem:
         return cls(base_stack.with_channel_grids(grids), coolant, **kwargs)
 
     # ------------------------------------------------------------------
+
+    @property
+    def fidelity(self) -> str:
+        """``"low"`` (2RM surrogate) or ``"high"`` (4RM reference)."""
+        return self.FIDELITY_BY_MODEL[self.model]
 
     @property
     def r_sys(self) -> float:

@@ -14,27 +14,52 @@ stage switches to the 4RM reference model.
 * :mod:`~repro.optimize.problem2` -- thermal gradient minimization (Problem 2).
 * :mod:`~repro.optimize.baseline` -- straight-channel baselines and the
   manual-design comparator.
+* :mod:`~repro.optimize.registry` / :mod:`~repro.optimize.portfolio` --
+  the optimizer registry and the multi-fidelity portfolio (2RM-surrogate
+  search with elite 4RM promotion, parallel tempering, random-restart
+  racing) raced by :func:`~repro.optimize.portfolio.run_portfolio`.
 """
 
 from .annealing import SAConfig, SAHistory, simulated_annealing
 from .baseline import BaselineResult, best_manual_design, best_straight_baseline
 from .moves import perturb_tree_params
+from .portfolio import (
+    DEFAULT_PORTFOLIO,
+    MultiFidelityEvaluator,
+    OffsetModel,
+    OptimizerOutcome,
+    PortfolioConfig,
+    PortfolioResult,
+    run_portfolio,
+)
 from .problem1 import OptimizationResult, optimize_problem1
 from .problem2 import optimize_problem2
+from .registry import OptimizerEntry, get_optimizer, optimizer_names, register_optimizer
 from .stages import StageConfig, problem1_stages, problem2_stages
 
 __all__ = [
     "BaselineResult",
+    "DEFAULT_PORTFOLIO",
+    "MultiFidelityEvaluator",
+    "OffsetModel",
     "OptimizationResult",
+    "OptimizerEntry",
+    "OptimizerOutcome",
+    "PortfolioConfig",
+    "PortfolioResult",
     "SAConfig",
     "SAHistory",
     "StageConfig",
     "best_manual_design",
     "best_straight_baseline",
+    "get_optimizer",
     "optimize_problem1",
     "optimize_problem2",
+    "optimizer_names",
     "perturb_tree_params",
     "problem1_stages",
     "problem2_stages",
+    "register_optimizer",
+    "run_portfolio",
     "simulated_annealing",
 ]

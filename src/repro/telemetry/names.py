@@ -37,6 +37,8 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "optimize.final_eval",
         "optimize.rescore",
         "optimize.round",
+        "portfolio.optimizer",
+        "portfolio.promote",
         "parallel.batch",
         "parallel.candidate",
         "parallel.degraded",
@@ -87,6 +89,9 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "parallel.timeouts",
         "parallel.worker_lost",
         "parallel.worker_replacements",
+        "portfolio.high_evals",
+        "portfolio.low_evals",
+        "portfolio.promotions",
         "search.probes",
         "thermal.factorizations",
         "thermal.factorize",
@@ -103,6 +108,11 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         "direction.end",
         "pool.degraded",
         "pool.retry",
+        "portfolio.optimizer.end",
+        "portfolio.optimizer.start",
+        "portfolio.promotion",
+        "portfolio.resume",
+        "portfolio.round",
         "round.end",
         "run.end",
         "run.metrics",

@@ -99,24 +99,66 @@ class AdvectionSpec:
     outlet_flows: np.ndarray
 
 
+#: Advection discretization schemes for :func:`assemble_advection`.
+ADVECTION_UPWIND = "upwind"
+ADVECTION_CENTRAL = "central"
+
+#: The default scheme.  Upwind is monotone (an M-matrix row pattern), so the
+#: discrete maximum principle holds and liquid temperatures can never fall
+#: below the inlet -- the central scheme of the paper's Eq. 6 is not, and
+#: produces sub-inlet temperatures whenever a low-flow connector's cell
+#: Peclet number exceeds 2 (ROADMAP item 6).
+ADVECTION_SCHEME_DEFAULT = ADVECTION_UPWIND
+
+ADVECTION_SCHEMES = (ADVECTION_UPWIND, ADVECTION_CENTRAL)
+
+
 def assemble_advection(
     n_nodes: int,
     specs: "list[AdvectionSpec]",
     c_v: float,
     inlet_temperature: float,
+    scheme: str = ADVECTION_SCHEME_DEFAULT,
 ) -> Tuple[csc_matrix, np.ndarray]:
     """Build the unit advection operator ``A`` and its RHS vector ``b1``.
 
-    The steady energy balance of a liquid node ``i`` contributes (after the
-    central differencing of Eq. 6 and the volume-conservation substitution)::
+    Two discretizations of the steady liquid-node energy balance are
+    supported; both scale linearly with pressure (``P * A`` and ``P * b1``
+    at pressure ``P``) because flow *signs* are pressure independent, which
+    is what keeps the Woodbury pressure-shift path valid.
+
+    ``scheme="central"`` is the paper's Eq. 6 (after the volume-conservation
+    substitution)::
 
         A[i, j] = -C_v Q_ji / 2          for each liquid neighbor j
         A[i, i] = +C_v (Q_in,i + Q_out,i) / 2
         b1[i]   = +C_v Q_in,i * T_in
 
-    all evaluated at unit pressure; at pressure ``P`` the physical terms are
-    ``P * A`` and ``P * b1``.
+    It is second-order accurate but not monotone: a positive downstream
+    off-diagonal appears whenever advective coupling exceeds the conduction
+    anchoring a node (cell Peclet > 2), which can push liquid temperatures
+    *below* the inlet on low-flow connectors.
+
+    ``scheme="upwind"`` (the default) transports the *donor* node's
+    temperature across each interface: for a pair ``(i, j)`` with signed
+    flow ``q`` (positive i -> j), with donor ``d`` and receiver ``r``::
+
+        A[d, d] += C_v |q|
+        A[r, d] -= C_v |q|
+        A[i, i] += C_v Q_out,i           per node
+        b1[i]    = C_v Q_in,i * T_in     per node
+
+    Every row then has a non-negative diagonal and non-positive
+    off-diagonals summing to ``C_v Q_in,i`` (an M-matrix with ``K`` added),
+    so the discrete maximum principle guarantees ``T >= T_in`` for
+    heat-source-only steady states.  Both schemes conserve energy exactly:
+    the column sums are ``C_v Q_out,j`` either way, so the coolant removes
+    ``C_v P (sum_j Q_out,j T_j - Q_in_total T_in)``.
     """
+    if scheme not in ADVECTION_SCHEMES:
+        raise ThermalError(
+            f"unknown advection scheme {scheme!r}; known: {ADVECTION_SCHEMES}"
+        )
     rows: list = []
     cols: list = []
     vals: list = []
@@ -126,15 +168,29 @@ def assemble_advection(
             i = spec.pair_nodes[:, 0]
             j = spec.pair_nodes[:, 1]
             q = spec.pair_flows
-            # For node i, neighbor j: Q_{j,i} = -q  =>  A[i, j] += C_v q / 2.
-            rows.append(i)
-            cols.append(j)
-            vals.append(0.5 * c_v * q)
-            # For node j, neighbor i: Q_{i,j} = +q  =>  A[j, i] -= C_v q / 2.
-            rows.append(j)
-            cols.append(i)
-            vals.append(-0.5 * c_v * q)
-        diag = 0.5 * c_v * (spec.inlet_flows + spec.outlet_flows)
+            if scheme == ADVECTION_CENTRAL:
+                # For node i, neighbor j: Q_{j,i} = -q  =>  A[i, j] += C_v q / 2.
+                rows.append(i)
+                cols.append(j)
+                vals.append(0.5 * c_v * q)
+                # For node j, neighbor i: Q_{i,j} = +q  =>  A[j, i] -= C_v q / 2.
+                rows.append(j)
+                cols.append(i)
+                vals.append(-0.5 * c_v * q)
+            else:
+                donor = np.where(q >= 0.0, i, j)
+                receiver = np.where(q >= 0.0, j, i)
+                flow = np.abs(q)
+                rows.append(donor)
+                cols.append(donor)
+                vals.append(c_v * flow)
+                rows.append(receiver)
+                cols.append(donor)
+                vals.append(-c_v * flow)
+        if scheme == ADVECTION_CENTRAL:
+            diag = 0.5 * c_v * (spec.inlet_flows + spec.outlet_flows)
+        else:
+            diag = c_v * spec.outlet_flows
         rows.append(spec.node_ids)
         cols.append(spec.node_ids)
         vals.append(diag)

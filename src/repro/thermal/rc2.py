@@ -41,6 +41,7 @@ from ..geometry.layers import ChannelLayer, SolidLayer, SourceLayer
 from ..geometry.stack import Stack
 from ..materials import Coolant
 from .common import (
+    ADVECTION_SCHEME_DEFAULT,
     AdvectionSpec,
     ConductanceBuilder,
     LinearThermalSystem,
@@ -65,6 +66,9 @@ class RC2Simulator:
             tsv_material: As in :class:`~repro.thermal.rc4.RC4Simulator`
             (TSV cells contribute area-weighted vertical conduction per
             tile when ``tsv_material`` is set).
+        advection_scheme: ``"upwind"`` (monotone, default) or ``"central"``
+            (the paper's Eq. 6); see
+            :func:`~repro.thermal.common.assemble_advection`.
     """
 
     model_name = "2RM"
@@ -79,6 +83,7 @@ class RC2Simulator:
         nusselt: float = NUSSELT_NUMBER,
         top_bc: Optional[Tuple[float, float]] = None,
         tsv_material=None,
+        advection_scheme: str = ADVECTION_SCHEME_DEFAULT,
     ) -> None:
         if tile_size < 1:
             raise ThermalError(f"tile size must be >= 1, got {tile_size}")
@@ -90,6 +95,7 @@ class RC2Simulator:
         self.nusselt = float(nusselt)
         self.top_bc = top_bc
         self.tsv_material = tsv_material
+        self.advection_scheme = str(advection_scheme)
         self._check_stack()
         self.nrows, self.ncols = stack.nrows, stack.ncols
         self.tiling = Tiling(self.nrows, self.ncols, self.tile_size)
@@ -179,6 +185,7 @@ class RC2Simulator:
             specs,
             self.coolant.volumetric_heat_capacity,
             self.inlet_temperature,
+            scheme=self.advection_scheme,
         )
         self._specs = specs
         self.system = LinearThermalSystem(

@@ -35,6 +35,7 @@ from ..geometry.layers import ChannelLayer, SolidLayer, SourceLayer
 from ..geometry.stack import Stack
 from ..materials import Coolant
 from .common import (
+    ADVECTION_SCHEME_DEFAULT,
     AdvectionSpec,
     ConductanceBuilder,
     LinearThermalSystem,
@@ -67,6 +68,9 @@ class RC4Simulator:
             channel layers conduct vertically with this material instead of
             the channel wall -- the co-optimization hook the paper's future
             work points to.  ``None`` treats TSV cells as plain wall.
+        advection_scheme: ``"upwind"`` (monotone, default) or ``"central"``
+            (the paper's Eq. 6); see
+            :func:`~repro.thermal.common.assemble_advection`.
     """
 
     model_name = "4RM"
@@ -81,6 +85,7 @@ class RC4Simulator:
         liquid_conduction: bool = False,
         top_bc: Optional[Tuple[float, float]] = None,
         tsv_material=None,
+        advection_scheme: str = ADVECTION_SCHEME_DEFAULT,
     ) -> None:
         self.stack = stack
         self.coolant = coolant
@@ -90,6 +95,7 @@ class RC4Simulator:
         self.liquid_conduction = bool(liquid_conduction)
         self.top_bc = top_bc
         self.tsv_material = tsv_material
+        self.advection_scheme = str(advection_scheme)
         self._check_stack()
         self.nrows, self.ncols = stack.nrows, stack.ncols
         self._cells_per_layer = self.nrows * self.ncols
@@ -156,6 +162,7 @@ class RC4Simulator:
             specs,
             self.coolant.volumetric_heat_capacity,
             self.inlet_temperature,
+            scheme=self.advection_scheme,
         )
         self._specs = specs
         self.system = LinearThermalSystem(

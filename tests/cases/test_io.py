@@ -1,0 +1,68 @@
+"""On-disk case format: lossless round trip and loud failure modes."""
+
+import json
+
+import pytest
+
+from repro.cases import case_fingerprint, generate_case, load_case_file, save_case
+from repro.cases.io import CASE_FILE_FORMAT
+from repro.errors import BenchmarkError
+
+
+class TestRoundTrip:
+    def test_round_trip_is_bitwise(self, tmp_path):
+        case = generate_case(9)
+        path = save_case(case, tmp_path / "case.json")
+        loaded = load_case_file(path)
+        assert case_fingerprint(loaded) == case_fingerprint(case)
+        for a, b in zip(case.power_maps, loaded.power_maps):
+            assert a.tobytes() == b.tobytes()
+
+    def test_resave_is_byte_stable(self, tmp_path):
+        case = generate_case(9)
+        p1 = save_case(case, tmp_path / "a.json")
+        p2 = save_case(load_case_file(p1), tmp_path / "b.json")
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_restricted_rects_survive(self, tmp_path):
+        for seed in range(8):
+            case = generate_case(seed)
+            if case.restricted:
+                break
+        else:
+            pytest.skip("no restricted case in the first 8 seeds")
+        loaded = load_case_file(save_case(case, tmp_path / "r.json"))
+        assert loaded.restricted == case.restricted
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchmarkError, match="not found"):
+            load_case_file(tmp_path / "nope.json")
+
+    def test_torn_json(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"format": "repro.cases/1", "number": 1')
+        with pytest.raises(BenchmarkError, match="not a valid case file"):
+            load_case_file(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = save_case(generate_case(0), tmp_path / "c.json")
+        payload = json.loads(path.read_text())
+        payload["format"] = "repro.cases/999"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchmarkError, match="unknown case-file format"):
+            load_case_file(path)
+
+    def test_map_count_mismatch(self, tmp_path):
+        path = save_case(generate_case(0), tmp_path / "c.json")
+        payload = json.loads(path.read_text())
+        payload["power_maps"] = payload["power_maps"][:1]
+        payload["n_dies"] = 3
+        path.write_text(json.dumps(payload))
+        with pytest.raises(BenchmarkError, match="power maps"):
+            load_case_file(path)
+
+    def test_format_constant_pinned(self):
+        # The loader's compatibility story keys on this string.
+        assert CASE_FILE_FORMAT == "repro.cases/1"

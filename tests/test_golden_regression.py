@@ -109,9 +109,16 @@ TABLE2_GOLDEN = {
 
 #: Case 1 baseline network at P_sys = 20 kPa (grid 21), six significant
 #: digits per model: (delta_t, t_max, w_pump).
+#:
+#: Intentional physics change: re-pinned when the default advection scheme
+#: switched from the paper's central differencing (Eq. 6) to the monotone
+#: upwind scheme (sub-inlet temperature fix, ROADMAP item 6).  The central
+#: values at this operating point were (6.91695261, 309.626868) / 2RM and
+#: (7.71083499, 310.102979) / 4RM -- the schemes agree to ~0.15% on this
+#: high-flow baseline network; they diverge only on low-flow connectors.
 PHYSICS_GOLDEN = {
-    "2rm": (6.91695261, 309.626868, 0.0623901083),
-    "4rm": (7.71083499, 310.102979, 0.0623901083),
+    "2rm": (6.92738301, 309.644356, 0.0623901083),
+    "4rm": (7.7127919, 310.107129, 0.0623901083),
 }
 
 

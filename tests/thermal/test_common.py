@@ -109,9 +109,11 @@ class TestAdvectionAssembly:
             outlet_flows=outlet,
         )
 
-    def test_chain_operator_structure(self):
+    def test_chain_operator_structure_central(self):
         c_v, t_in, q = 4e6, 300.0, 1e-8
-        a, b1 = assemble_advection(4, [self._chain_spec(4, q)], c_v, t_in)
+        a, b1 = assemble_advection(
+            4, [self._chain_spec(4, q)], c_v, t_in, scheme="central"
+        )
         dense = a.toarray()
         # Interior node 1: central differencing +- C_v q / 2.
         assert dense[1, 0] == pytest.approx(-0.5 * c_v * q)
@@ -122,6 +124,38 @@ class TestAdvectionAssembly:
         assert b1[0] == pytest.approx(c_v * q * t_in)
         # Outlet node: diagonal C_v q / 2.
         assert dense[3, 3] == pytest.approx(0.5 * c_v * q)
+
+    def test_chain_operator_structure_upwind(self):
+        """Default (upwind) scheme: donor-cell stamps, M-matrix rows."""
+        c_v, t_in, q = 4e6, 300.0, 1e-8
+        a, b1 = assemble_advection(4, [self._chain_spec(4, q)], c_v, t_in)
+        dense = a.toarray()
+        # Interior node 1 receives from upstream 0 only: -C_v q, and its
+        # donor stamp toward node 2 lands on the diagonal: +C_v q.
+        assert dense[1, 0] == pytest.approx(-c_v * q)
+        assert dense[1, 1] == pytest.approx(c_v * q)
+        assert dense[1, 2] == 0.0  # no downstream coupling: monotone
+        # Inlet node: diagonal is the full donor flow C_v q, RHS C_v q T_in.
+        assert dense[0, 0] == pytest.approx(c_v * q)
+        assert b1[0] == pytest.approx(c_v * q * t_in)
+        # Outlet node: receives -C_v q from node 2, outlet diag +C_v q.
+        assert dense[3, 2] == pytest.approx(-c_v * q)
+        assert dense[3, 3] == pytest.approx(c_v * q)
+        # Row sums equal C_v * inlet flow (M-matrix / maximum principle).
+        row_sums = dense.sum(axis=1)
+        assert row_sums[0] == pytest.approx(c_v * q)
+        assert np.allclose(row_sums[1:], 0.0, atol=1e-20)
+        # Column sums equal C_v * outlet flow for both schemes (exact
+        # energy accounting is scheme-independent).
+        col_sums = dense.sum(axis=0)
+        assert col_sums[3] == pytest.approx(c_v * q)
+        assert np.allclose(col_sums[:3], 0.0, atol=1e-20)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ThermalError):
+            assemble_advection(
+                4, [self._chain_spec(4, 1e-8)], 4e6, 300.0, scheme="quick"
+            )
 
     def test_pure_advection_solution_is_linear_ramp(self):
         """Solving advection with uniform heating yields the energy balance."""

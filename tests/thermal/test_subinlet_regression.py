@@ -1,0 +1,88 @@
+"""Pinned regression for the RC2 sub-inlet temperature bug (ROADMAP item 6).
+
+The central-differencing advection operator (paper Eq. 6) is not monotone:
+on inlet-heavy grids with low-flow connectors the cell Peclet number blows
+past 2 and downstream off-diagonals go positive, producing coolant
+temperatures *below* the inlet -- unphysical for a network whose only
+cooling source is the inlet stream itself.
+
+This file pins the concrete falsifying topology found by the Hypothesis
+property `test_temperatures_near_or_above_inlet`: an 11x9 grid whose full
+west inlet span feeds three full-width tracks, with a west-edge connector
+merging two inlet mouths (a nearly stagnant branch).  Under central
+differencing at tile_size=3 the minimum coolant temperature drops to
+~291.4 K, almost 9 K below the 300 K inlet.  The monotone upwind scheme
+(now the default) keeps every temperature at or above the inlet by the
+discrete maximum principle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import CELL_WIDTH, INLET_TEMPERATURE
+from repro.geometry import build_contest_stack
+from repro.geometry.grid import ChannelGrid, PortKind, Side
+from repro.materials import WATER
+from repro.thermal import RC2Simulator, RC4Simulator
+
+P_SYS = 1e4
+
+
+def falsifying_grid() -> ChannelGrid:
+    """The inlet-heavy 11x9 topology that falsified central differencing."""
+    grid = ChannelGrid(11, 9)
+    for row in (0, 2, 10):
+        grid.carve_horizontal(row, 0, 8)
+    grid.carve_vertical(0, 0, 2)   # west-edge connector: near-stagnant
+    grid.carve_vertical(4, 2, 10)
+    grid.add_port_span(PortKind.INLET, Side.WEST, 0, 11)
+    grid.add_port_span(PortKind.OUTLET, Side.EAST, 0, 11)
+    return grid
+
+
+def min_temperature(result) -> float:
+    """Minimum over every thermal node, coolant cells included."""
+    return min(float(np.nanmin(f)) for f in result.layer_fields)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    rng = np.random.default_rng(1109)
+    power = rng.random((11, 9))
+    power *= 1.0 / power.sum()
+    grid = falsifying_grid()
+    return build_contest_stack(
+        2, 2e-4, [power, power], lambda d: grid.copy(), 11, 9, CELL_WIDTH
+    )
+
+
+class TestSubInletRegression:
+    @pytest.mark.parametrize("tile_size", [1, 2, 3, 4])
+    def test_rc2_default_scheme_respects_inlet_floor(self, stack, tile_size):
+        """Upwind (the default) obeys the maximum principle at every tile
+        coarsening, including tile_size=3 where central undershot by ~9 K."""
+        result = RC2Simulator(stack, WATER, tile_size=tile_size).solve(P_SYS)
+        assert min_temperature(result) >= INLET_TEMPERATURE - 1e-9
+
+    def test_rc4_default_scheme_respects_inlet_floor(self, stack):
+        result = RC4Simulator(stack, WATER).solve(P_SYS)
+        assert min_temperature(result) >= INLET_TEMPERATURE - 1e-9
+
+    def test_central_scheme_still_falsified_here(self, stack):
+        """The bug is real and this grid still reproduces it: central
+        differencing stays available (paper fidelity) but documentedly
+        undershoots on this family.  If this ever passes, the pinned grid
+        lost its teeth."""
+        result = RC2Simulator(
+            stack, WATER, tile_size=3, advection_scheme="central"
+        ).solve(P_SYS)
+        assert min_temperature(result) < INLET_TEMPERATURE - 1.0
+
+    def test_schemes_agree_on_energy_balance(self, stack):
+        """Column sums match for both schemes, so the coolant energy
+        accounting is identical: removed heat equals source power."""
+        for scheme in ("upwind", "central"):
+            result = RC2Simulator(
+                stack, WATER, tile_size=2, advection_scheme=scheme
+            ).solve(P_SYS)
+            assert result.energy_balance_error() < 1e-9
