@@ -261,6 +261,60 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=_cmd_portfolio)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the design service (durable job queue + HTTP API)",
+    )
+    p.add_argument(
+        "--root", required=True, help="job-store root directory (durable)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8752, help="0 picks a free port"
+    )
+    p.add_argument("--workers", type=int, default=1,
+                   help="job-executing worker threads")
+    p.add_argument(
+        "--tenant-cap", type=int, default=8,
+        help="max active jobs per tenant (429 past it)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="worker lease TTL; crash recovery latency is about one TTL",
+    )
+    p.add_argument(
+        "--run-log", metavar="RUN.jsonl",
+        help="append service lifecycle events to this JSONL file",
+    )
+    p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a job to a running design service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8752")
+    p.add_argument("--case", type=int, help="contest case 1-5")
+    p.add_argument(
+        "--case-seed", type=int, metavar="SEED",
+        help="procedurally generated case instead of a contest case",
+    )
+    p.add_argument("--grid", type=int, help="grid size override")
+    p.add_argument("--problem", type=int, choices=(1, 2), default=1)
+    p.add_argument("--optimizers", nargs="+", metavar="NAME")
+    p.add_argument("--rounds", type=int, default=2)
+    p.add_argument("--iterations", type=int, default=4)
+    p.add_argument("--batch-size", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenant", default="default")
+    p.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job completes and print the result",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="with --wait: give up after this long",
+    )
+    p.set_defaults(handler=_cmd_submit)
+
     p = sub.add_parser("evaluate", help="evaluate a network file")
     add_case_args(p)
     p.add_argument("--network-file", required=True)
@@ -408,7 +462,7 @@ def _cmd_portfolio(args) -> None:
         n_workers=args.workers,
     )
     if args.checkpoint_dir:
-        with RunSupervisor():
+        with RunSupervisor() as supervisor:
             result = run_portfolio(
                 case,
                 tuple(args.optimizers),
@@ -416,6 +470,7 @@ def _cmd_portfolio(args) -> None:
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 run_log_dir=args.run_log_dir,
+                interrupt_check=supervisor.stop_requested,
             )
     else:
         result = run_portfolio(
@@ -449,6 +504,69 @@ def _cmd_portfolio(args) -> None:
     if args.run_log_dir:
         print(f"[run logs: {args.run_log_dir}/<optimizer>.jsonl]",
               file=sys.stderr)
+
+
+def _cmd_serve(args) -> None:
+    from .server import DesignService
+
+    service = DesignService(
+        args.root,
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        tenant_cap=args.tenant_cap,
+        lease_ttl=args.lease_ttl,
+        run_log=args.run_log,
+    )
+    with RunSupervisor() as supervisor:
+        service.start()
+        print(
+            f"design service on http://{args.host}:{service.port} "
+            f"(root {args.root}, {args.workers} workers, lease TTL "
+            f"{args.lease_ttl:g}s); SIGTERM drains gracefully",
+            flush=True,
+        )
+        try:
+            import time as _time
+
+            while not supervisor.stop_requested():
+                _time.sleep(0.2)
+        finally:
+            service.stop()
+            print("drained; job queue state is durable", file=sys.stderr)
+
+
+def _cmd_submit(args) -> None:
+    from .server import ServiceClient
+
+    payload = {
+        "problem": args.problem,
+        "rounds": args.rounds,
+        "iterations": args.iterations,
+        "batch_size": args.batch_size,
+        "seed": args.seed,
+    }
+    if args.case_seed is not None:
+        payload["case_seed"] = args.case_seed
+    elif args.case is not None:
+        payload["case"] = args.case
+    if args.grid is not None:
+        payload["grid"] = args.grid
+    if args.optimizers:
+        payload["optimizers"] = list(args.optimizers)
+    client = ServiceClient(args.url, tenant=args.tenant)
+    record = client.submit(payload)
+    job_id = record["job_id"]
+    print(f"job {job_id} {record['state']}")
+    if not args.wait:
+        return
+    final = client.wait(job_id, timeout=args.timeout)
+    result = client.result(job_id)
+    print(
+        f"job {job_id} completed after {final['attempts']} retries: "
+        f"winner {result['winner']} score {result['score']:.6g} "
+        f"({'feasible' if result['feasible'] else 'INFEASIBLE'})"
+    )
 
 
 def _cmd_evaluate(args) -> None:

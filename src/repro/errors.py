@@ -126,6 +126,68 @@ class TelemetryError(ReproError):
     """
 
 
+class JobError(ReproError):
+    """Base class for the design-as-a-service job layer (:mod:`repro.server`).
+
+    Every rejection path in the job store, lease manager, scheduler, and
+    HTTP API raises a :class:`JobError` subclass, so the API layer can map
+    library failures onto typed HTTP responses (and so no queue-layer
+    failure is ever a bare builtin exception).
+    """
+
+
+class JobValidationError(JobError):
+    """A job submission payload is invalid (HTTP 400).
+
+    Attributes:
+        field: The offending payload field, when one can be named.
+    """
+
+    def __init__(self, message: str, field: "str | None" = None):
+        super().__init__(message)
+        self.field = field
+
+
+class JobNotFoundError(JobError):
+    """No job with the requested id exists in the store (HTTP 404)."""
+
+
+class JobStateError(JobError):
+    """The job exists but is in the wrong state for the request (HTTP 409),
+    e.g. fetching the result of a job that has not completed."""
+
+
+class JobRecordError(JobError):
+    """A persisted job record cannot be trusted (bad magic, schema version
+    skew, CRC mismatch, truncated write).  The store treats such records
+    like checkpoints: reject loudly, never half-parse."""
+
+
+class JobQueueFullError(JobError):
+    """A tenant's active-job cap is exhausted (HTTP 429).
+
+    Attributes:
+        retry_after: Suggested client backoff in seconds.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class LeaseError(JobError):
+    """A job lease cannot be acquired, renewed, or released."""
+
+
+class LeaseLostError(LeaseError):
+    """The worker's lease expired or was reclaimed while it held the job.
+
+    The holder must stop mutating the job immediately: another worker may
+    already own it.  Raised by lease renewal and by the completion path's
+    ownership re-check.
+    """
+
+
 class InjectedFaultError(ReproError):
     """A deliberate fault raised by :mod:`repro.faults` as a *library* error.
 

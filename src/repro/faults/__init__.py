@@ -51,6 +51,7 @@ from .plan import (
     KIND_RAISE_INFEASIBLE,
     KIND_SINGULAR,
     KIND_SLOW,
+    KIND_TORN_WRITE,
     KIND_WORKER_DEATH,
     KNOWN_KINDS,
     KNOWN_SITES,
@@ -62,6 +63,9 @@ from .plan import (
     SITE_LINALG_UPDATE,
     SITE_PARALLEL_DISPATCH,
     SITE_PARALLEL_WORKER,
+    SITE_SERVER_LEASE_RENEW,
+    SITE_SERVER_RECORD,
+    SITE_SERVER_WORKER,
     SITE_THERMAL_RC2,
     SITE_THERMAL_RC4,
     FaultPlan,
@@ -82,6 +86,7 @@ __all__ = [
     "KIND_RAISE_INFEASIBLE",
     "KIND_SINGULAR",
     "KIND_SLOW",
+    "KIND_TORN_WRITE",
     "KIND_WORKER_DEATH",
     "KNOWN_KINDS",
     "KNOWN_SITES",
@@ -93,6 +98,9 @@ __all__ = [
     "SITE_LINALG_UPDATE",
     "SITE_PARALLEL_DISPATCH",
     "SITE_PARALLEL_WORKER",
+    "SITE_SERVER_LEASE_RENEW",
+    "SITE_SERVER_RECORD",
+    "SITE_SERVER_WORKER",
     "SITE_THERMAL_RC2",
     "SITE_THERMAL_RC4",
     "active_plan",

@@ -56,6 +56,15 @@ SITE_PARALLEL_DISPATCH = "parallel.dispatch"
 #: The solution of a Woodbury low-rank incremental solve, before the
 #: finiteness guard (``repro.linalg`` and the thermal pressure-shift path).
 SITE_LINALG_UPDATE = "linalg.update"
+#: The serialized job-record bytes, just before the atomic write
+#: (``repro.server.records``); the ``torn-write`` kind truncates them so
+#: the reader's CRC validation path can be proven.
+SITE_SERVER_RECORD = "server.jobstore.record"
+#: A worker's lease-renewal heartbeat (``repro.server.leases``).
+SITE_SERVER_LEASE_RENEW = "server.lease.renew"
+#: Inside a queue worker, between claiming a job and finishing it
+#: (``repro.server.worker``); ``worker-death`` here is a SIGKILL mid-job.
+SITE_SERVER_WORKER = "server.worker.job"
 
 #: Every injection site, mapped to whether its hook carries a value
 #: (:func:`repro.faults.corrupt`) or is action-only
@@ -72,6 +81,9 @@ KNOWN_SITES: Mapping[str, bool] = MappingProxyType(
         SITE_PARALLEL_WORKER: False,
         SITE_PARALLEL_DISPATCH: False,
         SITE_LINALG_UPDATE: True,
+        SITE_SERVER_RECORD: True,
+        SITE_SERVER_LEASE_RENEW: False,
+        SITE_SERVER_WORKER: False,
     }
 )
 
@@ -99,6 +111,8 @@ KIND_SLOW = "slow"
 KIND_HANG = "hang"
 #: ``os._exit`` the current process -- a worker killed mid-candidate.
 KIND_WORKER_DEATH = "worker-death"
+#: Truncate the serialized bytes mid-record -- a torn artifact write.
+KIND_TORN_WRITE = "torn-write"
 
 #: Kinds that act (raise, sleep, exit) rather than corrupt a value.
 ACTION_KINDS = frozenset(
@@ -135,7 +149,10 @@ KNOWN_KINDS: Mapping[str, "frozenset[str]"] = MappingProxyType(
         KIND_RAISE_CRASH: _ALL_SITES,
         KIND_SLOW: _ALL_SITES,
         KIND_HANG: _ALL_SITES,
-        KIND_WORKER_DEATH: frozenset({SITE_PARALLEL_WORKER}),
+        KIND_WORKER_DEATH: frozenset(
+            {SITE_PARALLEL_WORKER, SITE_SERVER_WORKER}
+        ),
+        KIND_TORN_WRITE: frozenset({SITE_SERVER_RECORD}),
     }
 )
 
@@ -324,6 +341,11 @@ class FaultPlan:
 
 def _corrupt_value(kind: str, value: Any) -> Any:
     """Return a damaged copy of ``value`` according to ``kind``."""
+    if kind == KIND_TORN_WRITE:
+        # Cut serialized bytes mid-record: the write itself stays atomic,
+        # but the artifact that lands on disk is truncated, which is what a
+        # reader sees after a torn in-place write or silent fs corruption.
+        return bytes(value)[: max(len(value) // 2, 1)]
     if kind == KIND_SINGULAR:
         return value * 0.0
     if kind == KIND_DISCONNECT:

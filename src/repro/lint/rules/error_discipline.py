@@ -24,7 +24,10 @@ chaos suite can prove ``crash_boundary`` translates it).  ``repro.checkpoint``
 is the third boundary: its reader must translate *any* unpickling failure of
 an untrusted byte payload into a typed
 :class:`~repro.errors.CheckpointError`, which requires one ``except
-Exception`` around ``pickle.loads``.
+Exception`` around ``pickle.loads``.  ``repro.server.api`` is the fourth:
+the HTTP dispatch edge must answer an opaque 500 -- instead of killing the
+serving thread -- whatever a handler raises, which is a process-edge
+``except Exception`` exactly like the CLI main's.
 """
 
 from __future__ import annotations
@@ -37,10 +40,17 @@ from ..symbols import Project
 
 #: Modules allowed to implement sanctioned boundaries: ``repro.errors``
 #: hosts the one except-Exception crash translator, ``repro.faults`` raises
-#: builtin exceptions *deliberately* at its injection sites, and
+#: builtin exceptions *deliberately* at its injection sites,
 #: ``repro.checkpoint`` translates arbitrary unpickling failures into typed
-#: ``CheckpointError``s.  Submodules are covered too (prefix match).
-BOUNDARY_MODULES = ("repro.errors", "repro.faults", "repro.checkpoint")
+#: ``CheckpointError``s, and ``repro.server.api`` turns anything a request
+#: handler raises into an HTTP 500 at the process edge.  Submodules are
+#: covered too (prefix match).
+BOUNDARY_MODULES = (
+    "repro.errors",
+    "repro.faults",
+    "repro.checkpoint",
+    "repro.server.api",
+)
 
 
 def _is_boundary_module(module: str) -> bool:

@@ -40,7 +40,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,6 +56,7 @@ from ..errors import (
     DesignRuleError,
     FlowError,
     GeometryError,
+    RunInterrupted,
     SearchError,
     ThermalError,
 )
@@ -1102,6 +1103,7 @@ def run_portfolio(
     checkpoint_dir: Optional[str] = None,
     resume: bool = False,
     run_log_dir: Optional[str] = None,
+    interrupt_check: Optional[Callable[[], bool]] = None,
 ) -> PortfolioResult:
     """Race a portfolio of registered optimizers on one case.
 
@@ -1120,10 +1122,18 @@ def run_portfolio(
             ``round.end`` / ``run.end`` records plus the ``portfolio.*``
             event family, so strategies compare directly via
             ``python -m repro.telemetry report A.jsonl --compare B.jsonl``.
+        interrupt_check: Polled after every round-boundary checkpoint
+            write; once it returns true the run stops with
+            :class:`~repro.errors.RunInterrupted` -- *after* the state that
+            makes a bitwise resume possible reached disk.  Requires
+            ``checkpoint_dir`` (a stop without a checkpoint would discard
+            work instead of deferring it).
     """
     config = config or PortfolioConfig()
     if not optimizers:
         raise SearchError("portfolio needs at least one optimizer")
+    if interrupt_check is not None and checkpoint_dir is None:
+        raise CheckpointError("interrupt_check needs checkpoint_dir")
     entries = [get_optimizer(name) for name in optimizers]
     fingerprint = _portfolio_fingerprint(case, optimizers, config)
 
@@ -1146,6 +1156,15 @@ def run_portfolio(
     def save() -> None:
         if checkpoint_path is not None:
             write_checkpoint(checkpoint_path, payload, fingerprint)
+
+    def stop_point(where: str) -> None:
+        # Only ever called right after save(): the interrupt defers the
+        # remaining work to a later --resume, it never discards any.
+        if interrupt_check is not None and interrupt_check():
+            raise RunInterrupted(
+                f"portfolio stopped at {where}; resume from "
+                f"{checkpoint_path}"
+            )
 
     outcomes: Dict[str, OptimizerOutcome] = dict(payload["completed"])
     for spawn, entry in enumerate(entries):
@@ -1211,6 +1230,11 @@ def run_portfolio(
                         iterations=config.iterations,
                     )
                     save()
+                    if round_i + 1 < config.rounds:
+                        stop_point(
+                            f"{entry.name} round {round_i + 1}/"
+                            f"{config.rounds}"
+                        )
                 outcome = optimizer.finalize(ctx, state)
             outcomes[entry.name] = outcome
             payload["completed"] = dict(outcomes)
@@ -1236,6 +1260,8 @@ def run_portfolio(
         finally:
             if log is not None:
                 runlog.set_run_log(previous_log)
+        if len(outcomes) < len(entries):
+            stop_point(f"completion of {entry.name}")
     return PortfolioResult(
         case_number=case.number,
         problem=config.problem,

@@ -1,0 +1,78 @@
+"""Crash-safe design-as-a-service: durable queue, leases, HTTP API.
+
+The service turns the optimizer portfolio into a long-running process that
+survives being killed at any instant:
+
+* :mod:`repro.server.records` -- CRC-validated durable job records,
+* :mod:`repro.server.leases` -- TTL lease files (exactly-one-owner),
+* :mod:`repro.server.jobstore` -- the one-directory-per-job queue,
+* :mod:`repro.server.validation` -- submissions rejected at the door,
+* :mod:`repro.server.executor` -- spec -> deterministic portfolio run,
+* :mod:`repro.server.worker` -- claim/heartbeat workers + the reaper,
+* :mod:`repro.server.api` -- stdlib HTTP routes, health/readiness,
+* :mod:`repro.server.service` -- process composition + graceful drain,
+* :mod:`repro.server.client` -- the urllib client behind ``repro submit``.
+
+See ``docs/SERVICE.md`` for the API reference and recovery semantics.
+"""
+
+from ..errors import (
+    JobError,
+    JobNotFoundError,
+    JobQueueFullError,
+    JobRecordError,
+    JobStateError,
+    JobValidationError,
+    LeaseError,
+    LeaseLostError,
+)
+from .api import ApiServer
+from .client import ServiceClient
+from .executor import Executor, SimulationExecutor
+from .jobstore import JobStore
+from .leases import Lease, LeaseFile
+from .records import (
+    JOB_STATES,
+    JobRecord,
+    STATE_COMPLETED,
+    STATE_PENDING,
+    STATE_QUARANTINED,
+    STATE_RUNNING,
+    TERMINAL_STATES,
+    read_record,
+    write_record,
+)
+from .service import DesignService
+from .validation import validate_submission
+from .worker import Reaper, Worker
+
+__all__ = [
+    "ApiServer",
+    "DesignService",
+    "Executor",
+    "JOB_STATES",
+    "JobError",
+    "JobNotFoundError",
+    "JobQueueFullError",
+    "JobRecord",
+    "JobRecordError",
+    "JobStateError",
+    "JobStore",
+    "JobValidationError",
+    "Lease",
+    "LeaseError",
+    "LeaseFile",
+    "LeaseLostError",
+    "Reaper",
+    "STATE_COMPLETED",
+    "STATE_PENDING",
+    "STATE_QUARANTINED",
+    "STATE_RUNNING",
+    "ServiceClient",
+    "SimulationExecutor",
+    "TERMINAL_STATES",
+    "Worker",
+    "read_record",
+    "validate_submission",
+    "write_record",
+]

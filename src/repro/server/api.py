@@ -1,0 +1,315 @@
+"""The HTTP face of the design service (stdlib ``http.server`` only).
+
+Routes::
+
+    POST /v1/jobs                submit a job        -> 202 {job_id, ...}
+    GET  /v1/jobs                list jobs           -> 200 {jobs: [...]}
+    GET  /v1/jobs/<id>           job status          -> 200 {record}
+    GET  /v1/jobs/<id>/result    completed result    -> 200 {result}
+    GET  /v1/jobs/<id>/events    lifecycle events    -> 200 {events, next_offset}
+    GET  /healthz                liveness + detail   -> 200 always (while up)
+    GET  /readyz                 readiness           -> 200 ready / 503 not
+
+Error discipline: every typed :class:`~repro.errors.JobError` maps to one
+status code (400 validation, 404 unknown job, 409 wrong state, 429 queue
+full with ``Retry-After``); unexpected exceptions become an opaque 500
+without killing the serving thread.  This module is therefore a sanctioned
+error boundary (``repro-lint-scope: error-boundary``): the process-edge
+handler may catch broad ``Exception`` exactly like the CLI main.
+
+Graceful degradation: a draining server (SIGTERM received, see
+:mod:`repro.server.service`) rejects new submissions with 503 +
+``Retry-After`` while read paths keep serving, so clients can poll their
+jobs to the end of the drain window.
+
+``repro-lint-scope: determinism-boundary`` -- HTTP plumbing is wall-clock
+territory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .. import profiling
+from ..errors import (
+    JobError,
+    JobNotFoundError,
+    JobQueueFullError,
+    JobStateError,
+    JobValidationError,
+)
+from .jobstore import JobStore
+from .records import JobRecord
+from .validation import validate_submission
+
+__all__ = ["ApiServer", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body; past this the submission is a 400, not
+#: an allocation.
+MAX_BODY_BYTES = 4 * 1024 * 1024  #: [unit: B]
+
+#: JobError subclass -> HTTP status.
+_STATUS: Tuple[Tuple[type, int], ...] = (
+    (JobValidationError, 400),
+    (JobNotFoundError, 404),
+    (JobStateError, 409),
+    (JobQueueFullError, 429),
+)
+
+
+def _record_view(record: JobRecord) -> Dict[str, Any]:
+    """The client-facing projection of a job record."""
+    return {
+        "job_id": record.job_id,
+        "tenant": record.tenant,
+        "state": record.state,
+        "attempts": record.attempts,
+        "max_attempts": record.max_attempts,
+        "submitted_at": record.submitted_at,
+        "updated_at": record.updated_at,
+        "not_before": record.not_before,
+        "worker": record.worker,
+        "error": record.error,
+        "spec": record.spec,
+    }
+
+
+class ApiServer:
+    """The service's HTTP endpoint over one :class:`JobStore`.
+
+    Args:
+        store: The durable queue all requests operate on.
+        host / port: Bind address (``port=0`` picks a free port; see
+            :attr:`port` after construction).
+        ready_check: Extra readiness predicate composed into ``/readyz``
+            (the service wires pool/worker health through this).
+        max_queue_depth: ``/readyz`` reports not-ready once this many
+            jobs are waiting or running (backpressure signal for load
+            balancers; submissions still work until tenant caps bite).
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready_check: Optional[Callable[[], Tuple[bool, str]]] = None,
+        max_queue_depth: int = 64,
+    ):
+        self.store = store
+        self.ready_check = ready_check
+        self.max_queue_depth = int(max_queue_depth)
+        self.draining = threading.Event()
+        api = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # One silent line per request is still too chatty for a
+            # long-poll client; the run log carries the real telemetry.
+            def log_message(self, fmt: str, *args: Any) -> None:
+                pass
+
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                api._dispatch(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802 (http.server API)
+                api._dispatch(self, "POST")
+
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return int(self.httpd.server_address[1])
+
+    def start(self) -> None:
+        """Serve in a background thread until :meth:`shutdown`."""
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            daemon=True,
+        )
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        """Stop accepting connections and join the serving thread."""
+        self.httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.httpd.server_close()
+
+    # -- dispatch ------------------------------------------------------
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        profiling.increment("server.http_requests")
+        try:
+            status, payload, headers = self._route(handler, method)
+        except JobError as exc:
+            status, payload, headers = self._job_error(exc)
+        except Exception as exc:  # process edge: never kill the thread
+            status = 500
+            payload = {"error": "internal", "detail": type(exc).__name__}
+            headers = {}
+        if status >= 400:
+            profiling.increment("server.http_rejects")
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            for name, value in headers.items():
+                handler.send_header(name, value)
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+
+    @staticmethod
+    def _job_error(exc: JobError) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        status = 500
+        for cls, code in _STATUS:
+            if isinstance(exc, cls):
+                status = code
+                break
+        payload: Dict[str, Any] = {
+            "error": type(exc).__name__,
+            "detail": str(exc),
+        }
+        headers: Dict[str, str] = {}
+        field = getattr(exc, "field", None)
+        if field is not None:
+            payload["field"] = field
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            headers["Retry-After"] = f"{max(int(round(retry_after)), 1)}"
+        return status, payload, headers
+
+    def _route(
+        self, handler: BaseHTTPRequestHandler, method: str
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        path, _, query = handler.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        if method == "GET":
+            if parts == ["healthz"]:
+                return 200, self._health(), {}
+            if parts == ["readyz"]:
+                return self._ready()
+            if parts == ["v1", "jobs"]:
+                return (
+                    200,
+                    {
+                        "jobs": [
+                            _record_view(r) for r in self.store.list_jobs()
+                        ]
+                    },
+                    {},
+                )
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                return 200, _record_view(self.store.get(parts[2])), {}
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"]:
+                if parts[3] == "result":
+                    return 200, {"result": self.store.read_result(parts[2])}, {}
+                if parts[3] == "events":
+                    offset = self._offset(query)
+                    events = self.store.events(parts[2], offset)
+                    return (
+                        200,
+                        {
+                            "events": events,
+                            "next_offset": offset + len(events),
+                        },
+                        {},
+                    )
+        if method == "POST" and parts == ["v1", "jobs"]:
+            return self._submit(handler)
+        raise JobNotFoundError(f"no route {method} {path}")
+
+    @staticmethod
+    def _offset(query: str) -> int:
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "offset":
+                try:
+                    return max(int(value), 0)
+                except ValueError as exc:
+                    raise JobValidationError(
+                        f"offset must be an integer, got {value!r}",
+                        field="offset",
+                    ) from exc
+        return 0
+
+    # -- handlers ------------------------------------------------------
+
+    def _submit(
+        self, handler: BaseHTTPRequestHandler
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if self.draining.is_set():
+            return (
+                503,
+                {
+                    "error": "draining",
+                    "detail": "server is draining; submit elsewhere",
+                },
+                {"Retry-After": "5"},
+            )
+        try:
+            length = int(handler.headers.get("Content-Length", "0"))
+        except ValueError as exc:
+            raise JobValidationError("bad Content-Length header") from exc
+        if length <= 0:
+            raise JobValidationError("submission body is required")
+        if length > MAX_BODY_BYTES:
+            raise JobValidationError(
+                f"submission body is {length} bytes; cap is {MAX_BODY_BYTES}"
+            )
+        raw = handler.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise JobValidationError(
+                f"submission body is not valid JSON: {exc}"
+            ) from exc
+        tenant = handler.headers.get("X-Tenant", "default").strip() or "default"
+        spec = validate_submission(payload)
+        record = self.store.submit(spec, tenant=tenant)
+        return 202, _record_view(record), {}
+
+    def _health(self) -> Dict[str, Any]:
+        depth = self.store.queue_depth()
+        info: Dict[str, Any] = {
+            "status": "draining" if self.draining.is_set() else "ok",
+            "queue": depth,
+        }
+        if self.ready_check is not None:
+            ready, detail = self.ready_check()
+            info["workers"] = detail
+            info["degraded"] = not ready
+        return info
+
+    def _ready(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        reasons = []
+        if self.draining.is_set():
+            reasons.append("draining")
+        depth = self.store.queue_depth()
+        waiting = depth.get("pending", 0) + depth.get("running", 0)
+        if waiting >= self.max_queue_depth:
+            reasons.append(
+                f"queue depth {waiting} >= {self.max_queue_depth}"
+            )
+        if self.ready_check is not None:
+            ready, detail = self.ready_check()
+            if not ready:
+                reasons.append(detail)
+        if reasons:
+            return (
+                503,
+                {"ready": False, "reasons": reasons, "queue": depth},
+                {"Retry-After": "5"},
+            )
+        return 200, {"ready": True, "queue": depth}, {}

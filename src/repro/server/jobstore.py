@@ -1,0 +1,267 @@
+"""The durable job store: one directory per job, everything crash-safe.
+
+Layout under the store root::
+
+    jobs/
+      j<ts>-<id>/
+        record.json     # queue state (records.py header+CRC format)
+        lease.json      # present while a worker owns the job (leases.py)
+        checkpoint/     # the job's portfolio checkpoint dir (resume here)
+        result.json     # written once, atomically, on completion
+        events.jsonl    # per-job lifecycle event log (append-only)
+
+The store is the only component that touches this layout; workers, the
+reaper, and the HTTP API all go through it.  Every record write is atomic
+(:func:`repro.server.records.write_record`), so a crash at any instant
+leaves each job either absent or fully valid -- a half-submitted job cannot
+exist.  Corrupt records (injected torn writes, disk faults) are surfaced
+explicitly by :meth:`JobStore.scan` instead of being silently skipped.
+
+Per-tenant admission control lives here too: a tenant may hold at most
+``tenant_cap`` non-terminal jobs; past that, :meth:`submit` raises
+:class:`~repro.errors.JobQueueFullError` (the API maps it to 429 with a
+``Retry-After``).  The in-process lock makes the cap exact for one server
+process -- the deployment model of the simulation-mode service.
+
+``repro-lint-scope: determinism-boundary`` -- the store stamps wall-clock
+queue times; the work each job runs stays seeded by its spec.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .. import profiling
+from ..checkpoint.atomic import append_jsonl, atomic_write_json
+from ..errors import (
+    JobNotFoundError,
+    JobQueueFullError,
+    JobRecordError,
+    JobStateError,
+)
+from ..telemetry.runlog import read_run_log
+from .leases import LeaseFile
+from .records import (
+    JobRecord,
+    STATE_COMPLETED,
+    STATE_PENDING,
+    TERMINAL_STATES,
+    new_job_id,
+    read_record,
+    write_record,
+)
+
+__all__ = ["JobStore"]
+
+#: File names inside one job directory.
+RECORD_FILENAME = "record.json"
+RESULT_FILENAME = "result.json"
+EVENTS_FILENAME = "events.jsonl"
+CHECKPOINT_DIRNAME = "checkpoint"
+
+
+class JobStore:
+    """Filesystem-backed durable job queue.
+
+    Args:
+        root: Store root directory (created on first use).
+        tenant_cap: Max non-terminal jobs one tenant may hold; exceeding
+            submissions are rejected with
+            :class:`~repro.errors.JobQueueFullError`.
+        lease_ttl: TTL handed to every job's :class:`LeaseFile` [unit: s].
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        tenant_cap: int = 8,
+        lease_ttl: float = 30.0,
+    ):
+        if tenant_cap < 1:
+            raise JobStateError(f"tenant_cap must be >= 1, got {tenant_cap}")
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.tenant_cap = int(tenant_cap)
+        self.lease_ttl = float(lease_ttl)
+        self._submit_lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        """The directory of job ``job_id`` (not required to exist)."""
+        return self.jobs_dir / job_id
+
+    def record_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / RECORD_FILENAME
+
+    def result_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / RESULT_FILENAME
+
+    def events_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / EVENTS_FILENAME
+
+    def checkpoint_dir(self, job_id: str) -> Path:
+        """The job's portfolio checkpoint dir (crash-resume state)."""
+        return self.job_dir(job_id) / CHECKPOINT_DIRNAME
+
+    def lease(self, job_id: str) -> LeaseFile:
+        """The lease file guarding job ``job_id``."""
+        return LeaseFile(self.job_dir(job_id), ttl=self.lease_ttl)
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any], tenant: str = "default") -> JobRecord:
+        """Admit a validated spec as a new pending job.
+
+        Raises:
+            JobQueueFullError: ``tenant`` already holds ``tenant_cap``
+                non-terminal jobs.
+        """
+        with self._submit_lock:
+            active = self.active_count(tenant)
+            if active >= self.tenant_cap:
+                raise JobQueueFullError(
+                    f"tenant {tenant!r} has {active} active jobs "
+                    f"(cap {self.tenant_cap}); retry after one completes",
+                    retry_after=max(self.lease_ttl / 2.0, 1.0),
+                )
+            now = time.time()
+            record = JobRecord(
+                job_id=new_job_id(),
+                tenant=tenant,
+                state=STATE_PENDING,
+                spec=dict(spec),
+                attempts=0,
+                max_attempts=int(spec.get("max_attempts", 3)),
+                submitted_at=now,
+                updated_at=now,
+            )
+            directory = self.job_dir(record.job_id)
+            directory.mkdir(parents=True, exist_ok=False)
+            write_record(self.record_path(record.job_id), record)
+        self.log_event(record.job_id, "job.submitted", tenant=tenant)
+        profiling.increment("server.jobs_submitted")
+        return record
+
+    # -- reading -------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        """The current record of ``job_id``.
+
+        Raises:
+            JobNotFoundError: No such job directory or record file.
+            JobRecordError: The record exists but fails validation.
+        """
+        path = self.record_path(job_id)
+        if not path.exists():
+            raise JobNotFoundError(f"no job {job_id!r}")
+        return read_record(path)
+
+    def scan(self) -> Tuple[List[JobRecord], List[str]]:
+        """Every job in the store: ``(valid_records, invalid_job_ids)``.
+
+        Valid records come back sorted by ``(submitted_at, job_id)``.
+        Invalid ids name directories whose record is missing or fails
+        validation (a crash between ``mkdir`` and the first record write,
+        or injected corruption) -- surfaced, never silently dropped.
+        """
+        records: List[JobRecord] = []
+        invalid: List[str] = []
+        if not self.jobs_dir.exists():
+            return records, invalid
+        for entry in sorted(self.jobs_dir.iterdir()):
+            if not entry.is_dir():
+                continue
+            try:
+                records.append(read_record(entry / RECORD_FILENAME))
+            except (JobNotFoundError, JobRecordError, OSError):
+                invalid.append(entry.name)
+        records.sort(key=lambda r: (r.submitted_at, r.job_id))
+        return records, invalid
+
+    def list_jobs(self) -> List[JobRecord]:
+        """All valid records, oldest submission first."""
+        return self.scan()[0]
+
+    def claimable(self, now: Optional[float] = None) -> List[JobRecord]:
+        """Pending jobs eligible to run (``not_before`` elapsed), FIFO."""
+        now = time.time() if now is None else now
+        return [
+            record
+            for record in self.list_jobs()
+            if record.state == STATE_PENDING and record.not_before <= now
+        ]
+
+    def active_count(self, tenant: str) -> int:
+        """Non-terminal jobs currently held by ``tenant``."""
+        return sum(
+            1
+            for record in self.list_jobs()
+            if record.tenant == tenant
+            and record.state not in TERMINAL_STATES
+        )
+
+    def queue_depth(self) -> Dict[str, int]:
+        """Job count per state (plus ``"invalid"``) -- readiness input."""
+        records, invalid = self.scan()
+        depth: Dict[str, int] = {"invalid": len(invalid)}
+        for record in records:
+            depth[record.state] = depth.get(record.state, 0) + 1
+        return depth
+
+    # -- writing -------------------------------------------------------
+
+    def update(self, record: JobRecord) -> JobRecord:
+        """Atomically persist ``record`` over the previous version.
+
+        Raises:
+            JobNotFoundError: The job was never submitted here.
+        """
+        if not self.job_dir(record.job_id).is_dir():
+            raise JobNotFoundError(f"no job {record.job_id!r}")
+        write_record(self.record_path(record.job_id), record)
+        return record
+
+    def write_result(self, job_id: str, result: Dict[str, Any]) -> Path:
+        """Atomically persist the completed job's result payload."""
+        return atomic_write_json(self.result_path(job_id), result)
+
+    def read_result(self, job_id: str) -> Dict[str, Any]:
+        """The result payload of a completed job.
+
+        Raises:
+            JobNotFoundError: No such job.
+            JobStateError: The job exists but has not completed.
+        """
+        record = self.get(job_id)
+        path = self.result_path(job_id)
+        if record.state != STATE_COMPLETED or not path.exists():
+            raise JobStateError(
+                f"job {job_id} is {record.state}, not completed; "
+                f"no result available"
+            )
+        return json.loads(path.read_text("utf-8"))
+
+    # -- per-job event log ---------------------------------------------
+
+    def log_event(self, job_id: str, event_type: str, **fields: Any) -> None:
+        """Append one lifecycle event to the job's durable event log."""
+        record = {"type": event_type, "t_wall": time.time(), **fields}
+        append_jsonl(self.events_path(job_id), record, fsync=False)
+
+    def events(self, job_id: str, offset: int = 0) -> List[dict]:
+        """The job's lifecycle events from ``offset`` on (may be empty).
+
+        Raises:
+            JobNotFoundError: No such job.
+        """
+        if not self.job_dir(job_id).is_dir():
+            raise JobNotFoundError(f"no job {job_id!r}")
+        path = self.events_path(job_id)
+        if not path.exists():
+            return []
+        return read_run_log(path)[offset:]

@@ -1,0 +1,289 @@
+"""TTL leases: the mutual-exclusion primitive of the job scheduler.
+
+A lease is a small JSON file next to the job record.  Ownership semantics:
+
+* **Acquire** creates the file with ``O_CREAT | O_EXCL`` -- the filesystem
+  guarantees exactly one of any number of racing workers wins, with no
+  coordination service.
+* **Renew** re-reads the file, verifies the caller's ownership token, and
+  atomically rewrites it with an extended expiry.  A missing file or a
+  foreign token raises :class:`~repro.errors.LeaseLostError`: the holder
+  must stop touching the job immediately.
+* **Steal** (the reaper's reclaim path, only legal on an *expired* lease)
+  renames the lease file to a caller-unique name, then verifies the
+  renamed bytes are exactly the expired lease it examined.  ``os.rename``
+  succeeds for exactly one of any number of racing reapers -- the losers
+  get ``ENOENT`` -- and the content check closes the remaining window: a
+  reaper whose view went stale (the winner already reclaimed *and* a
+  successor re-acquired) would otherwise rename away the successor's
+  fresh lease.  A mismatched steal is rolled back with ``os.link``
+  (atomic, refuses to clobber), so an expired lease is reclaimed exactly
+  once and a fresh acquire can never be destroyed by a stale reaper.
+  Release uses the same rename-verify protocol instead of a bare
+  ``unlink`` for the same reason: a holder releasing just past its TTL
+  must not delete a lease that was reclaimed and re-acquired meanwhile.
+
+Expiry is wall-clock based because leases coordinate *across processes and
+restarts*; a monotonic clock does not survive either.  Correctness therefore
+needs ``ttl`` to dominate both clock skew between cooperating processes on
+the same host (zero) and the heartbeat interval (enforced by
+:class:`repro.server.worker.Worker` renewing at ``ttl / 3``).
+
+``repro-lint-scope: determinism-boundary, atomic-io`` -- lease files are
+wall-clock state by definition, and the ``O_EXCL`` create path must write
+the file it just exclusively created (an atomic-rename write would destroy
+the exclusivity that makes acquisition race-free).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .. import profiling
+from ..errors import LeaseError, LeaseLostError
+from ..faults import SITE_SERVER_LEASE_RENEW, inject
+
+__all__ = ["Lease", "LeaseFile"]
+
+#: Lease file name inside a job directory.
+LEASE_FILENAME = "lease.json"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease: who owns the job and until when.
+
+    Attributes:
+        owner: The worker id that acquired the lease.
+        token: Per-acquisition secret; renewal and release verify it, so a
+            worker that lost its lease can never clobber the new owner's.
+        expires_at: Wall-clock expiry [unit: s].
+        acquired_at: Wall-clock acquisition time [unit: s].
+        renewals: Successful heartbeat renewals so far.
+    """
+
+    owner: str
+    token: str
+    expires_at: float
+    acquired_at: float
+    renewals: int = 0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the lease's TTL has elapsed."""
+        return time.time() >= self.expires_at
+
+
+class LeaseFile:
+    """The lease file of one job directory.
+
+    Args:
+        directory: The job directory the lease guards.
+        ttl: Lease time-to-live [unit: s]; a holder that fails to renew
+            within it is presumed dead and loses the job.
+    """
+
+    def __init__(self, directory: Union[str, Path], ttl: float = 30.0):
+        if ttl <= 0:
+            raise LeaseError(f"lease ttl must be positive, got {ttl}")
+        self.directory = Path(directory)
+        self.path = self.directory / LEASE_FILENAME
+        self.ttl = float(ttl)
+
+    # -- reading -------------------------------------------------------
+
+    def read(self) -> Optional[Lease]:
+        """The current lease, or ``None`` when the job is unleased.
+
+        A lease file that cannot be parsed is treated as *held and expired*
+        -- it blocks fresh acquisition but is reclaimable via
+        :meth:`steal_expired`, so a torn lease write can delay but never
+        wedge a job.
+        """
+        raw = self._read_raw()
+        return None if raw is None else self._decode(raw)
+
+    # -- acquisition ---------------------------------------------------
+
+    def try_acquire(self, owner: str) -> Optional[Lease]:
+        """Attempt to claim the job for ``owner``.
+
+        Returns the granted :class:`Lease`, or ``None`` when another holder
+        (live *or* expired -- expired leases are reclaimed explicitly by the
+        reaper, not stolen implicitly on claim) owns the file.
+        """
+        now = time.time()
+        lease = Lease(
+            owner=owner,
+            token=uuid.uuid4().hex,
+            expires_at=now + self.ttl,
+            acquired_at=now,
+        )
+        data = self._encode(lease)
+        try:
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return None
+        except OSError as exc:
+            raise LeaseError(
+                f"cannot create lease {self.path}: {exc}"
+            ) from exc
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        return lease
+
+    # -- heartbeat -----------------------------------------------------
+
+    def renew(self, lease: Lease) -> Lease:
+        """Extend ``lease`` by one TTL; returns the renewed lease.
+
+        Raises:
+            LeaseLostError: The file is gone or carries a different token
+                (the reaper reclaimed it, or another worker owns the job).
+        """
+        inject(SITE_SERVER_LEASE_RENEW)
+        current = self.read()
+        if current is None or current.token != lease.token:
+            raise LeaseLostError(
+                f"lease on {self.directory.name} lost by {lease.owner}: "
+                f"held by {current.owner if current else 'nobody'}"
+            )
+        renewed = Lease(
+            owner=lease.owner,
+            token=lease.token,
+            expires_at=time.time() + self.ttl,
+            acquired_at=lease.acquired_at,
+            renewals=lease.renewals + 1,
+        )
+        tmp = self.path.with_name(
+            f"{LEASE_FILENAME}.renew-{lease.token[:8]}.tmp"
+        )
+        try:
+            tmp.write_bytes(self._encode(renewed))
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            raise LeaseError(
+                f"cannot renew lease {self.path}: {exc}"
+            ) from exc
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return renewed
+
+    def verify(self, lease: Lease) -> None:
+        """Assert ``lease`` is still the one on disk (pre-commit check).
+
+        Raises:
+            LeaseLostError: It is not; the caller no longer owns the job.
+        """
+        current = self.read()
+        if current is None or current.token != lease.token:
+            raise LeaseLostError(
+                f"lease on {self.directory.name} no longer held by "
+                f"{lease.owner}"
+            )
+
+    # -- release / reclaim ---------------------------------------------
+
+    def release(self, lease: Lease) -> None:
+        """Drop an owned lease (idempotent; a lost lease is left alone)."""
+        raw = self._read_raw()
+        if raw is None or self._decode(raw).token != lease.token:
+            return  # someone else owns it now; never delete their lease
+        self._remove_exact(raw, "released")
+
+    def steal_expired(self, thief: str) -> Optional[Lease]:
+        """Reclaim an *expired* lease; returns a fresh lease for ``thief``.
+
+        Returns ``None`` when there is nothing to steal: the lease is live,
+        absent, or another reaper won the race.  The rename-then-verify
+        protocol guarantees at most one winner per expired lease, even
+        when a racer's view is stale.
+        """
+        raw = self._read_raw()
+        if raw is None or not self._decode(raw).expired:
+            return None
+        if not self._remove_exact(raw, "expired"):
+            return None  # a racing reaper (or the owner's release) won
+        profiling.increment("server.lease_reclaims")
+        return self.try_acquire(thief)
+
+    def _remove_exact(self, raw: bytes, label: str) -> bool:
+        """Remove the lease file iff it still holds exactly ``raw``.
+
+        The rename is what wins the race (one winner among any number of
+        racers); the byte comparison closes the read-to-rename window --
+        without it, a racer whose read went stale could rename away a
+        *successor's* fresh lease.  A mismatch is rolled back with
+        ``os.link``, which is atomic and refuses to clobber a third
+        party's even-fresher lease (that third party is protected either
+        way: token verification catches a vanished file at renew time).
+        """
+        grave = self.path.with_name(
+            f"{LEASE_FILENAME}.{label}-{uuid.uuid4().hex[:8]}"
+        )
+        try:
+            os.rename(self.path, grave)
+        except FileNotFoundError:
+            return False
+        except OSError as exc:
+            raise LeaseError(
+                f"cannot remove lease {self.path}: {exc}"
+            ) from exc
+        try:
+            taken = grave.read_bytes()
+        except OSError:
+            taken = None
+        removed = taken == raw
+        if not removed:
+            try:
+                os.link(grave, self.path)  # put the fresh lease back
+            except OSError:
+                pass
+        try:
+            grave.unlink()
+        except OSError:
+            pass  # tombstone cleanup is best-effort
+        return removed
+
+    # -- helpers -------------------------------------------------------
+
+    def _read_raw(self) -> Optional[bytes]:
+        try:
+            return self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise LeaseError(f"cannot read lease {self.path}: {exc}") from exc
+
+    @staticmethod
+    def _decode(raw: bytes) -> Lease:
+        try:
+            fields = json.loads(raw.decode("utf-8"))
+            return Lease(**fields)
+        except (UnicodeDecodeError, json.JSONDecodeError, TypeError):
+            return Lease(
+                owner="<corrupt>", token="", expires_at=0.0, acquired_at=0.0
+            )
+
+    @staticmethod
+    def _encode(lease: Lease) -> bytes:
+        payload = {
+            "owner": lease.owner,
+            "token": lease.token,
+            "expires_at": lease.expires_at,
+            "acquired_at": lease.acquired_at,
+            "renewals": lease.renewals,
+        }
+        return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")

@@ -39,6 +39,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "optimize.round",
         "portfolio.optimizer",
         "portfolio.promote",
+        "server.job",
         "parallel.batch",
         "parallel.candidate",
         "parallel.degraded",
@@ -93,6 +94,13 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "portfolio.low_evals",
         "portfolio.promotions",
         "search.probes",
+        "server.http_requests",
+        "server.http_rejects",
+        "server.jobs_completed",
+        "server.jobs_failed",
+        "server.jobs_quarantined",
+        "server.jobs_submitted",
+        "server.lease_reclaims",
         "thermal.factorizations",
         "thermal.factorize",
         "thermal.lu_cache_hits",
@@ -106,6 +114,14 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
     {
         "checkpoint.resume",
         "direction.end",
+        "job.claimed",
+        "job.completed",
+        "job.failed",
+        "job.interrupted",
+        "job.lease_reclaimed",
+        "job.quarantined",
+        "job.resumed",
+        "job.submitted",
         "pool.degraded",
         "pool.retry",
         "portfolio.optimizer.end",
@@ -118,6 +134,7 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         "run.metrics",
         "run.start",
         "sa.iteration",
+        "server.drain",
         "stage.end",
     }
 )

@@ -309,6 +309,132 @@ def test_dispatch_fault_is_typed(watchdog, case, candidates):
 
 
 # ---------------------------------------------------------------------------
+# Queue sites: torn records, lost leases, dying queue workers
+# ---------------------------------------------------------------------------
+
+
+def queue_store(tmp_path):
+    from repro.server import JobStore, validate_submission
+
+    store = JobStore(tmp_path / "store", lease_ttl=5.0)
+    spec = validate_submission(
+        {
+            "case_seed": 7,
+            "grid": 9,
+            "rounds": 2,
+            "iterations": 1,
+            "batch_size": 1,
+        }
+    )
+    return store, spec
+
+
+def test_torn_record_write_is_surfaced_not_served(watchdog, tmp_path):
+    """A torn record write makes *that job* unreadable -- typed on access,
+    counted by scan -- while the rest of the queue keeps working."""
+    from repro.errors import JobRecordError
+    from repro.faults import SITE_SERVER_RECORD
+
+    store, spec = queue_store(tmp_path)
+    plan = FaultPlan(
+        [FaultSpec(site=SITE_SERVER_RECORD, kind="torn-write", max_fires=1)],
+        seed=1,
+    )
+    with watchdog(WATCHDOG), FaultInjector(plan):
+        torn = store.submit(dict(spec), tenant="a")
+    assert plan.fired() == 1
+    with pytest.raises(JobRecordError):
+        store.get(torn.job_id)
+    healthy = store.submit(dict(spec), tenant="b")  # queue still admits
+    records, invalid = store.scan()
+    assert [r.job_id for r in records] == [healthy.job_id]
+    assert invalid == [torn.job_id]
+    assert store.queue_depth()["invalid"] == 1
+
+
+def test_lease_renewal_fault_is_typed_and_transient(watchdog, tmp_path):
+    from repro.faults import SITE_SERVER_LEASE_RENEW
+    from repro.server import LeaseFile
+
+    lease_file = LeaseFile(tmp_path, ttl=5.0)
+    lease = lease_file.try_acquire("w")
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                site=SITE_SERVER_LEASE_RENEW,
+                kind="raise-infeasible",
+                max_fires=1,
+            )
+        ],
+        seed=1,
+    )
+    with watchdog(WATCHDOG), FaultInjector(plan):
+        with pytest.raises(InjectedFaultError, match="server.lease.renew"):
+            lease_file.renew(lease)
+    assert plan.fired() == 1
+    assert lease_file.renew(lease).renewals == 1  # transient, not fatal
+
+
+_QUEUE_WORKER_DEATH_SCRIPT = """
+import sys
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, SITE_SERVER_WORKER
+from repro.server import JobStore, Worker
+
+store = JobStore(sys.argv[1], lease_ttl=float(sys.argv[2]))
+plan = FaultPlan(
+    [FaultSpec(site=SITE_SERVER_WORKER, kind="worker-death", max_fires=1)],
+    seed=1,
+)
+with FaultInjector(plan):
+    Worker(store, worker_id="w-doomed").claim_once()
+"""
+
+
+def test_queue_worker_death_leaves_job_reclaimable(watchdog, tmp_path):
+    """``worker-death`` at the queue site is a real ``os._exit`` in a real
+    process; the reaper must requeue the abandoned job."""
+    import os
+    import subprocess
+    import sys
+    import time as _time
+    from pathlib import Path
+
+    from repro.faults.plan import _DEATH_EXIT_CODE
+    from repro.server import Reaper, Worker
+
+    store, spec = queue_store(tmp_path)
+    store = type(store)(store.root, lease_ttl=0.2)
+    job_id = store.submit(spec).job_id
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH", "")) if p
+    )
+    with watchdog(WATCHDOG):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _QUEUE_WORKER_DEATH_SCRIPT,
+                str(store.root),
+                str(store.lease_ttl),
+            ],
+            env=env,
+            timeout=WATCHDOG,
+        )
+    assert proc.returncode == _DEATH_EXIT_CODE
+    _time.sleep(0.25)  # let the orphaned lease expire
+    assert Reaper(store, retry_backoff=0.01).sweep() == [job_id]
+    reclaimed = store.get(job_id)
+    assert reclaimed.state == "pending"
+    assert reclaimed.attempts == 1
+    _time.sleep(0.05)
+    with watchdog(WATCHDOG):
+        assert Worker(store, worker_id="w-2").claim_once() == job_id
+    assert store.get(job_id).state == "completed"
+
+
+# ---------------------------------------------------------------------------
 # Matrix completeness
 # ---------------------------------------------------------------------------
 
@@ -318,5 +444,6 @@ def test_matrix_covers_at_least_eight_kinds():
     exercised |= {k for k, _, _ in IN_PROCESS_RECOVERIES}
     exercised |= {"nan", "inf", "negative"}  # load boundary
     exercised |= {"raise-crash", "worker-death", "slow", "hang"}  # pool
+    exercised |= {"torn-write", "raise-infeasible"}  # queue sites
     assert len(exercised) >= 8
     assert exercised == set(KNOWN_KINDS)

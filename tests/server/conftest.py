@@ -1,0 +1,71 @@
+"""Shared machinery for the service suite: isolation, specs, watchdog.
+
+Server tests mutate global state the rest of the suite also touches
+(armed fault plans, profiling counters, solver caches), so every test runs
+isolated.  The shared ``QUICK_SPEC`` runs the smallest deterministic job
+the validator admits -- a 9x9 generated case, one optimizer, one round --
+keeping the whole suite interactive-speed while still exercising the real
+portfolio under the queue.
+"""
+
+import _thread
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro import profiling
+from repro.faults import clear_active_plan
+from repro.flow.network import clear_unit_cache
+from repro.optimize.parallel import shutdown_pools
+from repro.server import validate_submission
+
+#: The submission payload used across the suite (validated once per test).
+QUICK_PAYLOAD = {
+    "case_seed": 7,
+    "grid": 9,
+    "rounds": 2,
+    "iterations": 1,
+    "batch_size": 1,
+    "optimizers": ["multi_fidelity"],
+}
+
+
+@pytest.fixture(autouse=True)
+def _isolate():
+    clear_active_plan()
+    profiling.reset()
+    clear_unit_cache()
+    yield
+    clear_active_plan()
+    shutdown_pools()
+    clear_unit_cache()
+    profiling.reset()
+
+
+@pytest.fixture
+def quick_spec():
+    """The validated spec of :data:`QUICK_PAYLOAD`."""
+    return validate_submission(dict(QUICK_PAYLOAD))
+
+
+@contextmanager
+def deadline(seconds):
+    """Fail (never hang) when the body runs longer than ``seconds``."""
+    timer = threading.Timer(seconds, _thread.interrupt_main)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    except KeyboardInterrupt:
+        pytest.fail(
+            f"operation hung: exceeded the {seconds:g}s service watchdog"
+        )
+    finally:
+        timer.cancel()
+
+
+@pytest.fixture
+def watchdog():
+    """The :func:`deadline` context manager, as a fixture."""
+    return deadline

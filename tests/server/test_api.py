@@ -1,0 +1,201 @@
+"""The HTTP API: status codes, backpressure, health, readiness, drain."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import (
+    JobNotFoundError,
+    JobQueueFullError,
+    JobStateError,
+    JobValidationError,
+)
+from repro.server import ApiServer, DesignService, JobStore, ServiceClient
+
+from .conftest import QUICK_PAYLOAD
+
+WATCHDOG = 120.0
+
+
+@pytest.fixture
+def api(tmp_path):
+    """An API over a store with NO workers: queue state stays put."""
+    server = ApiServer(
+        JobStore(tmp_path / "store", tenant_cap=2, lease_ttl=5.0),
+        max_queue_depth=3,
+    )
+    server.start()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture
+def client(api):
+    return ServiceClient(f"http://127.0.0.1:{api.port}", timeout=5.0)
+
+
+def raw_status(api, method, path, body=None, headers=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{api.port}{path}",
+        data=body,
+        method=method,
+        headers=headers or {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_submit_poll_events_round_trip(api, client):
+    record = client.submit(dict(QUICK_PAYLOAD))
+    assert record["state"] == "pending"
+    job_id = record["job_id"]
+    assert client.status(job_id)["state"] == "pending"
+    assert [j["job_id"] for j in client.jobs()] == [job_id]
+    page = client.events(job_id)
+    assert [e["type"] for e in page["events"]] == ["job.submitted"]
+    assert client.events(job_id, offset=page["next_offset"])["events"] == []
+
+
+def test_validation_failures_are_400_with_field(api, client):
+    with pytest.raises(JobValidationError, match="NaN"):
+        client.submit(
+            {"case_seed": 7, "power_maps": [[[1.0, float("nan")]]]}
+        )
+    status, payload = raw_status(
+        api,
+        "POST",
+        "/v1/jobs",
+        body=json.dumps({"case": 99}).encode(),
+    )
+    assert status == 400
+    assert payload["field"] == "case"
+    status, _ = raw_status(api, "POST", "/v1/jobs", body=b"{not json")
+    assert status == 400
+    status, _ = raw_status(api, "POST", "/v1/jobs", body=b"")
+    assert status == 400
+
+
+def test_unknown_job_and_route_are_404(api, client):
+    with pytest.raises(JobNotFoundError):
+        client.status("j-nope")
+    assert raw_status(api, "GET", "/v2/other")[0] == 404
+
+
+def test_result_before_completion_is_409(api, client):
+    job_id = client.submit(dict(QUICK_PAYLOAD))["job_id"]
+    with pytest.raises(JobStateError, match="not completed"):
+        client.result(job_id)
+
+
+def test_tenant_cap_is_429_with_retry_after(api, client):
+    client.submit(dict(QUICK_PAYLOAD))
+    client.submit(dict(QUICK_PAYLOAD))
+    with pytest.raises(JobQueueFullError) as excinfo:
+        client.submit(dict(QUICK_PAYLOAD))
+    assert excinfo.value.retry_after >= 1.0
+    # Another tenant still gets in.
+    other = ServiceClient(client.base_url, tenant="other")
+    other.submit(dict(QUICK_PAYLOAD))
+
+
+def test_healthz_reports_queue_and_readyz_backpressure(api, client):
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["queue"]["invalid"] == 0
+    status, ready = raw_status(api, "GET", "/readyz")
+    assert status == 200
+    assert ready["ready"] is True
+    # Fill past max_queue_depth=3 (two tenants x two jobs each).
+    for tenant in ("a", "b"):
+        t = ServiceClient(client.base_url, tenant=tenant)
+        t.submit(dict(QUICK_PAYLOAD))
+        t.submit(dict(QUICK_PAYLOAD))
+    status, ready = raw_status(api, "GET", "/readyz")
+    assert status == 503
+    assert ready["ready"] is False
+    assert any("queue depth" in r for r in ready["reasons"])
+
+
+def test_draining_rejects_submissions_but_serves_reads(api, client):
+    job_id = client.submit(dict(QUICK_PAYLOAD))["job_id"]
+    api.draining.set()
+    status, payload = raw_status(
+        api,
+        "POST",
+        "/v1/jobs",
+        body=json.dumps(dict(QUICK_PAYLOAD)).encode(),
+    )
+    assert status == 503
+    assert payload["error"] == "draining"
+    assert client.status(job_id)["state"] == "pending"  # reads still work
+    assert raw_status(api, "GET", "/readyz")[0] == 503
+    assert client.healthz()["status"] == "draining"
+
+
+def test_internal_errors_are_opaque_500(api, monkeypatch):
+    def boom():
+        raise RuntimeError("secret stack detail")
+
+    monkeypatch.setattr(api.store, "list_jobs", boom)
+    status, payload = raw_status(api, "GET", "/v1/jobs")
+    assert status == 500
+    assert payload["error"] == "internal"
+    assert "secret" not in json.dumps(payload)  # no detail leak
+
+
+def test_full_service_runs_submission_to_result(tmp_path, watchdog):
+    service = DesignService(
+        tmp_path / "svc", n_workers=1, lease_ttl=5.0
+    )
+    service.start()
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+        job_id = client.submit(dict(QUICK_PAYLOAD))["job_id"]
+        with watchdog(WATCHDOG):
+            final = client.wait(job_id, timeout=WATCHDOG)
+        assert final["attempts"] == 0
+        result = client.result(job_id)
+        assert result["winner"] == "multi_fidelity"
+        types = [e["type"] for e in client.events(job_id)["events"]]
+        assert types[0] == "job.submitted"
+        assert types[-1] == "job.completed"
+        health = client.healthz()
+        assert health["degraded"] is False
+    finally:
+        service.stop()
+
+
+def test_graceful_stop_drains_in_flight_jobs(tmp_path, watchdog):
+    """SIGTERM-equivalent: stop() while a job runs leaves it pending and
+    resumable, with a checkpoint on disk and no attempt charged."""
+    service = DesignService(tmp_path / "svc", n_workers=1, lease_ttl=5.0)
+    service.start()
+    client = ServiceClient(f"http://127.0.0.1:{service.port}")
+    payload = dict(QUICK_PAYLOAD)
+    payload["rounds"] = 8  # long enough to still be running at stop()
+    job_id = client.submit(payload)["job_id"]
+    store = service.store
+    with watchdog(WATCHDOG):
+        while store.get(job_id).state == "pending":
+            pass  # wait for a worker to claim it
+        service.stop(timeout=WATCHDOG)
+    drained = store.get(job_id)
+    assert drained.state in ("pending", "completed")
+    if drained.state == "pending":
+        assert drained.attempts == 0
+        assert any(store.checkpoint_dir(job_id).iterdir())
+    # A fresh service process over the same root picks the job back up.
+    revived = DesignService(tmp_path / "svc", n_workers=1, lease_ttl=5.0)
+    revived.start()
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{revived.port}")
+        with watchdog(WATCHDOG):
+            client.wait(job_id, timeout=WATCHDOG)
+        assert store.get(job_id).state == "completed"
+    finally:
+        revived.stop()

@@ -1,0 +1,241 @@
+"""SIGKILL chaos: no acknowledged job is lost, and recovered runs are
+bitwise-identical to uninterrupted ones.
+
+Each scenario kills a real OS process (worker, submitter, reaper) with
+SIGKILL -- no cleanup handlers run -- then proves the survivors restore
+the queue to a coherent state:
+
+* worker killed mid-optimization: the reaper reclaims the expired lease,
+  a fresh worker resumes from the per-job checkpoint, and the final
+  score bitwise-matches a never-interrupted run of the same spec;
+* submitter killed mid-burst: every acknowledged job id has a complete,
+  CRC-valid record; crash debris is at worst an empty job dir, never a
+  torn record;
+* reaper killed mid-sweep: recovery still happens exactly once -- the
+  job is charged one attempt, not two, and then completes.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.optimize.portfolio import PORTFOLIO_CHECKPOINT
+from repro.server import JobStore, Reaper, Worker
+from repro.server.records import (
+    STATE_COMPLETED,
+    STATE_PENDING,
+    STATE_RUNNING,
+)
+
+from .conftest import QUICK_PAYLOAD
+
+WATCHDOG = 240.0
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+# Fields of the executor result that must survive a crash bit-for-bit.
+EXACT_FIELDS = ("winner", "score", "p_sys", "w_pump", "t_max", "delta_t")
+
+
+def spawn(script, *argv):
+    """Run ``script`` in a fresh interpreter with the repo on sys.path."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH", "")) if p
+    )
+    return subprocess.Popen(
+        [sys.executable, "-c", script, *map(str, argv)],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+
+
+def wait_until(predicate, deadline, interval=0.01):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def long_spec(quick_spec):
+    """A run with several round-boundary checkpoints to kill between."""
+    spec = dict(quick_spec)
+    spec["rounds"] = 8
+    return spec
+
+
+WORKER_SCRIPT = """
+import sys
+from repro.server import JobStore, Worker
+
+store = JobStore(sys.argv[1], lease_ttl=float(sys.argv[2]))
+worker = Worker(store, worker_id="w-victim")
+worker.claim_once()
+"""
+
+
+def test_sigkill_worker_reaper_reclaims_and_result_is_bitwise_identical(
+    tmp_path, watchdog, quick_spec
+):
+    spec = long_spec(quick_spec)
+
+    # Baseline: the same spec, never interrupted.
+    baseline_store = JobStore(tmp_path / "baseline", lease_ttl=30.0)
+    baseline_id = baseline_store.submit(dict(spec)).job_id
+    with watchdog(WATCHDOG):
+        assert Worker(baseline_store, worker_id="w-calm").claim_once()
+    baseline = baseline_store.read_result(baseline_id)
+
+    # Victim run: a separate OS process claims the job...
+    store = JobStore(tmp_path / "chaos", lease_ttl=1.0)
+    job_id = store.submit(dict(spec)).job_id
+    victim = spawn(WORKER_SCRIPT, store.root, store.lease_ttl)
+    try:
+        ckpt = store.checkpoint_dir(job_id) / PORTFOLIO_CHECKPOINT
+        # ...and dies the instant resumable state reaches disk.
+        assert wait_until(ckpt.exists, WATCHDOG), "no checkpoint appeared"
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+    finally:
+        victim.kill()
+        victim.wait(timeout=30)
+
+    assert store.get(job_id).state == STATE_RUNNING  # died mid-job
+    lease_file = store.lease(job_id)
+    assert wait_until(
+        lambda: (lambda l: l is None or l.expired)(lease_file.read()),
+        WATCHDOG,
+    ), "orphaned lease never expired"
+
+    reaper = Reaper(store, reaper_id="r-1", retry_backoff=0.01)
+    assert reaper.sweep() == [job_id]
+    reclaimed = store.get(job_id)
+    assert reclaimed.state == STATE_PENDING
+    assert reclaimed.attempts == 1
+    assert ckpt.exists()  # reclaim preserved the checkpoint
+
+    time.sleep(0.05)  # clear the requeue backoff
+    with watchdog(WATCHDOG):
+        assert Worker(store, worker_id="w-rescue").claim_once() == job_id
+    final = store.get(job_id)
+    assert final.state == STATE_COMPLETED
+    result = store.read_result(job_id)
+
+    # Zero loss AND zero drift: resume produced the exact same design.
+    for field in EXACT_FIELDS:
+        assert result[field] == baseline[field], field
+    types = [e["type"] for e in store.events(job_id)]
+    assert "job.lease_reclaimed" in types
+    assert "job.resumed" in types
+
+
+SUBMITTER_SCRIPT = """
+import sys
+from repro.server import JobStore, validate_submission
+
+spec = validate_submission(
+    {"case_seed": 7, "grid": 9, "optimizers": ["multi_fidelity"]}
+)
+store = JobStore(sys.argv[1], tenant_cap=100000)
+i = 0
+while True:
+    record = store.submit(dict(spec), tenant="t%d" % i)
+    print(record.job_id, flush=True)
+    i += 1
+"""
+
+
+def test_sigkill_submitter_leaves_no_torn_records(tmp_path, watchdog):
+    store = JobStore(tmp_path / "store", tenant_cap=100000)
+    submitter = spawn(SUBMITTER_SCRIPT, store.root)
+    try:
+        # Let it ack a healthy burst, then kill it mid-stride.
+        # jobs/ is created lazily by the submitter's first admission.
+        assert wait_until(
+            lambda: store.jobs_dir.exists()
+            and len(list(store.jobs_dir.iterdir())) >= 6,
+            WATCHDOG,
+        ), "submitter never produced jobs"
+        submitter.send_signal(signal.SIGKILL)
+        out, _ = submitter.communicate(timeout=30)
+    finally:
+        submitter.kill()
+        submitter.wait(timeout=30)
+
+    # Ids the submitter printed were acknowledged: submit() had returned.
+    # The kill window can swallow the newest dir's ack (that's the point),
+    # so acked trails the dir count by at most the in-flight submission.
+    lines = out.split("\n")
+    acked = [line for line in lines[:-1] if line]  # last line may be torn
+    assert len(acked) >= 4
+
+    records, invalid = store.scan()
+    surviving = {r.job_id for r in records}
+    # Zero loss: every acknowledged job has a complete, CRC-valid record.
+    for job_id in acked:
+        assert job_id in surviving, f"acked {job_id} lost"
+        assert store.get(job_id).state == STATE_PENDING
+    # Crash debris is at worst an empty dir -- never a half-written
+    # record, because records land via write-to-temp-then-rename.
+    for job_id in invalid:
+        assert not (store.job_dir(job_id) / "record.json").exists()
+    # The store still admits work afterwards.
+    from repro.server import validate_submission
+
+    store.submit(validate_submission(dict(QUICK_PAYLOAD)), tenant="after")
+
+
+REAPER_SCRIPT = """
+import sys, time
+from repro.server import JobStore, Reaper
+
+store = JobStore(sys.argv[1], lease_ttl=float(sys.argv[2]))
+reaper = Reaper(store, reaper_id="r-victim", retry_backoff=0.01)
+print("ready", flush=True)
+while True:
+    reaper.sweep()
+    time.sleep(0.01)
+"""
+
+
+def test_sigkill_reaper_recovery_still_happens_exactly_once(
+    tmp_path, watchdog, quick_spec
+):
+    store = JobStore(tmp_path / "store", lease_ttl=0.2)
+    record = store.submit(quick_spec)
+    job_id = record.job_id
+    # Fake a worker that died mid-job: running record, expiring lease.
+    store.update(record.with_state(STATE_RUNNING, worker="w-dead"))
+    assert store.lease(job_id).try_acquire("w-dead") is not None
+    time.sleep(0.25)  # let the lease expire
+
+    victim = spawn(REAPER_SCRIPT, store.root, store.lease_ttl)
+    try:
+        assert victim.stdout.readline().strip() == "ready"
+        time.sleep(0.05)  # let it get into (or through) a sweep
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=30)
+    finally:
+        victim.kill()
+        victim.wait(timeout=30)
+
+    # A replacement reaper finishes whatever the victim left undone.
+    Reaper(store, reaper_id="r-successor", retry_backoff=0.01).sweep()
+    reclaimed = store.get(job_id)
+    assert reclaimed.state == STATE_PENDING
+    assert reclaimed.attempts == 1  # exactly one attempt charged, not two
+    types = [e["type"] for e in store.events(job_id)]
+    assert types.count("job.lease_reclaimed") <= 1
+
+    time.sleep(0.05)
+    with watchdog(WATCHDOG):
+        assert Worker(store, worker_id="w-rescue").claim_once() == job_id
+    assert store.get(job_id).state == STATE_COMPLETED

@@ -1,0 +1,204 @@
+"""TTL leases: exclusivity, renewal, expiry, and reclaim races."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import LeaseError, LeaseLostError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SITE_SERVER_LEASE_RENEW,
+)
+from repro.server import LeaseFile
+
+
+def test_acquire_is_exclusive(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=30.0)
+    lease = lease_file.try_acquire("worker-a")
+    assert lease is not None
+    assert lease.owner == "worker-a"
+    assert not lease.expired
+    assert lease_file.try_acquire("worker-b") is None
+
+
+def test_contending_acquirers_produce_exactly_one_owner(tmp_path):
+    """N threads race one lease; the filesystem must pick exactly one."""
+    lease_file = LeaseFile(tmp_path, ttl=30.0)
+    barrier = threading.Barrier(8)
+    wins = []
+
+    def contend(name):
+        barrier.wait()
+        lease = lease_file.try_acquire(name)
+        if lease is not None:
+            wins.append(lease)
+
+    threads = [
+        threading.Thread(target=contend, args=(f"w{i}",)) for i in range(8)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(wins) == 1
+    on_disk = lease_file.read()
+    assert on_disk is not None
+    assert on_disk.owner == wins[0].owner
+    assert on_disk.token == wins[0].token
+
+
+def test_renew_extends_and_counts(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=5.0)
+    lease = lease_file.try_acquire("w")
+    renewed = lease_file.renew(lease)
+    assert renewed.renewals == 1
+    assert renewed.expires_at >= lease.expires_at
+    assert renewed.token == lease.token
+    assert lease_file.read().renewals == 1
+
+
+def test_renew_after_loss_is_typed(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=0.05)
+    lease = lease_file.try_acquire("victim")
+    time.sleep(0.08)
+    assert lease_file.read().expired
+    stolen = lease_file.steal_expired("reaper")
+    assert stolen is not None
+    with pytest.raises(LeaseLostError, match="lost"):
+        lease_file.renew(lease)
+    with pytest.raises(LeaseLostError):
+        lease_file.verify(lease)
+
+
+def test_steal_requires_expiry(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=30.0)
+    lease_file.try_acquire("alive")
+    assert lease_file.steal_expired("thief") is None
+    assert lease_file.read().owner == "alive"
+
+
+def test_steal_of_absent_lease_is_none(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=1.0)
+    assert lease_file.steal_expired("thief") is None
+
+
+def test_racing_reapers_reclaim_exactly_once(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=0.05)
+    lease_file.try_acquire("dead-worker")
+    time.sleep(0.08)
+    barrier = threading.Barrier(6)
+    wins = []
+
+    def reap(name):
+        barrier.wait()
+        # Per-thread LeaseFile: separate handles, same path -- like
+        # separate reaper processes.
+        stolen = LeaseFile(tmp_path, ttl=0.05).steal_expired(name)
+        if stolen is not None:
+            wins.append(stolen)
+
+    threads = [
+        threading.Thread(target=reap, args=(f"r{i}",)) for i in range(6)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(wins) == 1
+
+
+def test_stale_steal_cannot_take_a_successor_lease(tmp_path, monkeypatch):
+    """The read-to-rename window: reaper B reads an expired lease, then
+    reaper A reclaims it AND a successor re-acquires -- B's rename must
+    not carry off the successor's fresh lease."""
+    lease_file = LeaseFile(tmp_path, ttl=0.05)
+    lease_file.try_acquire("dead-worker")
+    time.sleep(0.08)
+    stale_raw = lease_file.path.read_bytes()  # B's view, about to go stale
+    fresh_handle = LeaseFile(tmp_path, ttl=30.0)
+    winner = fresh_handle.steal_expired("fast-reaper")
+    assert winner is not None
+    assert not winner.expired  # reclaimed AND re-owned, live again
+    slow = LeaseFile(tmp_path, ttl=30.0)
+    monkeypatch.setattr(slow, "_read_raw", lambda: stale_raw)
+    assert slow.steal_expired("slow-reaper") is None
+    on_disk = fresh_handle.read()
+    assert on_disk is not None
+    assert on_disk.token == winner.token  # fresh lease untouched
+    fresh_handle.verify(winner)  # and still verifiable by its owner
+
+
+def test_stale_release_cannot_delete_a_successor_lease(
+    tmp_path, monkeypatch
+):
+    """A holder releasing just past its TTL must not unlink the lease a
+    reaper reclaimed and re-issued in the meantime."""
+    lease_file = LeaseFile(tmp_path, ttl=0.05)
+    old = lease_file.try_acquire("slow-worker")
+    time.sleep(0.08)
+    stale_raw = lease_file.path.read_bytes()
+    fresh = LeaseFile(tmp_path, ttl=30.0).steal_expired("reaper")
+    assert fresh is not None
+    slow = LeaseFile(tmp_path, ttl=30.0)
+    # The slow worker's release decision is based on its stale view (it
+    # still sees its own token); the rename-verify must still refuse.
+    monkeypatch.setattr(slow, "_read_raw", lambda: stale_raw)
+    slow.release(old)
+    on_disk = lease_file.read()
+    assert on_disk is not None
+    assert on_disk.token == fresh.token
+
+
+def test_release_is_token_guarded_and_idempotent(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=0.05)
+    stale = lease_file.try_acquire("old")
+    time.sleep(0.08)
+    fresh = lease_file.steal_expired("new")
+    assert fresh is not None
+    lease_file.release(stale)  # stale handle must NOT delete the new lease
+    assert lease_file.read().owner == "new"
+    lease_file.release(fresh)
+    assert lease_file.read() is None
+    lease_file.release(fresh)  # double release is a no-op
+
+
+def test_corrupt_lease_blocks_acquire_but_is_reclaimable(tmp_path):
+    lease_file = LeaseFile(tmp_path, ttl=30.0)
+    lease_file.path.write_bytes(b"\x00garbage not json")
+    held = lease_file.read()
+    assert held is not None
+    assert held.expired  # held-but-expired sentinel
+    assert lease_file.try_acquire("w") is None
+    stolen = lease_file.steal_expired("reaper")
+    assert stolen is not None
+    assert stolen.owner == "reaper"
+
+
+def test_injected_renewal_failure_surfaces_to_heartbeat(tmp_path):
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                site=SITE_SERVER_LEASE_RENEW,
+                kind="raise-infeasible",
+                max_fires=1,
+            )
+        ],
+        seed=1,
+    )
+    lease_file = LeaseFile(tmp_path, ttl=5.0)
+    lease = lease_file.try_acquire("w")
+    with FaultInjector(plan):
+        with pytest.raises(Exception) as excinfo:
+            lease_file.renew(lease)
+    assert plan.fired() == 1
+    assert excinfo.type.__name__ == "InjectedFaultError"
+    # An un-faulted retry still works: the failure was transient.
+    assert lease_file.renew(lease).renewals == 1
+
+
+def test_invalid_ttl_is_typed(tmp_path):
+    with pytest.raises(LeaseError, match="positive"):
+        LeaseFile(tmp_path, ttl=0.0)

@@ -1,0 +1,190 @@
+"""Durable job records: round-trip fidelity and hostile-input rejection.
+
+Every way a record file can be wrong -- absent, torn, corrupted, version-
+skewed, well-formed-but-alien -- must surface as a typed
+:class:`~repro.errors.JobRecordError`, never a half-parsed record.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.errors import JobRecordError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, SITE_SERVER_RECORD
+from repro.server import JobRecord, read_record, write_record
+from repro.server.records import (
+    JOB_RECORD_MAGIC,
+    JOB_RECORD_VERSION,
+    STATE_PENDING,
+    STATE_RUNNING,
+    new_job_id,
+)
+
+
+def record(**overrides):
+    fields = {
+        "job_id": "j0001",
+        "tenant": "default",
+        "state": STATE_PENDING,
+        "spec": {"case_seed": 7, "rounds": 2},
+        "attempts": 1,
+        "max_attempts": 3,
+        "submitted_at": 100.0,
+        "updated_at": 101.0,
+        "not_before": 0.0,
+        "worker": None,
+        "error": None,
+    }
+    fields.update(overrides)
+    return JobRecord(**fields)
+
+
+def test_round_trip_is_exact(tmp_path):
+    path = tmp_path / "record.json"
+    original = record(worker="w-1", error="earlier failure")
+    write_record(path, original)
+    assert read_record(path) == original
+
+
+def test_rewrite_replaces_previous_version(tmp_path):
+    path = tmp_path / "record.json"
+    write_record(path, record())
+    write_record(path, record(state=STATE_RUNNING, attempts=2))
+    loaded = read_record(path)
+    assert loaded.state == STATE_RUNNING
+    assert loaded.attempts == 2
+
+
+def test_with_state_restamps_and_validates():
+    base = record(updated_at=0.0)
+    running = base.with_state(STATE_RUNNING, worker="w-9")
+    assert running.state == STATE_RUNNING
+    assert running.worker == "w-9"
+    assert running.updated_at > 0.0
+    with pytest.raises(JobRecordError, match="unknown job state"):
+        base.with_state("paused")
+
+
+def test_new_job_ids_sort_by_submission_and_never_collide():
+    ids = [new_job_id() for _ in range(64)]
+    assert len(set(ids)) == len(ids)
+    assert ids == sorted(ids)
+
+
+def test_missing_file_is_typed(tmp_path):
+    with pytest.raises(JobRecordError, match="cannot read"):
+        read_record(tmp_path / "absent.json")
+
+
+def test_not_a_record_is_typed(tmp_path):
+    path = tmp_path / "record.json"
+    path.write_bytes(b"just some text\nwith lines\n")
+    with pytest.raises(JobRecordError, match="not a job record"):
+        read_record(path)
+
+
+def test_foreign_magic_is_typed(tmp_path):
+    path = tmp_path / "record.json"
+    body = b"{}"
+    header = json.dumps(
+        {
+            "magic": "other-tool",
+            "version": 1,
+            "body_bytes": len(body),
+            "crc32": zlib.crc32(body),
+        }
+    ).encode("ascii")
+    path.write_bytes(header + b"\n" + body)
+    with pytest.raises(JobRecordError, match="not a repro job record"):
+        read_record(path)
+
+
+def test_version_skew_is_typed(tmp_path):
+    path = tmp_path / "record.json"
+    write_record(path, record())
+    raw = path.read_bytes()
+    header_line, _, body = raw.partition(b"\n")
+    header = json.loads(header_line)
+    header["version"] = JOB_RECORD_VERSION + 1
+    path.write_bytes(json.dumps(header).encode("ascii") + b"\n" + body)
+    with pytest.raises(JobRecordError, match="schema version"):
+        read_record(path)
+
+
+def test_truncated_body_is_typed(tmp_path):
+    path = tmp_path / "record.json"
+    write_record(path, record())
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - 20])
+    with pytest.raises(JobRecordError, match="torn or truncated"):
+        read_record(path)
+
+
+def test_flipped_byte_fails_crc(tmp_path):
+    path = tmp_path / "record.json"
+    write_record(path, record())
+    raw = bytearray(path.read_bytes())
+    raw[-2] ^= 0x40  # flip one bit inside the JSON body
+    path.write_bytes(bytes(raw))
+    with pytest.raises(JobRecordError, match="CRC mismatch"):
+        read_record(path)
+
+
+def test_valid_crc_wrong_fields_is_typed(tmp_path):
+    path = tmp_path / "record.json"
+    body = json.dumps({"job_id": "j1", "surprise": True}).encode()
+    header = json.dumps(
+        {
+            "magic": JOB_RECORD_MAGIC,
+            "version": JOB_RECORD_VERSION,
+            "body_bytes": len(body),
+            "crc32": zlib.crc32(body),
+        }
+    ).encode("ascii")
+    path.write_bytes(header + b"\n" + body)
+    with pytest.raises(JobRecordError, match="wrong fields"):
+        read_record(path)
+
+
+def test_unknown_state_rejected_on_read_and_write(tmp_path):
+    from dataclasses import asdict
+
+    path = tmp_path / "record.json"
+    bad = record()
+    object.__setattr__(bad, "state", "zombie")
+    with pytest.raises(JobRecordError, match="unknown"):
+        write_record(path, bad)
+    # Craft a record whose body is valid except for the state value.
+    fields = asdict(record())
+    fields["state"] = "zombie"
+    body = json.dumps(fields).encode()
+    header = json.dumps(
+        {
+            "magic": JOB_RECORD_MAGIC,
+            "version": JOB_RECORD_VERSION,
+            "body_bytes": len(body),
+            "crc32": zlib.crc32(body),
+        }
+    ).encode("ascii")
+    path.write_bytes(header + b"\n" + body)
+    with pytest.raises(JobRecordError, match="unknown state"):
+        read_record(path)
+
+
+def test_injected_torn_write_is_rejected_on_read(tmp_path):
+    """The ``torn-write`` chaos kind truncates the bytes that land on disk;
+    the reader's length check must catch it before the body is parsed."""
+    path = tmp_path / "record.json"
+    plan = FaultPlan(
+        [FaultSpec(site=SITE_SERVER_RECORD, kind="torn-write", max_fires=1)],
+        seed=1,
+    )
+    with FaultInjector(plan):
+        write_record(path, record())
+    assert plan.fired() == 1
+    with pytest.raises(JobRecordError):
+        read_record(path)
+    # The next (un-faulted) write heals the file completely.
+    write_record(path, record())
+    assert read_record(path) == record()

@@ -1,0 +1,135 @@
+"""The durable job store: admission, ordering, caps, and scan hygiene."""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    JobNotFoundError,
+    JobQueueFullError,
+    JobStateError,
+)
+from repro.server import JobStore
+from repro.server.records import (
+    STATE_COMPLETED,
+    STATE_PENDING,
+    STATE_QUARANTINED,
+    STATE_RUNNING,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "store", tenant_cap=2, lease_ttl=5.0)
+
+
+def test_submit_get_round_trip(store, quick_spec):
+    record = store.submit(quick_spec, tenant="acme")
+    loaded = store.get(record.job_id)
+    assert loaded == record
+    assert loaded.state == STATE_PENDING
+    assert loaded.spec == quick_spec
+    assert loaded.submitted_at > 0
+    types = [e["type"] for e in store.events(record.job_id)]
+    assert types == ["job.submitted"]
+
+
+def test_unknown_job_is_typed(store):
+    with pytest.raises(JobNotFoundError):
+        store.get("j-nope")
+    with pytest.raises(JobNotFoundError):
+        store.events("j-nope")
+
+
+def test_listing_is_submission_ordered(store, quick_spec):
+    ids = [store.submit(quick_spec, tenant=f"t{i}").job_id for i in range(3)]
+    assert [r.job_id for r in store.list_jobs()] == ids
+    assert [r.job_id for r in store.claimable()] == ids
+
+
+def test_backoff_gates_claimability(store, quick_spec):
+    record = store.submit(quick_spec)
+    store.update(
+        record.with_state(STATE_PENDING, not_before=time.time() + 60.0)
+    )
+    assert store.claimable() == []
+    assert len(store.list_jobs()) == 1
+
+
+def test_tenant_cap_rejects_with_retry_after(store, quick_spec):
+    store.submit(quick_spec, tenant="acme")
+    store.submit(quick_spec, tenant="acme")
+    with pytest.raises(JobQueueFullError) as excinfo:
+        store.submit(quick_spec, tenant="acme")
+    assert excinfo.value.retry_after > 0
+    # Another tenant's queue is unaffected.
+    store.submit(quick_spec, tenant="other")
+
+
+def test_terminal_jobs_free_tenant_capacity(store, quick_spec):
+    first = store.submit(quick_spec, tenant="acme")
+    store.submit(quick_spec, tenant="acme")
+    store.update(first.with_state(STATE_COMPLETED))
+    assert store.active_count("acme") == 1
+    store.submit(quick_spec, tenant="acme")  # admitted again
+
+
+def test_queue_depth_counts_states(store, quick_spec):
+    a = store.submit(quick_spec, tenant="a")
+    b = store.submit(quick_spec, tenant="b")
+    store.submit(quick_spec, tenant="c")
+    store.update(a.with_state(STATE_RUNNING, worker="w"))
+    store.update(b.with_state(STATE_QUARANTINED, error="poison"))
+    depth = store.queue_depth()
+    assert depth["pending"] == 1
+    assert depth["running"] == 1
+    assert depth["quarantined"] == 1
+    assert depth["invalid"] == 0
+
+
+def test_scan_surfaces_invalid_records(store, quick_spec):
+    good = store.submit(quick_spec)
+    broken_dir = store.jobs_dir / "j-broken"
+    broken_dir.mkdir()
+    (broken_dir / "record.json").write_bytes(b"\x00 not a record")
+    empty_dir = store.jobs_dir / "j-empty"  # crash between mkdir and write
+    empty_dir.mkdir()
+    records, invalid = store.scan()
+    assert [r.job_id for r in records] == [good.job_id]
+    assert sorted(invalid) == ["j-broken", "j-empty"]
+    assert store.queue_depth()["invalid"] == 2
+
+
+def test_result_requires_completion(store, quick_spec):
+    record = store.submit(quick_spec)
+    with pytest.raises(JobStateError, match="not completed"):
+        store.read_result(record.job_id)
+    store.write_result(record.job_id, {"score": 1.25})
+    with pytest.raises(JobStateError, match="not completed"):
+        store.read_result(record.job_id)  # result file alone is not enough
+    store.update(record.with_state(STATE_COMPLETED))
+    assert store.read_result(record.job_id) == {"score": 1.25}
+
+
+def test_update_of_unknown_job_is_typed(store, quick_spec):
+    record = store.submit(quick_spec)
+    import shutil
+
+    shutil.rmtree(store.job_dir(record.job_id))
+    with pytest.raises(JobNotFoundError):
+        store.update(record.with_state(STATE_RUNNING))
+
+
+def test_events_offset_pagination(store, quick_spec):
+    record = store.submit(quick_spec)
+    store.log_event(record.job_id, "job.claimed", worker="w")
+    store.log_event(record.job_id, "job.completed", worker="w")
+    all_events = store.events(record.job_id)
+    assert [e["type"] for e in all_events] == [
+        "job.submitted",
+        "job.claimed",
+        "job.completed",
+    ]
+    assert [e["type"] for e in store.events(record.job_id, offset=2)] == [
+        "job.completed"
+    ]

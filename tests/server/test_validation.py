@@ -1,0 +1,116 @@
+"""Submission validation: every doomed payload is a typed 400 at the door."""
+
+import math
+
+import pytest
+
+from repro.errors import JobValidationError
+from repro.server import validate_submission
+from repro.server.validation import MAX_GRID_SIZE
+
+from .conftest import QUICK_PAYLOAD
+
+
+def reject(payload, match=None):
+    with pytest.raises(JobValidationError, match=match) as excinfo:
+        validate_submission(payload)
+    return excinfo.value
+
+
+def test_quick_payload_validates_with_defaults():
+    spec = validate_submission(dict(QUICK_PAYLOAD))
+    assert spec["case_seed"] == 7
+    assert spec["case"] is None
+    assert spec["problem"] == 1
+    assert spec["seed"] == 0
+    assert spec["max_attempts"] == 3
+    assert spec["power_maps"] is None
+
+
+def test_minimal_contest_payload_validates():
+    spec = validate_submission({"case": 1, "grid": 21})
+    assert spec["case"] == 1
+    assert spec["optimizers"] == ["multi_fidelity"]
+
+
+def test_non_object_body_rejected():
+    reject([1, 2, 3], match="JSON object")
+
+
+def test_unknown_keys_rejected():
+    exc = reject({"case": 1, "gird": 21}, match="unknown submission keys")
+    assert exc.field == "gird"
+
+
+def test_exactly_one_case_source_required():
+    reject({}, match="exactly one of")
+    reject({"case": 1, "case_seed": 7}, match="exactly one of")
+
+
+def test_type_and_range_enforcement():
+    reject({"case": "1"}, match="must be an integer")
+    reject({"case": True}, match="must be an integer")
+    reject({"case": 9}, match=r"in \[1, 5\]")
+    reject({"case_seed": -1}, match=r"in \[0")
+    reject({"case": 1, "rounds": 0}, match="rounds")
+    reject({"case": 1, "iterations": 100000}, match="iterations")
+    reject({"case": 1, "problem": 3}, match="problem")
+
+
+def test_oversize_grid_rejected():
+    exc = reject({"case": 1, "grid": MAX_GRID_SIZE + 2})
+    assert exc.field == "grid"
+    reject({"case": 1, "grid": 3}, match="grid")
+
+
+def test_unknown_optimizer_rejected():
+    exc = reject(
+        {"case": 1, "optimizers": ["multi_fidelity", "gradient_descent"]},
+        match="unknown optimizer",
+    )
+    assert exc.field == "optimizers"
+    reject({"case": 1, "optimizers": []}, match="non-empty")
+    reject({"case": 1, "optimizers": [7]}, match="non-empty")
+
+
+@pytest.mark.parametrize(
+    "cell,why",
+    [
+        (math.nan, "NaN"),
+        (math.inf, "infinite"),
+        (-math.inf, "infinite"),
+        (-0.5, "negative"),
+        ("hot", "not a number"),
+        (True, "not a number"),
+    ],
+)
+def test_bad_power_map_cells_rejected(cell, why):
+    maps = [[[0.1, 0.1], [0.1, cell]]]
+    exc = reject({"case_seed": 7, "grid": 9, "power_maps": maps}, match=why)
+    assert exc.field == "power_maps"
+
+
+def test_power_map_structure_rejected():
+    reject({"case_seed": 7, "power_maps": []}, match="non-empty")
+    reject({"case_seed": 7, "power_maps": [[]]}, match="non-empty")
+    reject(
+        {"case_seed": 7, "power_maps": [[[0.1, 0.2], [0.3]]]}, match="ragged"
+    )
+    big = [[0.0] * (MAX_GRID_SIZE + 1)] * 2
+    reject({"case_seed": 7, "power_maps": [big]}, match="caps footprints")
+
+
+def test_power_map_shape_must_match_the_case():
+    # Case seed 7 at grid 9 is a 9x9 stack; a 2x2 override cannot build.
+    maps = [[[0.1, 0.1], [0.1, 0.1]]]
+    reject(
+        {"case_seed": 7, "grid": 9, "power_maps": maps},
+        match="footprint|dies",
+    )
+
+
+def test_impossible_geometry_is_rejected_at_the_door():
+    # grid=10 is silently bumped to 11 by the case builders; that is fine.
+    # But a spec the case builders refuse must be a 400 here.
+    spec = validate_submission({"case_seed": 7, "grid": 10})
+    assert spec["grid"] == 10  # normalization happens in the builder

@@ -1,0 +1,213 @@
+"""Workers and the reaper: retries, quarantine, drains, and contention."""
+
+import threading
+import time
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SITE_SERVER_WORKER,
+)
+from repro.server import JobStore, Reaper, Worker
+from repro.server.records import (
+    STATE_COMPLETED,
+    STATE_PENDING,
+    STATE_QUARANTINED,
+    STATE_RUNNING,
+)
+
+WATCHDOG = 120.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "store", lease_ttl=5.0)
+
+
+def event_types(store, job_id):
+    return [e["type"] for e in store.events(job_id)]
+
+
+def test_worker_completes_a_job(watchdog, store, quick_spec):
+    record = store.submit(quick_spec)
+    worker = Worker(store, worker_id="w-1")
+    with watchdog(WATCHDOG):
+        assert worker.claim_once() == record.job_id
+    final = store.get(record.job_id)
+    assert final.state == STATE_COMPLETED
+    assert final.attempts == 0
+    result = store.read_result(record.job_id)
+    assert result["winner"] == "multi_fidelity"
+    assert result["score"] == pytest.approx(result["score"])  # finite
+    assert event_types(store, record.job_id) == [
+        "job.submitted",
+        "job.claimed",
+        "job.completed",
+    ]
+    assert store.lease(record.job_id).read() is None  # released
+
+
+def test_empty_queue_claims_nothing(store):
+    assert Worker(store).claim_once() is None
+
+
+def test_injected_crash_retries_with_backoff_then_succeeds(
+    watchdog, store, quick_spec
+):
+    record = store.submit(quick_spec)
+    worker = Worker(store, worker_id="w-1", retry_backoff=0.3)
+    plan = FaultPlan(
+        [FaultSpec(site=SITE_SERVER_WORKER, kind="raise-crash", max_fires=1)],
+        seed=1,
+    )
+    with watchdog(WATCHDOG), FaultInjector(plan):
+        assert worker.claim_once() == record.job_id
+        failed = store.get(record.job_id)
+        assert failed.state == STATE_PENDING
+        assert failed.attempts == 1
+        assert "injected crash" in failed.error
+        assert failed.not_before > failed.updated_at  # backoff applied
+        assert worker.claim_once() is None  # gated by backoff
+        time.sleep(0.4)
+        assert worker.claim_once() == record.job_id  # retry succeeds
+    final = store.get(record.job_id)
+    assert final.state == STATE_COMPLETED
+    assert final.attempts == 1
+    assert "job.failed" in event_types(store, record.job_id)
+
+
+def test_poison_job_is_quarantined_after_max_attempts(
+    watchdog, store, quick_spec
+):
+    spec = dict(quick_spec)
+    spec["max_attempts"] = 2
+    record = store.submit(spec)
+    worker = Worker(store, worker_id="w-1", retry_backoff=0.01)
+    plan = FaultPlan(
+        [FaultSpec(site=SITE_SERVER_WORKER, kind="raise-crash")], seed=1
+    )
+    with watchdog(WATCHDOG), FaultInjector(plan):
+        assert worker.claim_once() == record.job_id
+        time.sleep(0.05)
+        assert worker.claim_once() == record.job_id
+        time.sleep(0.05)
+        assert worker.claim_once() is None  # quarantined: never claimable
+    final = store.get(record.job_id)
+    assert final.state == STATE_QUARANTINED
+    assert final.attempts == 2
+    assert final.terminal
+    assert "job.quarantined" in event_types(store, record.job_id)
+
+
+def test_graceful_drain_requeues_without_charging_an_attempt(
+    watchdog, store, quick_spec
+):
+    record = store.submit(quick_spec)
+    worker = Worker(store, worker_id="w-1")
+    with watchdog(WATCHDOG):
+        # stop_check is already true: the run checkpoints at the first
+        # round boundary and defers the rest.
+        assert worker.claim_once(stop_check=lambda: True) == record.job_id
+    drained = store.get(record.job_id)
+    assert drained.state == STATE_PENDING
+    assert drained.attempts == 0  # drains are free: not a failure
+    assert "job.interrupted" in event_types(store, record.job_id)
+    assert store.lease(record.job_id).read() is None
+    ckpt = store.checkpoint_dir(record.job_id)
+    assert any(ckpt.iterdir())  # resumable state reached disk
+    with watchdog(WATCHDOG):
+        assert worker.claim_once() == record.job_id  # picks it back up
+    assert store.get(record.job_id).state == STATE_COMPLETED
+    assert "job.resumed" in event_types(store, record.job_id)
+
+
+def test_two_workers_one_job_exactly_one_executes(
+    watchdog, store, quick_spec
+):
+    record = store.submit(quick_spec)
+    results = {}
+    barrier = threading.Barrier(2)
+
+    def claim(name):
+        worker = Worker(store, worker_id=name)
+        barrier.wait()
+        results[name] = worker.claim_once()
+
+    threads = [
+        threading.Thread(target=claim, args=(f"w-{i}",)) for i in range(2)
+    ]
+    with watchdog(WATCHDOG):
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    claimed = [v for v in results.values() if v is not None]
+    assert claimed == [record.job_id]  # exactly one winner
+    types = event_types(store, record.job_id)
+    assert types.count("job.claimed") == 1
+    assert types.count("job.completed") == 1
+    assert store.get(record.job_id).state == STATE_COMPLETED
+
+
+def test_reaper_ignores_live_leases(store, quick_spec):
+    record = store.submit(quick_spec)
+    store.update(record.with_state(STATE_RUNNING, worker="w-alive"))
+    lease = store.lease(record.job_id).try_acquire("w-alive")
+    assert lease is not None
+    assert Reaper(store).sweep() == []
+    assert store.get(record.job_id).state == STATE_RUNNING
+
+
+def test_reaper_reclaims_expired_lease_and_requeues(store, quick_spec):
+    store = JobStore(store.root, lease_ttl=0.05)
+    record = store.submit(quick_spec)
+    store.update(record.with_state(STATE_RUNNING, worker="w-dead"))
+    assert store.lease(record.job_id).try_acquire("w-dead") is not None
+    time.sleep(0.08)  # the dead worker never heartbeats
+    reaper = Reaper(store, reaper_id="r-1", retry_backoff=0.01)
+    assert reaper.sweep() == [record.job_id]
+    reclaimed = store.get(record.job_id)
+    assert reclaimed.state == STATE_PENDING
+    assert reclaimed.attempts == 1  # the crash cost one attempt
+    assert reclaimed.worker is None
+    assert "job.lease_reclaimed" in event_types(store, record.job_id)
+    assert store.lease(record.job_id).read() is None
+
+
+def test_reaper_quarantines_repeatedly_crashing_job(store, quick_spec):
+    store = JobStore(store.root, lease_ttl=0.05)
+    spec = dict(quick_spec)
+    spec["max_attempts"] = 1
+    record = store.submit(spec)
+    store.update(record.with_state(STATE_RUNNING, worker="w-dead"))
+    store.lease(record.job_id).try_acquire("w-dead")
+    time.sleep(0.08)
+    assert Reaper(store).sweep() == [record.job_id]
+    assert store.get(record.job_id).state == STATE_QUARANTINED
+
+
+def test_reaper_commits_half_completed_jobs(store, quick_spec):
+    """A worker that died between writing the result and flipping the
+    record must not cost a re-run: the reaper commits the completion."""
+    store = JobStore(store.root, lease_ttl=0.05)
+    record = store.submit(quick_spec)
+    store.update(record.with_state(STATE_RUNNING, worker="w-dead"))
+    store.lease(record.job_id).try_acquire("w-dead")
+    store.write_result(record.job_id, {"score": 0.5, "winner": "x"})
+    time.sleep(0.08)
+    assert Reaper(store).sweep() == [record.job_id]
+    final = store.get(record.job_id)
+    assert final.state == STATE_COMPLETED
+    assert final.attempts == 0  # the work was NOT redone
+    assert store.read_result(record.job_id)["score"] == 0.5
+
+
+def test_reaper_claims_running_job_with_no_lease(store, quick_spec):
+    record = store.submit(quick_spec)
+    store.update(record.with_state(STATE_RUNNING, worker="w-gone"))
+    reaper = Reaper(store, retry_backoff=0.01)
+    assert reaper.sweep() == [record.job_id]
+    assert store.get(record.job_id).state == STATE_PENDING
