@@ -30,6 +30,7 @@ queue times; the work each job runs stays seeded by its spec.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from pathlib import Path
@@ -63,6 +64,11 @@ RESULT_FILENAME = "result.json"
 EVENTS_FILENAME = "events.jsonl"
 CHECKPOINT_DIRNAME = "checkpoint"
 
+#: The shape :func:`repro.server.records.new_job_id` produces.  Job ids
+#: arrive from the network as URL path segments; anything else -- ``..``,
+#: separators, absolute paths -- must never reach a filesystem join.
+_JOB_ID_RE = re.compile(r"j[0-9a-f]{16,}-[0-9a-f]{10}")
+
 
 class JobStore:
     """Filesystem-backed durable job queue.
@@ -92,7 +98,17 @@ class JobStore:
     # -- paths ---------------------------------------------------------
 
     def job_dir(self, job_id: str) -> Path:
-        """The directory of job ``job_id`` (not required to exist)."""
+        """The directory of job ``job_id`` (not required to exist).
+
+        Raises:
+            JobNotFoundError: ``job_id`` does not have the shape
+                :func:`~repro.server.records.new_job_id` mints.  Ids come
+                off the wire as path segments; a malformed one (``..``,
+                separators) can never name a job and must never be joined
+                onto the store root.
+        """
+        if not _JOB_ID_RE.fullmatch(job_id):
+            raise JobNotFoundError(f"no job {job_id!r}")
         return self.jobs_dir / job_id
 
     def record_path(self, job_id: str) -> Path:

@@ -6,9 +6,14 @@ A lease is a small JSON file next to the job record.  Ownership semantics:
   guarantees exactly one of any number of racing workers wins, with no
   coordination service.
 * **Renew** re-reads the file, verifies the caller's ownership token, and
-  atomically rewrites it with an extended expiry.  A missing file or a
-  foreign token raises :class:`~repro.errors.LeaseLostError`: the holder
-  must stop touching the job immediately.
+  rewrites it with an extended expiry via the same rename-verify protocol
+  as steal/release (rename away, check the bytes, re-create with
+  ``O_EXCL``).  A missing file, a foreign token, or losing the
+  rename race raises :class:`~repro.errors.LeaseLostError`: the holder
+  must stop touching the job immediately.  A plain ``os.replace`` would
+  be wrong here: a holder renewing just past its TTL (GC pause, VM
+  suspend) could clobber the fresh lease a reaper reclaimed and a
+  successor re-acquired in the meantime.
 * **Steal** (the reaper's reclaim path, only legal on an *expired* lease)
   renames the lease file to a caller-unique name, then verifies the
   renamed bytes are exactly the expired lease it examined.  ``os.rename``
@@ -148,16 +153,34 @@ class LeaseFile:
     def renew(self, lease: Lease) -> Lease:
         """Extend ``lease`` by one TTL; returns the renewed lease.
 
+        Renewal follows the rename-verify protocol of steal/release: the
+        current file is renamed away (``os.rename`` picks one winner among
+        any racers), its bytes are checked to still carry the caller's
+        token, and the extended lease is re-created with ``O_EXCL``.  A
+        holder whose renewal runs just past its TTL therefore loses
+        cleanly to a concurrent reclaim instead of replacing the
+        successor's fresh lease.
+
         Raises:
-            LeaseLostError: The file is gone or carries a different token
-                (the reaper reclaimed it, or another worker owns the job).
+            LeaseLostError: The file is gone, carries a different token,
+                or was reclaimed mid-renewal (the reaper requeued the job,
+                or another worker owns it).
         """
         inject(SITE_SERVER_LEASE_RENEW)
-        current = self.read()
+        raw = self._read_raw()
+        current = None if raw is None else self._decode(raw)
         if current is None or current.token != lease.token:
             raise LeaseLostError(
                 f"lease on {self.directory.name} lost by {lease.owner}: "
                 f"held by {current.owner if current else 'nobody'}"
+            )
+        if not self._remove_exact(raw, "renew"):
+            # Between read and rename the lease was reclaimed -- and
+            # possibly re-issued; _remove_exact already restored any
+            # successor's fresh lease.
+            raise LeaseLostError(
+                f"lease on {self.directory.name} lost by {lease.owner}: "
+                f"reclaimed mid-renewal"
             )
         renewed = Lease(
             owner=lease.owner,
@@ -166,19 +189,27 @@ class LeaseFile:
             acquired_at=lease.acquired_at,
             renewals=lease.renewals + 1,
         )
-        tmp = self.path.with_name(
-            f"{LEASE_FILENAME}.renew-{lease.token[:8]}.tmp"
-        )
+        data = self._encode(renewed)
         try:
-            tmp.write_bytes(self._encode(renewed))
-            os.replace(tmp, self.path)
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            # Someone acquired in the rename-to-recreate gap (a reaper saw
+            # the record with no lease file); the job is theirs now.
+            raise LeaseLostError(
+                f"lease on {self.directory.name} lost by {lease.owner}: "
+                f"re-acquired mid-renewal"
+            ) from None
         except OSError as exc:
             raise LeaseError(
                 f"cannot renew lease {self.path}: {exc}"
             ) from exc
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
         finally:
-            if tmp.exists():
-                tmp.unlink()
+            os.close(fd)
         return renewed
 
     def verify(self, lease: Lease) -> None:

@@ -17,7 +17,9 @@ finishes with a bitwise-identical result.  A job that crashed
 ``max_attempts`` times is poison and is quarantined instead of looping
 forever.  The reaper also finishes half-committed completions: a result
 file written by a worker that died before flipping its record to
-``completed`` is committed, not re-run.
+``completed`` is committed, not re-run.  And it unwedges *pending* jobs
+left behind an expired lease by a claimer that died before the record
+flip -- cleared without charging an attempt, since no work started.
 
 Failure discipline (R4): the executor call is wrapped in
 :func:`~repro.errors.crash_boundary`; everything reaching the retry logic
@@ -158,17 +160,27 @@ class Worker:
             if lease is None:
                 continue  # lost the race; try the next job
             try:
-                record = self.store.get(candidate.job_id)
-            except (JobNotFoundError, JobRecordError):
+                try:
+                    record = self.store.get(candidate.job_id)
+                except (JobNotFoundError, JobRecordError):
+                    continue
+                if (
+                    record.state != STATE_PENDING
+                    or record.not_before > time.time()
+                ):
+                    # The queue moved between scan and acquire (another
+                    # worker finished it, the reaper requeued it with
+                    # backoff, ...).
+                    continue
+                self._run_job(record, lease_file, lease, stop_check)
+                return record.job_id
+            finally:
+                # Idempotent (token-guarded): the paths inside _run_job
+                # have already released or deliberately ceded the lease.
+                # This catches every other exit -- an unexpected exception
+                # between acquisition and the heartbeat start would
+                # otherwise strand a pending job behind an orphaned lease.
                 lease_file.release(lease)
-                continue
-            if record.state != STATE_PENDING or record.not_before > time.time():
-                # The queue moved between scan and acquire (another worker
-                # finished it, the reaper requeued it with backoff, ...).
-                lease_file.release(lease)
-                continue
-            self._run_job(record, lease_file, lease, stop_check)
-            return record.job_id
         return None
 
     # -- execution -----------------------------------------------------
@@ -335,14 +347,63 @@ class Reaper:
             time.sleep(interval)
 
     def sweep(self) -> List[str]:
-        """One pass over running jobs; returns the reclaimed job ids."""
+        """One recovery pass over the store; returns the reclaimed job ids.
+
+        Two shapes of orphan are handled: a *running* job whose lease
+        expired (the worker stopped heartbeating mid-job) is requeued with
+        the crash charged as one attempt, and a *pending* job wedged
+        behind an expired lease (the claimer died between lease
+        acquisition and the record flip to running) has the orphaned
+        lease cleared with no attempt charged -- the work never started.
+        """
         reclaimed: List[str] = []
         for record in self.store.list_jobs():
-            if record.state != STATE_RUNNING:
-                continue
-            if self._reclaim(record):
-                reclaimed.append(record.job_id)
+            if record.state == STATE_RUNNING:
+                if self._reclaim(record):
+                    reclaimed.append(record.job_id)
+            elif record.state == STATE_PENDING:
+                if self._clear_orphaned_lease(record):
+                    reclaimed.append(record.job_id)
         return reclaimed
+
+    def _clear_orphaned_lease(self, record: JobRecord) -> bool:
+        """Unwedge a pending job whose claimer died holding the lease.
+
+        ``try_acquire`` refuses existing leases even when expired (expiry
+        is reclaimed explicitly, never stolen implicitly on claim), so a
+        worker SIGKILLed inside the claim window -- lease on disk, record
+        still ``pending`` -- would block the job forever without this
+        sweep.  Clearing is free: no attempt is charged because no work
+        started, and the job becomes claimable again immediately.
+        """
+        store = self.store
+        lease_file = store.lease(record.job_id)
+        current = lease_file.read()
+        if current is None or not current.expired:
+            return False  # unleased (normal pending) or a live claimer
+        lease = lease_file.steal_expired(self.reaper_id)
+        if lease is None:
+            return False  # a racing reaper won, or the view went stale
+        try:
+            fresh = store.get(record.job_id)
+        except (JobNotFoundError, JobRecordError):
+            lease_file.release(lease)
+            return False
+        if fresh.state != STATE_PENDING:
+            # The claimer was alive after all and flipped the record; it
+            # will lose its lease at the next heartbeat and the running
+            # sweep owns recovery from there.
+            lease_file.release(lease)
+            return False
+        store.log_event(
+            record.job_id,
+            "job.orphaned_lease_cleared",
+            reaper=self.reaper_id,
+            dead_claimer=current.owner,
+        )
+        profiling.increment("server.orphaned_leases_cleared")
+        lease_file.release(lease)
+        return True
 
     def _reclaim(self, record: JobRecord) -> bool:
         store = self.store

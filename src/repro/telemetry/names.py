@@ -101,6 +101,7 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "server.jobs_quarantined",
         "server.jobs_submitted",
         "server.lease_reclaims",
+        "server.orphaned_leases_cleared",
         "thermal.factorizations",
         "thermal.factorize",
         "thermal.lu_cache_hits",
@@ -119,6 +120,7 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         "job.failed",
         "job.interrupted",
         "job.lease_reclaimed",
+        "job.orphaned_lease_cleared",
         "job.quarantined",
         "job.resumed",
         "job.submitted",

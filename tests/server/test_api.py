@@ -86,6 +86,33 @@ def test_unknown_job_and_route_are_404(api, client):
     assert raw_status(api, "GET", "/v2/other")[0] == 404
 
 
+def test_path_traversal_job_ids_are_404(api, client):
+    """A job-id path segment is joined onto the store root; anything not
+    shaped like a real job id (``..``, encoded separators, store file
+    names) must 404 before it ever touches the filesystem."""
+    import http.client
+
+    client.submit(dict(QUICK_PAYLOAD))  # a real job the escape could hit
+    for path in (
+        "/v1/jobs/..",
+        "/v1/jobs/../events",
+        "/v1/jobs/../result",
+        "/v1/jobs/..%2f..",
+        "/v1/jobs/lease.json",
+    ):
+        # http.client sends the path verbatim -- urllib would normalize
+        # away the exact traversal under test.
+        conn = http.client.HTTPConnection("127.0.0.1", api.port, timeout=5.0)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 404, path
+            assert body["error"] == "JobNotFoundError", path
+        finally:
+            conn.close()
+
+
 def test_result_before_completion_is_409(api, client):
     job_id = client.submit(dict(QUICK_PAYLOAD))["job_id"]
     with pytest.raises(JobStateError, match="not completed"):

@@ -131,6 +131,30 @@ def test_stale_steal_cannot_take_a_successor_lease(tmp_path, monkeypatch):
     fresh_handle.verify(winner)  # and still verifiable by its owner
 
 
+def test_stale_renew_cannot_clobber_a_successor_lease(
+    tmp_path, monkeypatch
+):
+    """A holder whose renew runs just past its TTL (GC pause, VM suspend)
+    with a stale view of its own lease must lose to the reclaim-and-
+    re-acquire that happened meanwhile, not overwrite the successor."""
+    lease_file = LeaseFile(tmp_path, ttl=0.05)
+    old = lease_file.try_acquire("stalled-worker")
+    time.sleep(0.08)
+    stale_raw = lease_file.path.read_bytes()  # the holder's frozen view
+    successor = LeaseFile(tmp_path, ttl=30.0).steal_expired("reaper")
+    assert successor is not None
+    slow = LeaseFile(tmp_path, ttl=30.0)
+    # The stalled holder still sees its own token; rename-verify must
+    # refuse anyway instead of os.replace-ing the successor's lease.
+    monkeypatch.setattr(slow, "_read_raw", lambda: stale_raw)
+    with pytest.raises(LeaseLostError, match="reclaimed mid-renewal"):
+        slow.renew(old)
+    on_disk = lease_file.read()
+    assert on_disk is not None
+    assert on_disk.token == successor.token  # fresh lease untouched
+    lease_file.verify(successor)  # and still verifiable by its owner
+
+
 def test_stale_release_cannot_delete_a_successor_lease(
     tmp_path, monkeypatch
 ):

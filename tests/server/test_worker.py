@@ -211,3 +211,57 @@ def test_reaper_claims_running_job_with_no_lease(store, quick_spec):
     reaper = Reaper(store, retry_backoff=0.01)
     assert reaper.sweep() == [record.job_id]
     assert store.get(record.job_id).state == STATE_PENDING
+
+
+def test_reaper_unwedges_pending_job_with_orphaned_lease(
+    watchdog, store, quick_spec
+):
+    """A claimer SIGKILLed between lease acquisition and the record flip
+    to running leaves a pending job behind an expired lease.  Acquisition
+    never steals (even expired leases), so only the reaper's sweep can
+    make the job claimable again -- and it must not charge an attempt."""
+    store = JobStore(store.root, lease_ttl=0.05)
+    record = store.submit(quick_spec)
+    assert store.lease(record.job_id).try_acquire("w-dead") is not None
+    time.sleep(0.08)  # the dead claimer never flipped the record
+    assert Worker(store).claim_once() is None  # wedged: acquire refuses
+    assert Reaper(store, reaper_id="r-1").sweep() == [record.job_id]
+    unwedged = store.get(record.job_id)
+    assert unwedged.state == STATE_PENDING
+    assert unwedged.attempts == 0  # no work started, no attempt charged
+    assert store.lease(record.job_id).read() is None
+    assert "job.orphaned_lease_cleared" in event_types(store, record.job_id)
+    long_store = JobStore(store.root, lease_ttl=5.0)
+    with watchdog(WATCHDOG):
+        assert Worker(long_store).claim_once() == record.job_id
+    assert long_store.get(record.job_id).state == STATE_COMPLETED
+
+
+def test_reaper_leaves_live_claim_window_alone(store, quick_spec):
+    """A pending job whose lease is fresh is a claim in progress -- the
+    sweep must not steal it out from under the live claimer."""
+    record = store.submit(quick_spec)
+    assert store.lease(record.job_id).try_acquire("w-claiming") is not None
+    assert Reaper(store).sweep() == []
+    assert store.lease(record.job_id).read().owner == "w-claiming"
+
+
+def test_claim_releases_lease_on_unexpected_error(store, quick_spec):
+    """An unexpected exception inside the claim window (between acquire
+    and the heartbeat start) must not strand the job behind an orphaned
+    lease: the claim path releases on every exit."""
+    record = store.submit(quick_spec)
+    worker = Worker(store, worker_id="w-1")
+    original = store.get
+
+    def broken_get(job_id):
+        raise OSError("disk fell over")
+
+    store.get = broken_get
+    try:
+        with pytest.raises(OSError, match="disk fell over"):
+            worker.claim_once()
+    finally:
+        store.get = original
+    assert store.lease(record.job_id).read() is None  # released, not orphaned
+    assert store.get(record.job_id).state == STATE_PENDING
