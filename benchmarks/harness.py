@@ -653,6 +653,132 @@ def run_portfolio_bench(
     return payload
 
 
+# ---------------------------------------------------------------------------
+# Service observability overhead benchmark (BENCH_service_overhead.json)
+# ---------------------------------------------------------------------------
+
+
+def run_service_overhead_bench(
+    grid_size: int = 9,
+    n_batches: int = 2,
+    batch_size: int = 1,
+    n_workers: int = 1,  # accepted for CLI uniformity; single-worker service
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Measure what the service and its observability surface cost a job.
+
+    Three legs, identical deterministic spec (a tiny generated case so the
+    orchestration term is visible next to the compute term), median wall
+    time over ``repeats``:
+
+    * **baseline** -- ``SimulationExecutor.execute`` called directly: no
+      queue, no HTTP, no telemetry consumers.
+    * **disabled** -- the same spec as a job through a full
+      :class:`DesignService` with every observability feature at its
+      default (tracing off, nobody scraping): submit -> terminal state.
+    * **enabled** -- the works: ``trace_jobs=True``, a live ``follow=1``
+      event stream consumed end to end, and a parsed ``/metrics`` scrape
+      per round event.
+
+    The committed artifact is gated by
+    ``tests/server/test_bench_service_overhead.py`` on machine-independent
+    *ratios*: the service leg must track the direct leg within queue-poll
+    noise, and the fully-observed leg must stay close to the unobserved
+    one -- "observability is near-free unless armed, and cheap when armed".
+    """
+    import statistics
+    import tempfile
+
+    from repro.server import (
+        DesignService,
+        ServiceClient,
+        SimulationExecutor,
+        validate_submission,
+    )
+    from repro.telemetry.promexpo import parse_prometheus_text
+
+    payload = {
+        "case_seed": 7,
+        "grid": grid_size,
+        "rounds": max(n_batches, 1),
+        "iterations": 1,
+        "batch_size": batch_size,
+        "seed": seed,
+        "optimizers": ["multi_fidelity"],
+    }
+    spec = validate_submission(dict(payload))
+
+    def run_direct() -> float:
+        executor = SimulationExecutor()
+        with tempfile.TemporaryDirectory() as ckpt:
+            start = time.perf_counter()
+            executor.execute(dict(spec), ckpt)
+            return time.perf_counter() - start
+
+    def run_service_leg(trace_jobs: bool, observe: bool) -> List[float]:
+        times: List[float] = []
+        with tempfile.TemporaryDirectory() as root:
+            service = DesignService(
+                root,
+                n_workers=1,
+                lease_ttl=30.0,
+                trace_jobs=trace_jobs,
+                stream_heartbeat=1.0,
+            )
+            service.start()
+            try:
+                client = ServiceClient(
+                    f"http://127.0.0.1:{service.port}", timeout=30.0
+                )
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    job_id = client.submit(dict(payload))["job_id"]
+                    if observe:
+                        for event in client.follow_events(job_id):
+                            if event["type"] == "portfolio.round":
+                                parse_prometheus_text(client.metrics())
+                    else:
+                        client.wait(
+                            job_id, timeout=600.0, poll_interval=0.05
+                        )
+                    times.append(time.perf_counter() - start)
+                    if observe:
+                        client.trace(job_id)  # must exist; not timed above
+            finally:
+                service.stop()
+        return times
+
+    baseline = [run_direct() for _ in range(repeats)]
+    disabled = run_service_leg(trace_jobs=False, observe=False)
+    enabled = run_service_leg(trace_jobs=True, observe=True)
+
+    baseline_s = statistics.median(baseline)
+    disabled_s = statistics.median(disabled)
+    enabled_s = statistics.median(enabled)
+    return {
+        "benchmark": "service_overhead",
+        "config": {
+            "spec": payload,
+            "repeats": repeats,
+            "legs": ["baseline", "disabled", "enabled"],
+        },
+        "baseline_seconds": baseline_s,
+        "disabled_seconds": disabled_s,
+        "enabled_seconds": enabled_s,
+        "baseline_runs": [round(t, 4) for t in baseline],
+        "disabled_runs": [round(t, 4) for t in disabled],
+        "enabled_runs": [round(t, 4) for t in enabled],
+        "disabled_over_baseline": disabled_s / baseline_s,
+        "enabled_over_disabled": enabled_s / disabled_s,
+        "summary": (
+            f"direct {baseline_s:.2f}s, service(quiet) {disabled_s:.2f}s "
+            f"({disabled_s / baseline_s:.2f}x), service(observed) "
+            f"{enabled_s:.2f}s ({enabled_s / disabled_s:.2f}x over quiet)"
+        ),
+    }
+
+
 def write_bench_json(name: str, payload: dict, out_dir: Optional[Path] = None) -> Path:
     """Persist a benchmark payload as ``benchmarks/out/BENCH_<name>.json``.
 
@@ -669,6 +795,7 @@ def write_bench_json(name: str, payload: dict, out_dir: Optional[Path] = None) -
 _BENCHES = {
     "parallel_eval": run_parallel_eval_bench,
     "portfolio": run_portfolio_bench,
+    "service_overhead": run_service_overhead_bench,
     "solver_backends": run_solver_backends_bench,
 }
 
@@ -714,6 +841,11 @@ def main(argv=None) -> int:
         kwargs["n_batches"] = min(args.batches, 4)
         if args.cases is not None:
             kwargs["n_cases"] = args.cases
+    elif args.bench == "service_overhead":
+        # Orchestration overhead, not solve time: a tiny job keeps the
+        # compute term small so the overhead term is visible.
+        kwargs["grid_size"] = 9 if args.grid == 21 else args.grid
+        kwargs["n_batches"] = min(args.batches, 4)
     result = _BENCHES[args.bench](**kwargs)
     if args.trace_out is not None:
         write_chrome_trace(args.trace_out)

@@ -286,6 +286,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--run-log", metavar="RUN.jsonl",
         help="append service lifecycle events to this JSONL file",
     )
+    p.add_argument(
+        "--trace-jobs", action="store_true",
+        help="export a stitched Chrome/Perfetto trace per job "
+        "(GET /v1/jobs/<id>/trace)",
+    )
     p.set_defaults(handler=_cmd_serve)
 
     p = sub.add_parser(
@@ -307,13 +312,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant", default="default")
     p.add_argument(
         "--wait", action="store_true",
-        help="poll until the job completes and print the result",
+        help="stream the job's events live until it completes and print "
+        "the result (falls back to polling if the stream breaks)",
     )
     p.add_argument(
         "--timeout", type=float, default=600.0, metavar="SECONDS",
         help="with --wait: give up after this long",
     )
     p.set_defaults(handler=_cmd_submit)
+
+    p = sub.add_parser(
+        "top", help="live terminal dashboard for a running design service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8752")
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh interval",
+    )
+    p.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N refreshes (0 = until Ctrl-C)",
+    )
+    p.set_defaults(handler=_cmd_top)
 
     p = sub.add_parser("evaluate", help="evaluate a network file")
     add_case_args(p)
@@ -517,6 +537,7 @@ def _cmd_serve(args) -> None:
         tenant_cap=args.tenant_cap,
         lease_ttl=args.lease_ttl,
         run_log=args.run_log,
+        trace_jobs=args.trace_jobs,
     )
     with RunSupervisor() as supervisor:
         service.start()
@@ -557,9 +578,21 @@ def _cmd_submit(args) -> None:
     client = ServiceClient(args.url, tenant=args.tenant)
     record = client.submit(payload)
     job_id = record["job_id"]
-    print(f"job {job_id} {record['state']}")
+    print(f"job {job_id} {record['state']}", flush=True)
     if not args.wait:
         return
+    from .errors import JobError
+
+    try:
+        for event in client.follow_events(job_id):
+            line = _format_job_event(event)
+            if line:
+                print(line, flush=True)
+    except JobError as exc:
+        print(
+            f"[event stream broke ({exc}); falling back to polling]",
+            file=sys.stderr,
+        )
     final = client.wait(job_id, timeout=args.timeout)
     result = client.result(job_id)
     print(
@@ -567,6 +600,44 @@ def _cmd_submit(args) -> None:
         f"winner {result['winner']} score {result['score']:.6g} "
         f"({'feasible' if result['feasible'] else 'INFEASIBLE'})"
     )
+
+
+def _format_job_event(event: dict) -> str:
+    """One human line per streamed job event ('' hides the event)."""
+    etype = event.get("type", "?")
+    if etype == "portfolio.round":
+        score = event.get("verified")
+        tail = (
+            f" score {score:.6g}"
+            if isinstance(score, (int, float))
+            else ""
+        )
+        return f"  {event.get('optimizer', '?')} round{tail}"
+    if etype == "portfolio.optimizer.start":
+        return (
+            f"  {event.get('optimizer', '?')} starting "
+            f"({event.get('rounds', '?')} rounds)"
+        )
+    if etype == "portfolio.optimizer.end":
+        score = event.get("score")
+        tail = (
+            f" score {score:.6g}"
+            if isinstance(score, (int, float))
+            else ""
+        )
+        return f"  {event.get('optimizer', '?')} finished{tail}"
+    if etype == "stream.end":
+        return f"  [stream closed: {event.get('reason')}]"
+    if etype.startswith("job."):
+        who = event.get("worker") or event.get("reaper") or ""
+        return f"  {etype}" + (f" ({who})" if who else "")
+    return ""
+
+
+def _cmd_top(args) -> None:
+    from .server import run_top
+
+    run_top(args.url, interval=args.interval, iterations=args.iterations)
 
 
 def _cmd_evaluate(args) -> None:

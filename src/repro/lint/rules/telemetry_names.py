@@ -13,6 +13,8 @@ The rule inspects the first positional argument of the emitting calls:
 * ``telemetry.span / instant`` (also receivers ``spans`` / ``runlog``)
 * ``runlog.emit_event`` and bare ``span(...)`` / ``instant(...)`` /
   ``emit_event(...)`` (the ``from ..telemetry import span`` idiom)
+* ``promexpo.gauge`` and bare ``gauge(...)`` (Prometheus gauge samples;
+  names live in ``GAUGE_NAMES``)
 
 and requires it to be a lowercase dot-namespaced literal registered in
 :data:`repro.telemetry.names.REGISTERED_NAMES`.  Dynamic *families* are
@@ -36,16 +38,25 @@ from ..core import FileContext, Finding, Rule, register
 from ..symbols import Project
 
 #: Receiver names whose emitting methods this rule tracks.
-_RECEIVERS = frozenset({"profiling", "telemetry", "runlog", "spans"})
+_RECEIVERS = frozenset({"profiling", "telemetry", "runlog", "spans", "promexpo"})
 
 #: Emitting methods on those receivers (first positional arg is the name).
 _METHODS = frozenset(
-    {"increment", "add_time", "timer", "observe", "span", "instant", "emit_event"}
+    {
+        "increment",
+        "add_time",
+        "timer",
+        "observe",
+        "span",
+        "instant",
+        "emit_event",
+        "gauge",
+    }
 )
 
 #: Bare function names tracked when imported directly
 #: (``from ..telemetry import span``).
-_BARE_FUNCTIONS = frozenset({"span", "instant", "emit_event"})
+_BARE_FUNCTIONS = frozenset({"span", "instant", "emit_event", "gauge"})
 
 #: ``subsystem.noun[.qualifier]`` -- lowercase segments, dots between them.
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")

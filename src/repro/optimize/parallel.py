@@ -115,6 +115,10 @@ def _init_worker(
         faults.set_active_plan(fault_plan)
     if telemetry_config is not None:
         telemetry_config.apply()
+    # Under the fork start method this process inherits the spawning
+    # thread's lane (the service worker thread's); drop it so exported
+    # spans group as a distinct pool-worker row, not the parent's.
+    telemetry.set_thread_lane(None)
     if linalg_config is not None:
         linalg_config.apply()
     _WORKER_EVALUATOR = _CandidateEvaluator(

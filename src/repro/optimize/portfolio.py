@@ -1104,6 +1104,7 @@ def run_portfolio(
     resume: bool = False,
     run_log_dir: Optional[str] = None,
     interrupt_check: Optional[Callable[[], bool]] = None,
+    progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
 ) -> PortfolioResult:
     """Race a portfolio of registered optimizers on one case.
 
@@ -1128,6 +1129,13 @@ def run_portfolio(
             makes a bitwise resume possible reached disk.  Requires
             ``checkpoint_dir`` (a stop without a checkpoint would discard
             work instead of deferring it).
+        progress: Receives ``(event_type, fields)`` at the run's milestone
+            events (optimizer start/end, each round, run end) in addition
+            to -- and with the same payloads as -- the run-log records.
+            The design service points this at the job's event log so live
+            ``follow=1`` streams see round/score progress; a separate
+            callback (rather than a shared run log) keeps concurrent jobs'
+            streams from interleaving.
     """
     config = config or PortfolioConfig()
     if not optimizers:
@@ -1166,6 +1174,10 @@ def run_portfolio(
                 f"{checkpoint_path}"
             )
 
+    def report(event_type: str, **fields: Any) -> None:
+        if progress is not None:
+            progress(event_type, fields)
+
     outcomes: Dict[str, OptimizerOutcome] = dict(payload["completed"])
     for spawn, entry in enumerate(entries):
         if entry.name in outcomes:
@@ -1197,6 +1209,12 @@ def run_portfolio(
                 rounds=config.rounds,
                 iterations=config.iterations,
             )
+            report(
+                "portfolio.optimizer.start",
+                optimizer=entry.name,
+                rounds=config.rounds,
+                iterations=config.iterations,
+            )
             with telemetry.span("portfolio.optimizer", optimizer=entry.name):
                 if (
                     payload["active"] == entry.name
@@ -1216,6 +1234,9 @@ def run_portfolio(
                         "portfolio.round",
                         optimizer=entry.name,
                         **record,
+                    )
+                    report(
+                        "portfolio.round", optimizer=entry.name, **record
                     )
                     runlog.emit_event(
                         "round.end",
@@ -1249,6 +1270,14 @@ def run_portfolio(
                 low_evals=outcome.low_evals,
                 high_evals=outcome.high_evals,
             )
+            report(
+                "portfolio.optimizer.end",
+                optimizer=entry.name,
+                score=outcome.score,
+                feasible=outcome.evaluation.feasible,
+                low_evals=outcome.low_evals,
+                high_evals=outcome.high_evals,
+            )
             runlog.emit_event(
                 "run.end",
                 score=outcome.score,
@@ -1256,6 +1285,14 @@ def run_portfolio(
                 total_simulations=outcome.low_evals + outcome.high_evals,
                 seconds=started.elapsed(),
                 histograms=profiling.histogram_summaries(),
+            )
+            report(
+                "run.end",
+                optimizer=entry.name,
+                score=outcome.score,
+                feasible=outcome.evaluation.feasible,
+                total_simulations=outcome.low_evals + outcome.high_evals,
+                seconds=started.elapsed(),
             )
         finally:
             if log is not None:

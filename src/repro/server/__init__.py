@@ -10,8 +10,10 @@ survives being killed at any instant:
 * :mod:`repro.server.executor` -- spec -> deterministic portfolio run,
 * :mod:`repro.server.worker` -- claim/heartbeat workers + the reaper,
 * :mod:`repro.server.api` -- stdlib HTTP routes, health/readiness,
+  ``/metrics`` exposition, and chunked ``follow=1`` event streams,
 * :mod:`repro.server.service` -- process composition + graceful drain,
-* :mod:`repro.server.client` -- the urllib client behind ``repro submit``.
+* :mod:`repro.server.client` -- the urllib client behind ``repro submit``,
+* :mod:`repro.server.dashboard` -- the ``repro top`` terminal dashboard.
 
 See ``docs/SERVICE.md`` for the API reference and recovery semantics.
 """
@@ -28,6 +30,7 @@ from ..errors import (
 )
 from .api import ApiServer
 from .client import ServiceClient
+from .dashboard import TopMonitor, render, run_top
 from .executor import Executor, SimulationExecutor
 from .jobstore import JobStore
 from .leases import Lease, LeaseFile
@@ -71,8 +74,11 @@ __all__ = [
     "ServiceClient",
     "SimulationExecutor",
     "TERMINAL_STATES",
+    "TopMonitor",
     "Worker",
     "read_record",
+    "render",
+    "run_top",
     "validate_submission",
     "write_record",
 ]

@@ -16,7 +16,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..errors import (
     JobError,
@@ -118,11 +118,86 @@ class ServiceClient:
         """The completed job's result payload (409 until completed)."""
         return self._request("GET", f"/v1/jobs/{job_id}/result")["result"]
 
-    def events(self, job_id: str, offset: int = 0) -> Dict[str, Any]:
+    def events(
+        self, job_id: str, offset: int = 0, limit: Optional[int] = None
+    ) -> Dict[str, Any]:
         """Lifecycle events from ``offset``; has ``events``/``next_offset``."""
-        return self._request(
-            "GET", f"/v1/jobs/{job_id}/events?offset={int(offset)}"
+        path = f"/v1/jobs/{job_id}/events?offset={int(offset)}"
+        if limit is not None:
+            path += f"&limit={int(limit)}"
+        return self._request("GET", path)
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's stitched Chrome trace export (409 until exported)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/trace")
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` Prometheus exposition text."""
+        request = urllib.request.Request(
+            self.base_url + "/metrics", headers={"X-Tenant": self.tenant}
         )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise self._translate(exc) from exc
+        except urllib.error.URLError as exc:
+            raise JobError(
+                f"service unreachable at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    def follow_events(
+        self,
+        job_id: str,
+        offset: int = 0,
+        read_timeout: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events live until the stream ends.
+
+        Consumes the chunked ``follow=1`` JSONL stream: heartbeat comment
+        lines are swallowed, every JSON event (including the final
+        synthetic ``stream.end`` record carrying the close reason and
+        resume offset) is yielded.  The generator returns after
+        ``stream.end``; closing it early just drops the connection, which
+        the server notices within one heartbeat.
+
+        Args:
+            read_timeout: Socket read timeout [unit: s].  Must exceed the
+                server's heartbeat interval; defaults to the larger of the
+                client timeout and 30 s.
+        """
+        timeout = (
+            max(self.timeout, 30.0) if read_timeout is None else read_timeout
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/jobs/{job_id}/events"
+            f"?follow=1&offset={int(offset)}",
+            headers={"X-Tenant": self.tenant},
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=timeout)
+        except urllib.error.HTTPError as exc:
+            raise self._translate(exc) from exc
+        except urllib.error.URLError as exc:
+            raise JobError(
+                f"service unreachable at {self.base_url}: {exc.reason}"
+            ) from exc
+        try:
+            with response:
+                for raw in response:
+                    line = raw.decode("utf-8").strip()
+                    if not line or line.startswith("#"):
+                        continue  # heartbeat / comment
+                    event = json.loads(line)
+                    yield event
+                    if event.get("type") == "stream.end":
+                        return
+        except (OSError, ValueError) as exc:
+            raise JobError(
+                f"event stream for {job_id} broke: {exc}"
+            ) from exc
 
     def healthz(self) -> Dict[str, Any]:
         return self._request("GET", "/healthz")

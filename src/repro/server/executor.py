@@ -96,6 +96,7 @@ def config_from_spec(spec: Dict[str, Any]) -> PortfolioConfig:
         iterations=int(spec["iterations"]),
         batch_size=int(spec["batch_size"]),
         seed=int(spec["seed"]),
+        n_workers=int(spec.get("n_workers") or 1),
     )
 
 
@@ -107,12 +108,17 @@ class Executor:
         spec: Dict[str, Any],
         checkpoint_dir: str,
         interrupt_check: Optional[Callable[[], bool]] = None,
+        progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
     ) -> Dict[str, Any]:
         """Run ``spec`` to completion; returns the JSON result payload.
 
         Must be resumable: when ``checkpoint_dir`` holds state from an
         interrupted attempt, continue from it and produce a result
         bitwise-identical to an uninterrupted run.
+
+        ``progress`` (when given) receives ``(event_type, fields)`` for
+        the run's round/optimizer milestones -- the worker feeds it into
+        the job's event log so ``follow=1`` streams see live progress.
 
         Raises:
             RunInterrupted: ``interrupt_check`` fired; the checkpoint in
@@ -133,6 +139,7 @@ class SimulationExecutor(Executor):
         spec: Dict[str, Any],
         checkpoint_dir: str,
         interrupt_check: Optional[Callable[[], bool]] = None,
+        progress: Optional[Callable[[str, Dict[str, Any]], None]] = None,
     ) -> Dict[str, Any]:
         case = case_from_spec(spec)
         config = config_from_spec(spec)
@@ -143,6 +150,7 @@ class SimulationExecutor(Executor):
             checkpoint_dir=checkpoint_dir,
             resume=True,
             interrupt_check=interrupt_check,
+            progress=progress,
         )
         best = result.best
         evaluation = best.evaluation

@@ -33,6 +33,7 @@ import json
 import re
 import threading
 import time
+import uuid
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -44,6 +45,7 @@ from ..errors import (
     JobRecordError,
     JobStateError,
 )
+from ..telemetry.promexpo import gauge
 from ..telemetry.runlog import read_run_log
 from .leases import LeaseFile
 from .records import (
@@ -62,6 +64,7 @@ __all__ = ["JobStore"]
 RECORD_FILENAME = "record.json"
 RESULT_FILENAME = "result.json"
 EVENTS_FILENAME = "events.jsonl"
+TRACE_FILENAME = "trace.json"
 CHECKPOINT_DIRNAME = "checkpoint"
 
 #: The shape :func:`repro.server.records.new_job_id` produces.  Job ids
@@ -120,6 +123,9 @@ class JobStore:
     def events_path(self, job_id: str) -> Path:
         return self.job_dir(job_id) / EVENTS_FILENAME
 
+    def trace_path(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / TRACE_FILENAME
+
     def checkpoint_dir(self, job_id: str) -> Path:
         """The job's portfolio checkpoint dir (crash-resume state)."""
         return self.job_dir(job_id) / CHECKPOINT_DIRNAME
@@ -155,6 +161,7 @@ class JobStore:
                 max_attempts=int(spec.get("max_attempts", 3)),
                 submitted_at=now,
                 updated_at=now,
+                trace_id=uuid.uuid4().hex,
             )
             directory = self.job_dir(record.job_id)
             directory.mkdir(parents=True, exist_ok=False)
@@ -262,6 +269,91 @@ class JobStore:
             )
         return json.loads(path.read_text("utf-8"))
 
+    # -- per-job trace export ------------------------------------------
+
+    def write_trace(self, job_id: str, trace: Dict[str, Any]) -> Path:
+        """Atomically persist the job's Chrome trace-event export."""
+        return atomic_write_json(self.trace_path(job_id), trace)
+
+    def read_trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's stitched Chrome trace export.
+
+        Raises:
+            JobNotFoundError: No such job.
+            JobStateError: The job exists but no trace was exported (the
+                service ran without ``--trace-jobs``, or the job has not
+                finished an attempt yet).
+        """
+        self.get(job_id)  # surfaces JobNotFoundError / JobRecordError
+        path = self.trace_path(job_id)
+        if not path.exists():
+            raise JobStateError(
+                f"job {job_id} has no trace export; run the service with "
+                f"job tracing enabled and let the job complete an attempt"
+            )
+        return json.loads(path.read_text("utf-8"))
+
+    # -- gauges ---------------------------------------------------------
+
+    def collect_gauges(self, now: Optional[float] = None) -> List[dict]:
+        """Point-in-time gauge samples for ``/metrics`` and ``/readyz``.
+
+        One scan of the store yields queue depth by state, the age of the
+        oldest pending job, per-tenant active-job counts, and lease health
+        (active/expired counts plus per-worker heartbeat age, where the
+        heartbeat time is recovered as ``expires_at - ttl``, the instant
+        of the last successful acquire/renew).
+        """
+        now = time.time() if now is None else now
+        records, invalid = self.scan()
+        depth: Dict[str, int] = {}
+        tenants: Dict[str, int] = {}
+        oldest_pending: Optional[float] = None
+        for record in records:
+            depth[record.state] = depth.get(record.state, 0) + 1
+            if record.state not in TERMINAL_STATES:
+                tenants[record.tenant] = tenants.get(record.tenant, 0) + 1
+            if record.state == STATE_PENDING:
+                if oldest_pending is None or record.submitted_at < oldest_pending:
+                    oldest_pending = record.submitted_at
+        samples = [
+            gauge("server.queue_depth", count, state=state)
+            for state, count in sorted(depth.items())
+        ]
+        samples.append(
+            gauge("server.queue_depth", len(invalid), state="invalid")
+        )
+        samples.append(
+            gauge(
+                "server.oldest_pending_age_s",
+                0.0 if oldest_pending is None else max(now - oldest_pending, 0.0),
+            )
+        )
+        samples.extend(
+            gauge("server.tenant_active_jobs", count, tenant=tenant)
+            for tenant, count in sorted(tenants.items())
+        )
+        active = expired = 0
+        for record in records:
+            lease_file = self.lease(record.job_id)
+            lease = lease_file.read()
+            if lease is None:
+                continue
+            if now >= lease.expires_at:
+                expired += 1
+            else:
+                active += 1
+                samples.append(
+                    gauge(
+                        "server.worker_heartbeat_age_s",
+                        max(now - (lease.expires_at - lease_file.ttl), 0.0),
+                        worker=lease.owner,
+                    )
+                )
+        samples.append(gauge("server.active_leases", active))
+        samples.append(gauge("server.expired_leases", expired))
+        return samples
+
     # -- per-job event log ---------------------------------------------
 
     def log_event(self, job_id: str, event_type: str, **fields: Any) -> None:
@@ -269,8 +361,14 @@ class JobStore:
         record = {"type": event_type, "t_wall": time.time(), **fields}
         append_jsonl(self.events_path(job_id), record, fsync=False)
 
-    def events(self, job_id: str, offset: int = 0) -> List[dict]:
+    def events(
+        self, job_id: str, offset: int = 0, limit: Optional[int] = None
+    ) -> List[dict]:
         """The job's lifecycle events from ``offset`` on (may be empty).
+
+        Args:
+            offset: Events to skip from the start of the log.
+            limit: Cap on returned events (``None`` means all).
 
         Raises:
             JobNotFoundError: No such job.
@@ -280,4 +378,5 @@ class JobStore:
         path = self.events_path(job_id)
         if not path.exists():
             return []
-        return read_run_log(path)[offset:]
+        events = read_run_log(path)[offset:]
+        return events if limit is None else events[:limit]

@@ -104,6 +104,10 @@ class JobRecord:
             [unit: s] (retry backoff; 0 means immediately).
         worker: Id of the worker holding/last holding the job.
         error: Last failure message (quarantine diagnosis).
+        trace_id: Correlation id minted at submission; every span the job
+            produces (API, worker, pool workers) is stitched under it in
+            the per-job Chrome trace export.  Optional so records written
+            by older builds still parse under the same schema version.
     """
 
     job_id: str
@@ -117,6 +121,7 @@ class JobRecord:
     not_before: float = 0.0
     worker: Optional[str] = None
     error: Optional[str] = None
+    trace_id: Optional[str] = None
 
     def with_state(self, state: str, **changes: Any) -> "JobRecord":
         """A copy in ``state`` with ``updated_at`` restamped."""

@@ -53,6 +53,11 @@ class DesignService:
         executor: Execution backend shared by all workers (defaults to
             in-process simulation; the remote-shard seam).
         run_log: Optional JSONL path for service lifecycle events.
+        trace_jobs: Export a stitched Chrome/Perfetto trace per executed
+            job (``GET /v1/jobs/<id>/trace``); off by default because the
+            tracer is live overhead on every span site.
+        stream_heartbeat: Idle heartbeat interval of ``follow=1`` event
+            streams [unit: s].
     """
 
     def __init__(
@@ -65,17 +70,28 @@ class DesignService:
         lease_ttl: float = 30.0,
         executor: Optional[Executor] = None,
         run_log: Optional[str] = None,
+        trace_jobs: bool = False,
+        stream_heartbeat: float = 5.0,
     ):
         self.store = JobStore(root, tenant_cap=tenant_cap, lease_ttl=lease_ttl)
         self.executor = executor or SimulationExecutor()
         self._stop = threading.Event()
         self.workers = [
-            Worker(self.store, self.executor, worker_id=f"worker-{i}")
+            Worker(
+                self.store,
+                self.executor,
+                worker_id=f"worker-{i}",
+                trace_jobs=trace_jobs,
+            )
             for i in range(max(n_workers, 1))
         ]
         self.reaper = Reaper(self.store)
         self.api = ApiServer(
-            self.store, host=host, port=port, ready_check=self._ready_check
+            self.store,
+            host=host,
+            port=port,
+            ready_check=self._ready_check,
+            stream_heartbeat=stream_heartbeat,
         )
         self._threads: List[threading.Thread] = []
         self._run_log = runlog.RunLog(run_log) if run_log else None

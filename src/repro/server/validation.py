@@ -21,6 +21,7 @@ from ..optimize.registry import optimizer_names
 
 __all__ = [
     "MAX_GRID_SIZE",
+    "MAX_N_WORKERS",
     "SPEC_LIMITS",
     "validate_submission",
 ]
@@ -56,8 +57,13 @@ _ALLOWED_KEYS = frozenset(
         "seed",
         "power_maps",
         "max_attempts",
+        "n_workers",
     }
 )
+
+#: Cap on per-job evaluation pool processes (resource bound, like the
+#: schedule caps above: one job must not fork the host to its knees).
+MAX_N_WORKERS = 8  #: [unit: 1]
 
 
 def _require_int(
@@ -183,6 +189,7 @@ def validate_submission(payload: Any) -> Dict[str, Any]:
     problem = _require_int(payload, "problem", 1, 1, 2)
     seed = _require_int(payload, "seed", 0, 0, 2**31 - 1)
     max_attempts = _require_int(payload, "max_attempts", 3, 1, 10)
+    n_workers = _require_int(payload, "n_workers", 1, 1, MAX_N_WORKERS)
 
     schedule = {
         key: _require_int(payload, key, default, 1, SPEC_LIMITS[key])
@@ -228,6 +235,7 @@ def validate_submission(payload: Any) -> Dict[str, Any]:
         "seed": seed,
         "max_attempts": max_attempts,
         "power_maps": power_maps,
+        "n_workers": n_workers,
     }
 
     # Prove the spec constructs: materialize the case once at the door so

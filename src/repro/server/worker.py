@@ -34,9 +34,9 @@ from __future__ import annotations
 import threading
 import time
 import uuid
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from .. import profiling
+from .. import profiling, telemetry
 from ..errors import (
     CandidateCrashError,
     JobNotFoundError,
@@ -49,6 +49,7 @@ from ..errors import (
 )
 from ..faults import SITE_SERVER_WORKER, inject
 from ..optimize.portfolio import PORTFOLIO_CHECKPOINT
+from ..telemetry import TelemetryConfig
 from .executor import Executor, SimulationExecutor
 from .jobstore import JobStore
 from .records import (
@@ -66,6 +67,11 @@ RETRY_BACKOFF_BASE = 2.0
 
 #: Idle sleep between claim scans [unit: s].
 POLL_INTERVAL = 0.2
+
+#: The global tracer is process-wide state, so at most one job per process
+#: is traced at a time; workers that lose this lock run their job untraced
+#: rather than interleaving two jobs' spans into one export.
+_TRACE_LOCK = threading.Lock()
 
 
 def _worker_id(prefix: str) -> str:
@@ -120,6 +126,9 @@ class Worker:
         executor: Execution backend; defaults to in-process simulation.
         worker_id: Stable identity in leases/records (generated if absent).
         retry_backoff: Base retry delay [unit: s].
+        trace_jobs: Arm span tracing per claimed job (the record's
+            ``trace_id`` stitches API/worker/pool rows) and export the
+            stitched Chrome trace next to the job's result.
     """
 
     def __init__(
@@ -128,11 +137,13 @@ class Worker:
         executor: Optional[Executor] = None,
         worker_id: Optional[str] = None,
         retry_backoff: float = RETRY_BACKOFF_BASE,
+        trace_jobs: bool = False,
     ):
         self.store = store
         self.executor = executor or SimulationExecutor()
         self.worker_id = worker_id or _worker_id("worker")
         self.retry_backoff = float(retry_backoff)
+        self.trace_jobs = bool(trace_jobs)
 
     # -- claim loop ----------------------------------------------------
 
@@ -194,52 +205,116 @@ class Worker:
     ) -> None:
         store = self.store
         job_id = record.job_id
-        resumed = (store.checkpoint_dir(job_id) / PORTFOLIO_CHECKPOINT).exists()
-        record = store.update(
-            record.with_state(STATE_RUNNING, worker=self.worker_id)
-        )
-        store.log_event(
-            job_id,
-            "job.resumed" if resumed else "job.claimed",
-            worker=self.worker_id,
-            attempt=record.attempts + 1,
-        )
-        heartbeat = _Heartbeat(lease_file, lease, store.lease_ttl / 3.0)
-        heartbeat.start()
-
-        def interrupted() -> bool:
-            if heartbeat.lost:
-                return True
-            return bool(stop_check and stop_check())
-
+        started = time.perf_counter()
+        # Lane is thread state; restore the caller's on every exit so a
+        # direct claim_once() on a borrowed thread leaves no residue.
+        prior_lane = telemetry.current_lane()
+        telemetry.set_thread_lane(self.worker_id)
+        tracing = self._arm_tracing(record)
         try:
-            with crash_boundary(f"job {job_id}"):
-                inject(SITE_SERVER_WORKER)  # chaos: die/raise mid-job
-                result = self.executor.execute(
-                    record.spec,
-                    str(store.checkpoint_dir(job_id)),
-                    interrupt_check=interrupted,
-                )
-        except RunInterrupted:
+            resumed = (
+                store.checkpoint_dir(job_id) / PORTFOLIO_CHECKPOINT
+            ).exists()
+            record = store.update(
+                record.with_state(STATE_RUNNING, worker=self.worker_id)
+            )
+            store.log_event(
+                job_id,
+                "job.resumed" if resumed else "job.claimed",
+                worker=self.worker_id,
+                attempt=record.attempts + 1,
+            )
+            heartbeat = _Heartbeat(lease_file, lease, store.lease_ttl / 3.0)
+            heartbeat.start()
+
+            def interrupted() -> bool:
+                if heartbeat.lost:
+                    return True
+                return bool(stop_check and stop_check())
+
+            def progress(event_type: str, fields: Dict[str, Any]) -> None:
+                # Live per-round events for follow=1 streams; the durable
+                # result is what matters, so a full event disk is not a
+                # reason to fail the job.
+                try:
+                    store.log_event(job_id, event_type, **fields)
+                except OSError:
+                    pass
+
+            try:
+                try:
+                    with crash_boundary(f"job {job_id}"):
+                        inject(SITE_SERVER_WORKER)  # chaos: die/raise mid-job
+                        with telemetry.span(
+                            "server.job",
+                            job_id=job_id,
+                            worker=self.worker_id,
+                            attempt=record.attempts + 1,
+                        ):
+                            result = self.executor.execute(
+                                record.spec,
+                                str(store.checkpoint_dir(job_id)),
+                                interrupt_check=interrupted,
+                                progress=progress,
+                            )
+                finally:
+                    # Export before any commit/requeue flips the record:
+                    # a follow=1 client sees the terminal event and GETs
+                    # /trace immediately -- the file must already exist.
+                    if tracing:
+                        self._finish_tracing(record)
+                        tracing = False
+            except RunInterrupted:
+                heartbeat.stop()
+                if heartbeat.lost:
+                    return  # the reaper owns recovery now; touch nothing
+                self._requeue_drained(record, lease_file, heartbeat.lease)
+                return
+            except LeaseLostError:
+                heartbeat.stop()
+                return
+            except (ReproError, CandidateCrashError) as exc:
+                heartbeat.stop()
+                if not heartbeat.lost:
+                    self._record_failure(
+                        record, lease_file, heartbeat.lease, exc
+                    )
+                return
             heartbeat.stop()
             if heartbeat.lost:
-                return  # the reaper owns recovery now; touch nothing
-            self._requeue_drained(record, lease_file, heartbeat.lease)
-            return
-        except LeaseLostError:
-            heartbeat.stop()
-            return
-        except (ReproError, CandidateCrashError) as exc:
-            heartbeat.stop()
-            if not heartbeat.lost:
-                self._record_failure(record, lease_file, heartbeat.lease, exc)
-            return
-        heartbeat.stop()
-        if heartbeat.lost:
-            return
-        self._commit(record, lease_file, heartbeat.lease, result)
+                return
+            self._commit(record, lease_file, heartbeat.lease, result, started)
+        finally:
+            if tracing:
+                self._finish_tracing(record)
+            telemetry.set_thread_lane(prior_lane)
 
-    def _commit(self, record, lease_file, lease, result) -> None:
+    # -- per-job tracing -----------------------------------------------
+
+    def _arm_tracing(self, record: JobRecord) -> bool:
+        """Arm the global tracer for this job; ``True`` when armed."""
+        if not self.trace_jobs or record.trace_id is None:
+            return False
+        if not _TRACE_LOCK.acquire(blocking=False):
+            return False  # another job is being traced in this process
+        telemetry.clear_spans()
+        TelemetryConfig(trace=True, trace_id=record.trace_id).apply()
+        return True
+
+    def _finish_tracing(self, record: JobRecord) -> None:
+        """Export the stitched trace and disarm (pairs with _arm_tracing)."""
+        try:
+            self.store.write_trace(
+                record.job_id, telemetry.to_chrome_trace()
+            )
+        except (ReproError, OSError):
+            pass  # the trace export is best-effort diagnostics
+        finally:
+            TelemetryConfig().apply()
+            telemetry.clear_spans()
+            _TRACE_LOCK.release()
+
+    def _commit(self, record, lease_file, lease, result, started) -> None:
         """Persist result then record -- in that order (see Reaper)."""
         store = self.store
         store.write_result(record.job_id, result)
@@ -255,6 +330,9 @@ class Worker:
             score=result.get("score"),
         )
         profiling.increment("server.jobs_completed")
+        profiling.observe(
+            "server.job_duration", time.perf_counter() - started
+        )
         lease_file.release(lease)
 
     def _requeue_drained(self, record, lease_file, lease) -> None:
@@ -264,10 +342,13 @@ class Worker:
             lease_file.verify(lease)
         except LeaseLostError:
             return
-        store.update(record.with_state(STATE_PENDING, worker=None))
+        # Event before record flip: a drain-time follower closes its
+        # stream the moment the record leaves ``running``, so the final
+        # ``job.interrupted`` line must already be on disk by then.
         store.log_event(
             record.job_id, "job.interrupted", worker=self.worker_id
         )
+        store.update(record.with_state(STATE_PENDING, worker=None))
         lease_file.release(lease)
 
     def _record_failure(self, record, lease_file, lease, exc) -> None:

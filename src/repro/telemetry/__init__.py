@@ -40,10 +40,12 @@ from .spans import (
     TelemetryConfig,
     Tracer,
     clear_spans,
+    current_lane,
     drain_spans,
     extend_spans,
     instant,
     is_tracing,
+    set_thread_lane,
     set_tracing,
     span,
     spans_snapshot,
@@ -59,10 +61,12 @@ __all__ = [
     "Tracer",
     "clear_spans",
     "drain_spans",
+    "current_lane",
     "extend_spans",
     "instant",
     "is_tracing",
     "names",
+    "set_thread_lane",
     "set_tracing",
     "span",
     "spans_snapshot",

@@ -39,6 +39,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "optimize.round",
         "portfolio.optimizer",
         "portfolio.promote",
+        "server.http",
         "server.job",
         "parallel.batch",
         "parallel.candidate",
@@ -96,6 +97,7 @@ METRIC_NAMES: FrozenSet[str] = frozenset(
         "search.probes",
         "server.http_requests",
         "server.http_rejects",
+        "server.job_duration",
         "server.jobs_completed",
         "server.jobs_failed",
         "server.jobs_quarantined",
@@ -138,6 +140,21 @@ EVENT_TYPES: FrozenSet[str] = frozenset(
         "sa.iteration",
         "server.drain",
         "stage.end",
+        "stream.end",
+    }
+)
+
+#: Point-in-time gauge samples exposed at ``GET /metrics`` (built with
+#: :func:`repro.telemetry.promexpo.gauge`; the server's
+#: ``JobStore.collect_gauges`` is the one collection point).
+GAUGE_NAMES: FrozenSet[str] = frozenset(
+    {
+        "server.active_leases",
+        "server.expired_leases",
+        "server.oldest_pending_age_s",
+        "server.queue_depth",
+        "server.tenant_active_jobs",
+        "server.worker_heartbeat_age_s",
     }
 )
 
@@ -148,7 +165,9 @@ WILDCARD_PREFIXES: FrozenSet[str] = frozenset(
 )
 
 #: Every registered literal name (the R7 lookup set).
-REGISTERED_NAMES: FrozenSet[str] = SPAN_NAMES | METRIC_NAMES | EVENT_TYPES
+REGISTERED_NAMES: FrozenSet[str] = (
+    SPAN_NAMES | METRIC_NAMES | EVENT_TYPES | GAUGE_NAMES
+)
 
 
 def is_registered(name: str) -> bool:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -49,6 +50,33 @@ def _clean_args(attrs: Dict[str, Any]) -> Dict[str, Any]:
         key: value if isinstance(value, _JSON_SCALARS) else str(value)
         for key, value in attrs.items()
     }
+
+
+#: Per-thread state: the *lane* a thread records its spans under.  Lanes
+#: give one process's logical actors (API listener, worker threads) their
+#: own named rows in the exported trace -- threads of one service process
+#: would otherwise collapse into a single anonymous process row.
+_THREAD_STATE = threading.local()
+
+
+def set_thread_lane(lane: Optional[str]) -> None:
+    """Name the lane this thread's spans render under (``None`` clears)."""
+    _THREAD_STATE.lane = lane
+
+
+def current_lane() -> Optional[str]:
+    """This thread's lane, or ``None`` when unset."""
+    return getattr(_THREAD_STATE, "lane", None)
+
+
+def _lane_pid(pid: int, lane: str) -> int:
+    """A stable synthetic pid for a ``(pid, lane)`` row.
+
+    Real Linux pids stay below ``2**22``; offsetting the CRC into the
+    ``2**30`` range keeps synthetic rows from colliding with any real
+    process while staying deterministic across exports.
+    """
+    return 0x40000000 + zlib.crc32(f"{pid}:{lane}".encode("utf-8"))
 
 
 class SpanHandle:
@@ -91,6 +119,7 @@ class _LiveSpan(SpanHandle):
                 "dur": end - self._start,
                 "pid": os.getpid(),
                 "tid": threading.get_ident(),
+                "lane": current_lane(),
                 "args": self._args,
             }
         )
@@ -103,10 +132,12 @@ class Tracer:
         self,
         enabled: bool = False,
         capacity: int = DEFAULT_SPAN_CAPACITY,
+        trace_id: Optional[str] = None,
     ):
         self._lock = threading.Lock()
         self.enabled = bool(enabled)
         self.capacity = int(capacity)
+        self.trace_id = trace_id
         self._spans: List[dict] = []
         self.dropped = 0
 
@@ -131,6 +162,7 @@ class Tracer:
                 "ts": time.monotonic_ns(),
                 "pid": os.getpid(),
                 "tid": threading.get_ident(),
+                "lane": current_lane(),
                 "args": _clean_args(attrs),
             }
         )
@@ -179,19 +211,35 @@ class Tracer:
         events with microsecond ``ts``/``dur``, one named process row per
         pid (``parent`` for this process, ``worker-<pid>`` otherwise), and
         the first name segment as the event category.
+
+        Threads that declared a *lane* (:func:`set_thread_lane` -- the API
+        listener and worker threads of one service process) get their own
+        synthetic process rows named after the lane, so a single-process
+        service still renders as distinguishable API / worker / pool-worker
+        timelines.  When :attr:`trace_id` is set it rides in every process
+        row's metadata and in ``otherData`` -- the stitching key across the
+        API, worker, and pool-worker exports of one job.
         """
         events: List[dict] = []
-        pids = []
+        rows: List[tuple] = []
+        this_pid = os.getpid()
         for span_dict in self.snapshot():
             pid = span_dict["pid"]
-            if pid not in pids:
-                pids.append(pid)
+            lane = span_dict.get("lane")
+            if pid != this_pid:
+                # A foreign span carrying a lane is a forked pool worker
+                # that inherited the spawning thread's lane; render it as
+                # its own worker-<pid> row, not under the parent's lane.
+                lane = None
+            display_pid = pid if lane is None else _lane_pid(pid, lane)
+            if (display_pid, pid, lane) not in rows:
+                rows.append((display_pid, pid, lane))
             event = {
                 "name": span_dict["name"],
                 "cat": span_dict["name"].split(".", 1)[0],
                 "ph": span_dict["ph"],
                 "ts": span_dict["ts"] / 1000.0,
-                "pid": pid,
+                "pid": display_pid,
                 "tid": span_dict["tid"],
                 "args": span_dict["args"],
             }
@@ -200,18 +248,32 @@ class Tracer:
             else:
                 event["s"] = "p"
             events.append(event)
-        for pid in pids:
-            label = "parent" if pid == os.getpid() else f"worker-{pid}"
+        for display_pid, pid, lane in rows:
+            if lane is not None:
+                label = lane
+            elif pid == this_pid:
+                label = "parent"
+            else:
+                label = f"worker-{pid}"
+            args: Dict[str, Any] = {"name": label}
+            if self.trace_id is not None:
+                args["trace_id"] = self.trace_id
             events.append(
                 {
                     "name": "process_name",
                     "ph": "M",
-                    "pid": pid,
+                    "pid": display_pid,
                     "tid": 0,
-                    "args": {"name": label},
+                    "args": args,
                 }
             )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        trace: Dict[str, Any] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        }
+        if self.trace_id is not None:
+            trace["otherData"] = {"trace_id": self.trace_id}
+        return trace
 
 
 #: The process-global tracer behind the module-level helpers.
@@ -277,13 +339,19 @@ class TelemetryConfig:
 
     trace: bool = False
     span_capacity: int = DEFAULT_SPAN_CAPACITY
+    trace_id: Optional[str] = None
 
     @classmethod
     def current(cls) -> "TelemetryConfig":
         """The parent process's live configuration."""
-        return cls(trace=GLOBAL.enabled, span_capacity=GLOBAL.capacity)
+        return cls(
+            trace=GLOBAL.enabled,
+            span_capacity=GLOBAL.capacity,
+            trace_id=GLOBAL.trace_id,
+        )
 
     def apply(self) -> None:
         """Arm this process's global tracer to match (worker-side)."""
         GLOBAL.enabled = self.trace
         GLOBAL.capacity = self.span_capacity
+        GLOBAL.trace_id = self.trace_id

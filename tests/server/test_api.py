@@ -175,6 +175,81 @@ def test_internal_errors_are_opaque_500(api, monkeypatch):
     assert "secret" not in json.dumps(payload)  # no detail leak
 
 
+def test_events_offset_and_limit_are_validated_and_applied(api, client):
+    job_id = client.submit(dict(QUICK_PAYLOAD))["job_id"]
+    api.store.log_event(job_id, "job.claimed", worker="w-test")
+    # Validation: negative / non-integer query values are typed 400s.
+    for query in (
+        "offset=-1",
+        "offset=nope",
+        "offset=1.5",
+        "limit=0",
+        "limit=-3",
+        "limit=x",
+    ):
+        status, payload = raw_status(
+            api, "GET", f"/v1/jobs/{job_id}/events?{query}"
+        )
+        assert status == 400, query
+        assert payload["error"] == "JobValidationError", query
+        assert payload["field"] in ("offset", "limit"), query
+    # Application: offset skips, limit caps, next_offset composes.
+    page = client.events(job_id, offset=1, limit=1)
+    assert [e["type"] for e in page["events"]] == ["job.claimed"]
+    assert page["next_offset"] == 2
+
+
+def test_metrics_endpoint_serves_valid_prometheus_text(api, client):
+    from repro.telemetry.promexpo import (
+        PROMETHEUS_CONTENT_TYPE,
+        parse_prometheus_text,
+    )
+
+    client.submit(dict(QUICK_PAYLOAD))
+    client.submit(dict(QUICK_PAYLOAD))
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{api.port}/metrics"
+    )
+    with urllib.request.urlopen(request, timeout=5.0) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        text = response.read().decode("utf-8")
+    families = parse_prometheus_text(text)  # raises on malformed output
+    depth = {
+        s["labels"]["state"]: s["value"]
+        for s in families["repro_server_queue_depth"]["samples"]
+    }
+    assert depth["pending"] == 2
+    tenants = families["repro_server_tenant_active_jobs"]["samples"]
+    assert {s["labels"]["tenant"]: s["value"] for s in tenants} == {
+        "default": 2
+    }
+    assert families["repro_server_jobs_submitted_total"]["samples"][0][
+        "value"
+    ] == 2
+    assert "repro_server_active_leases" in families
+    assert "repro_server_oldest_pending_age_s" in families
+
+
+def test_readyz_detail_shares_the_metrics_gauges(api, client):
+    client.submit(dict(QUICK_PAYLOAD))
+    status, ready = raw_status(api, "GET", "/readyz")
+    assert status == 200
+    gauges = ready["gauges"]
+    assert gauges["queue_depth"] == 1
+    assert gauges["expired_lease_count"] == 0
+    assert gauges["oldest_pending_age_s"] >= 0.0
+    assert ready["queue"]["pending"] == 1
+
+
+def test_trace_endpoint_is_409_until_exported(api, client):
+    job_id = client.submit(dict(QUICK_PAYLOAD))["job_id"]
+    assert client.status(job_id)["trace_id"]  # minted at submission
+    with pytest.raises(JobStateError, match="no trace export"):
+        client.trace(job_id)
+    assert raw_status(api, "GET", "/v1/jobs/nope/trace")[0] == 404
+
+
 def test_full_service_runs_submission_to_result(tmp_path, watchdog):
     service = DesignService(
         tmp_path / "svc", n_workers=1, lease_ttl=5.0

@@ -201,3 +201,80 @@ class TestTelemetryConfig:
         assert hash(clone) == hash(config)
         with pytest.raises(AttributeError):
             config.trace = False
+
+
+class TestThreadLanes:
+    def test_lane_names_give_threads_their_own_rows(self):
+        """API and worker threads of one process export as distinct,
+        lane-named process rows with stable synthetic pids."""
+        telemetry.set_tracing(True)
+
+        def record(lane):
+            telemetry.set_thread_lane(lane)
+            telemetry.instant("server.http", lane_check=lane)
+
+        threads = [
+            threading.Thread(target=record, args=(lane,))
+            for lane in ("api", "worker-0")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        trace = telemetry.to_chrome_trace()
+        labels = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        assert sorted(labels.values()) == ["api", "worker-0"]
+        # Synthetic pids stay clear of real pid space and are distinct.
+        assert all(pid >= 0x40000000 for pid in labels)
+        assert len(set(labels)) == 2
+
+    def test_lane_clears_and_unlaned_spans_keep_the_plain_row(self):
+        telemetry.set_tracing(True)
+        telemetry.set_thread_lane("api")
+        telemetry.set_thread_lane(None)
+        telemetry.instant("server.http")
+        trace = telemetry.to_chrome_trace()
+        (meta,) = [
+            e for e in trace["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        ]
+        assert meta["pid"] == os.getpid()
+        assert meta["args"]["name"] == "parent"
+
+    def test_foreign_pid_spans_drop_inherited_lanes(self):
+        """A forked pool worker inherits the spawning thread's lane in its
+        thread-locals; the export must render its spans as a worker-<pid>
+        row, not fold them into the parent's lane."""
+        telemetry.set_tracing(True)
+        telemetry.set_thread_lane("worker-0")
+        try:
+            with telemetry.span("server.job"):
+                pass
+            foreign = dict(telemetry.spans_snapshot()[0])
+            foreign["pid"] = 424242  # as if drained home from a fork
+            foreign["name"] = "parallel.candidate"
+            telemetry.extend_spans([foreign])
+            trace = telemetry.to_chrome_trace()
+            labels = {
+                e["args"]["name"]
+                for e in trace["traceEvents"]
+                if e.get("ph") == "M" and e["name"] == "process_name"
+            }
+            assert labels == {"worker-0", "worker-424242"}
+        finally:
+            telemetry.set_thread_lane(None)
+
+    def test_trace_id_rides_every_process_row(self):
+        telemetry.set_tracing(True)
+        TelemetryConfig(trace=True, trace_id="t-42").apply()
+        telemetry.instant("server.http")
+        trace = telemetry.to_chrome_trace()
+        assert trace["otherData"] == {"trace_id": "t-42"}
+        for event in trace["traceEvents"]:
+            if event.get("ph") == "M" and event["name"] == "process_name":
+                assert event["args"]["trace_id"] == "t-42"
+        TelemetryConfig().apply()
